@@ -1,0 +1,158 @@
+"""Fig. 6 — weak scaling on the 3-D 27-pt Laplace (HPCG) and the AMG2013
+semi-structured input.
+
+Per node count and interpolation scheme (base-mp plus opt-{ei(4),
+2s-ei(444), mp}) the bench reports modeled setup time, solve time, and
+iteration count — the three panels of Fig. 6 — and checks the paper's
+shapes:
+
+* HYPRE_opt improves the best setup and solve times at the largest scale
+  (paper: setup 2.0x / 2.7x with mp, solve 2.1x / 1.5x);
+* multipass has the fastest setup, extended+i-based schemes converge in
+  fewer iterations;
+* iteration counts drift up slowly for the 27-pt Laplacian and stay ~flat
+  for the semi-structured input.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import RANKS_PER_NODE, run_distributed
+from repro.config import multi_node_config
+from repro.perf import format_table
+from repro.problems import amg2013_problem, laplace_3d_27pt
+
+from conftest import emit, tick
+
+#: Node counts (paper: 1..128; scaled down for the Python vehicle —
+#: override with REPRO_WEAK_NODES="1,2,4,8,16,32,64").
+NODES = [int(x) for x in os.environ.get("REPRO_WEAK_NODES", "1,2,4,8,16,32").split(",")]
+#: Per-rank subdomain edge for the 27-pt input (paper: 96^3 per rank).
+LAP_EDGE = int(os.environ.get("REPRO_WEAK_EDGE", "6"))
+
+SCHEMES = [
+    ("base-mp", multi_node_config("mp", optimized=False)),
+    ("opt-ei(4)", multi_node_config("ei", optimized=True)),
+    ("opt-2s-ei(444)", multi_node_config("2s-ei", optimized=True)),
+    ("opt-mp", multi_node_config("mp", optimized=True)),
+]
+
+
+def lap27_weak_problem(nodes: int):
+    """Constant work per rank: stack rank subdomains along z."""
+    nranks = nodes * RANKS_PER_NODE
+    A = laplace_3d_27pt(LAP_EDGE, LAP_EDGE, LAP_EDGE * nranks)
+    sizes = np.full(nranks, LAP_EDGE * LAP_EDGE * LAP_EDGE, dtype=np.int64)
+    return A, sizes
+
+
+def amg2013_weak_problem(nodes: int):
+    nranks = nodes * RANKS_PER_NODE
+    A, sizes = amg2013_problem(max(nranks, 8), r=5, seed=3)
+    if nranks < 8:
+        # pooldist=1 requires >= 8 ranks (paper); merge blocks for tiny runs.
+        merged = sizes.reshape(nranks, -1).sum(axis=1)
+        return A, merged
+    return A, sizes
+
+
+def _run_input(problem, label, tol):
+    rows = []
+    results = {}
+    for nodes in NODES:
+        A, sizes = problem(nodes)
+        for name, cfg in SCHEMES:
+            r = run_distributed(A, cfg, nodes, label=name, rank_sizes=sizes,
+                                tol=tol, outer="fgmres")
+            rows.append([nodes, name, round(r.setup_time * 1e3, 3),
+                         round(r.solve_time * 1e3, 3), r.iterations,
+                         round(r.operator_complexity, 2)])
+            results[(nodes, name)] = r
+            assert r.converged, (label, nodes, name)
+    emit(
+        label,
+        format_table(
+            ["nodes", "scheme", "setup [ms]", "solve [ms]", "iters", "opcx"],
+            rows,
+            title=f"Fig. 6 weak scaling — {label} "
+                  f"(per-rank constant size, {RANKS_PER_NODE} ranks/node)",
+        ),
+    )
+    return results
+
+
+@pytest.fixture(scope="module")
+def lap27_results():
+    return _run_input(lap27_weak_problem, "fig6_weak_lap27", 1e-7)
+
+
+@pytest.fixture(scope="module")
+def amg2013_results():
+    return _run_input(amg2013_weak_problem, "fig6_weak_amg2013", 1e-7)
+
+
+class TestLap27:
+    def test_opt_beats_base_setup_at_scale(self, benchmark, lap27_results):
+        tick(benchmark)
+        top = NODES[-1]
+        base = lap27_results[(top, "base-mp")]
+        opt = lap27_results[(top, "opt-mp")]
+        assert opt.setup_time < base.setup_time
+        assert opt.solve_time < base.solve_time
+
+    def test_mp_setup_fastest_ei_solve_fastest(self, benchmark, lap27_results):
+        tick(benchmark)
+        top = NODES[-1]
+        mp = lap27_results[(top, "opt-mp")]
+        ei = lap27_results[(top, "opt-ei(4)")]
+        assert mp.setup_time < ei.setup_time
+        assert ei.iterations <= mp.iterations
+
+    def test_iterations_bounded(self, benchmark, lap27_results):
+        tick(benchmark)
+        for name, _ in SCHEMES:
+            its = [lap27_results[(n, name)].iterations for n in NODES]
+            # Fig. 6(c): slow upward drift, no blow-up.
+            assert max(its) <= its[0] + 10, (name, its)
+
+
+class TestAMG2013:
+    def test_opt_improvements(self, benchmark, amg2013_results):
+        tick(benchmark)
+        top = NODES[-1]
+        base = amg2013_results[(top, "base-mp")]
+        opt = amg2013_results[(top, "opt-mp")]
+        assert opt.setup_time < base.setup_time
+
+    def test_iterations_mostly_flat(self, benchmark, amg2013_results):
+        tick(benchmark)
+        # Fig. 6(f): iteration counts stay roughly constant.
+        for name, _ in SCHEMES:
+            its = [amg2013_results[(n, name)].iterations for n in NODES]
+            assert max(its) - min(its) <= 8, (name, its)
+
+    def test_speedup_summary(self, benchmark, lap27_results, amg2013_results):
+        tick(benchmark)
+        top = NODES[-1]
+        rows = []
+        for label, res in (("lap27", lap27_results), ("amg2013", amg2013_results)):
+            base = res[(top, "base-mp")]
+            best_setup = min(r.setup_time for (n, s), r in res.items()
+                             if n == top and s.startswith("opt"))
+            best_solve = min(r.solve_time for (n, s), r in res.items()
+                             if n == top and s.startswith("opt"))
+            rows.append([label, round(base.setup_time / best_setup, 2),
+                         round(base.solve_time / best_solve, 2)])
+        emit(
+            "fig6_speedup_summary",
+            format_table(
+                ["input", "best setup speedup", "best solve speedup"],
+                rows,
+                title=f"Opt vs base at {top} nodes "
+                      "(paper: setup 2.0x/2.7x, solve 2.1x/1.5x at 128 nodes)",
+            ),
+        )
+        for _, s_up, s_ol in rows:
+            assert s_up > 1.0 and s_ol > 0.9

@@ -1,0 +1,97 @@
+"""Fig. 7 — breakdown of total (setup+solve) time at the largest weak-scaling
+point, per interpolation scheme.
+
+Checks the paper's structural observations:
+
+* 2-stage aggressive coarsening trades longer interpolation construction
+  for cheaper RAP and solve;
+* the solve phase spends a large share of its time in MPI (paper: >60% at
+  128 nodes), dominated by halo exchanges.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import RANKS_PER_NODE, run_distributed
+from repro.config import multi_node_config
+from repro.perf import format_table
+from repro.problems import laplace_3d_27pt
+
+from conftest import emit, tick
+
+NODES = int(os.environ.get("REPRO_FIG7_NODES", "32"))
+EDGE = int(os.environ.get("REPRO_WEAK_EDGE", "6"))
+
+PHASE_ORDER = [
+    "Strength+Coarsen", "Interp", "RAP", "Setup_etc", "Setup_MPI",
+    "GS", "SpMV", "BLAS1", "Solve_etc", "Solve_MPI",
+]
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    nranks = NODES * RANKS_PER_NODE
+    A = laplace_3d_27pt(EDGE, EDGE, EDGE * nranks)
+    sizes = np.full(nranks, EDGE**3, dtype=np.int64)
+    out = {}
+    for scheme in ("ei", "2s-ei", "mp"):
+        cfg = multi_node_config(scheme, optimized=True)
+        out[scheme] = run_distributed(
+            A, cfg, NODES, label=scheme, rank_sizes=sizes, tol=1e-7
+        )
+    return out
+
+
+def test_fig7_breakdown_table(benchmark, breakdowns):
+    tick(benchmark)
+    rows = []
+    for scheme, r in breakdowns.items():
+        pt = r.phase_times()
+        total = r.total_time
+        rows.append(
+            [scheme]
+            + [round(1e3 * pt.get(ph, 0.0), 3) for ph in PHASE_ORDER]
+            + [round(1e3 * total, 3), r.iterations]
+        )
+    emit(
+        "fig7_breakdown",
+        format_table(
+            ["scheme"] + PHASE_ORDER + ["total [ms]", "iters"],
+            rows,
+            title=f"Fig. 7 — HYPRE_opt time breakdown at {NODES} nodes "
+                  f"({NODES * RANKS_PER_NODE} ranks)",
+        ),
+    )
+    for r in breakdowns.values():
+        assert r.converged
+
+
+def test_two_stage_trades_interp_for_rap_and_solve(benchmark, breakdowns):
+    tick(benchmark)
+    ei = breakdowns["ei"].phase_times()
+    ts = breakdowns["2s-ei"].phase_times()
+    # 2-stage interpolation construction costs more...
+    assert ts["Interp"] > ei["Interp"]
+    # ...in exchange for a cheaper Galerkin product (smaller operators).
+    assert ts["RAP"] < ei["RAP"]
+
+
+def test_solve_mpi_share(benchmark, breakdowns):
+    tick(benchmark)
+    rows = []
+    for scheme, r in breakdowns.items():
+        share = r.solve_comm / r.solve_time
+        rows.append([scheme, round(100 * share, 1)])
+    emit(
+        "fig7_solve_mpi_share",
+        format_table(
+            ["scheme", "Solve_MPI share [%]"],
+            rows,
+            title="Share of solve time spent in MPI "
+                  "(paper: >60% at 128 nodes)",
+        ),
+    )
+    # At our largest point the solve must already be communication-heavy.
+    assert max(r.solve_comm / r.solve_time for r in breakdowns.values()) > 0.4

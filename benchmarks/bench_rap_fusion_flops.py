@@ -1,0 +1,59 @@
+"""§3.1.1 — the Fig. 1(a) vs Fig. 1(b) RAP fusion flop comparison.
+
+The paper measures that its fusion (materialize row B_i, then multiply)
+needs on average 1.73x fewer floating-point operations than HYPRE's scalar
+fusion on the finest-level triple product of the evaluation matrices.
+"""
+
+import pytest
+
+from repro.amg import extended_i_interpolation, pmis, strength_matrix
+from repro.bench import bench_scale
+from repro.perf import format_table, geomean
+from repro.problems import TABLE2_SUITE, generate
+from repro.sparse import fusion_flop_counts, rap_fused, transpose
+
+from conftest import emit, tick
+
+
+@pytest.fixture(scope="module")
+def flop_ratios():
+    out = {}
+    for meta in TABLE2_SUITE:
+        A, _ = generate(meta.name, scale=bench_scale())
+        S = strength_matrix(A, meta.strength_threshold, 0.8)
+        cf = pmis(S, seed=1)
+        P = extended_i_interpolation(A, S, cf)
+        R = transpose(P)
+        out[meta.name] = fusion_flop_counts(R, A, P)
+    return out
+
+
+def test_fusion_flop_ratio(benchmark, flop_ratios):
+    tick(benchmark)
+    rows = [
+        [n, f"{fc['fused_a']:.3g}", f"{fc['hypre_b']:.3g}", round(fc["ratio"], 2)]
+        for n, fc in flop_ratios.items()
+    ]
+    gm = geomean([fc["ratio"] for fc in flop_ratios.values()])
+    rows.append(["GEOMEAN", "", "", round(gm, 2)])
+    emit(
+        "rap_fusion_flops",
+        format_table(
+            ["matrix", "Fig.1a flops", "Fig.1b flops", "ratio b/a"],
+            rows,
+            title="Finest-level RAP flop counts "
+                  "(paper: Fig.1b needs 1.73x more on average)",
+        ),
+    )
+    assert gm > 1.3
+    assert all(fc["ratio"] > 1.0 for fc in flop_ratios.values())
+
+
+def test_rap_fused_wallclock(benchmark):
+    A, meta = generate("lap2d_2000", scale=bench_scale())
+    S = strength_matrix(A, meta.strength_threshold, 0.8)
+    cf = pmis(S, seed=1)
+    P = extended_i_interpolation(A, S, cf)
+    R = transpose(P)
+    benchmark(lambda: rap_fused(R, A, P))

@@ -1,0 +1,104 @@
+"""§4.2 / §5.4 — parallel column-index renumbering.
+
+The paper reports that the Fig. 4 renumbering speeds the distributed RAP
+product up by 2.6x and 3.5x on 128 nodes for its two weak-scaling inputs.
+This bench times the distributed RAP (modeled setup compute + comm) with
+the baseline ordered-set renumbering vs the parallel algorithm.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.amg import extended_i_interpolation, pmis, strength_matrix
+from repro.bench import RANKS_PER_NODE, machine_for
+from repro.config import multi_node_config
+from repro.dist import (
+    ParCSRMatrix,
+    RowPartition,
+    SimComm,
+    dist_rap,
+    renumber_baseline,
+    renumber_parallel,
+)
+from repro.perf import format_table
+from repro.problems import amg2013_problem, laplace_3d_27pt
+from repro.sparse import transpose
+
+from conftest import emit, tick
+
+NODES = int(os.environ.get("REPRO_RENUM_NODES", "16"))
+
+
+def _dist_problem(kind: str):
+    nranks = NODES * RANKS_PER_NODE
+    if kind == "lap27":
+        edge = 6
+        A = laplace_3d_27pt(edge, edge, edge * nranks)
+        sizes = np.full(nranks, edge**3, dtype=np.int64)
+    else:
+        A, sizes = amg2013_problem(max(nranks, 8), r=5, seed=3)
+    S = strength_matrix(A, 0.25, 0.8)
+    cf = pmis(S, seed=1)
+    P = extended_i_interpolation(A, S, cf)
+    part = RowPartition.from_sizes(sizes)
+    nc = int((cf > 0).sum())
+    # Coarse partition follows the fine ownership.
+    c_owner = part.owner_of(np.flatnonzero(cf > 0))
+    csizes = np.bincount(c_owner, minlength=nranks)
+    return A, P, part, RowPartition.from_sizes(csizes)
+
+
+def _rap_time(kind: str, parallel_renumber: bool) -> float:
+    A, P, part, cpart = _dist_problem(kind)
+    comm = SimComm(part.nranks)
+    Ap = ParCSRMatrix.from_global(A, part)
+    Pp = ParCSRMatrix.from_global(P, part, cpart)
+    machine = machine_for(multi_node_config("ei"))
+    dist_rap(comm, Ap, Pp, parallel_renumber=parallel_renumber)
+    compute = sum(comm.compute_phase_makespan(machine).values())
+    return compute
+
+
+@pytest.fixture(scope="module")
+def rap_times():
+    return {
+        kind: {
+            "baseline": _rap_time(kind, False),
+            "parallel": _rap_time(kind, True),
+        }
+        for kind in ("lap27", "amg2013")
+    }
+
+
+def test_renumbering_speeds_rap(benchmark, rap_times):
+    tick(benchmark)
+    rows = []
+    for kind, t in rap_times.items():
+        ratio = t["baseline"] / t["parallel"]
+        rows.append([kind, round(t["baseline"] * 1e3, 3),
+                     round(t["parallel"] * 1e3, 3), round(ratio, 2)])
+    emit(
+        "renumbering_rap",
+        format_table(
+            ["input", "serial renumber [ms]", "parallel renumber [ms]",
+             "speedup"],
+            rows,
+            title=f"Distributed RAP at {NODES} nodes "
+                  "(paper: 2.6x / 3.5x on 128 nodes)",
+        ),
+    )
+    for kind, t in rap_times.items():
+        assert t["baseline"] / t["parallel"] > 1.3, kind
+
+
+def test_renumber_kernel_wallclock(benchmark, rng):
+    old = np.sort(rng.choice(1_000_000, 2_000, replace=False)).astype(np.int64)
+    q = rng.integers(0, 1_000_000, 200_000).astype(np.int64)
+    benchmark(lambda: renumber_parallel(old, q, nthreads=14))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)

@@ -1,0 +1,43 @@
+"""Table 2 — the single-node matrix suite (surrogates, DESIGN.md §2)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_scale
+from repro.perf import format_table
+from repro.problems import TABLE2_SUITE, generate
+
+from conftest import emit, tick
+
+
+def test_table2_inventory(benchmark):
+    tick(benchmark)
+    scale = bench_scale()
+    rows = []
+    for meta in TABLE2_SUITE:
+        A, _ = generate(meta.name, scale=scale)
+        rows.append(
+            [
+                meta.name,
+                meta.paper_rows,
+                meta.paper_nnz_per_row,
+                A.nrows,
+                round(A.nnz / A.nrows, 1),
+                meta.strength_threshold,
+            ]
+        )
+        # nnz/row must track the paper's column.
+        assert abs(A.nnz / A.nrows - meta.paper_nnz_per_row) < 0.35 * meta.paper_nnz_per_row
+    emit(
+        "table2_matrices",
+        format_table(
+            ["matrix", "paper rows", "paper nnz/row", f"rows (1/{scale})",
+             "nnz/row", "str_thr"],
+            rows,
+            title=f"Table 2 surrogate suite (scale = 1/{scale} of paper rows)",
+        ),
+    )
+
+
+def test_generate_speed(benchmark):
+    benchmark(lambda: generate("lap3d_128", scale=bench_scale()))

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Weak scaling with the simulated distributed solver (§4, Fig. 6).
+
+Grows a 3-D 27-point Laplacian with the rank count (constant rows per
+rank, 2 ranks per node like the Endeavor cluster) and reports, per node
+count: modeled setup/solve time on the Haswell+InfiniBand models, the
+iteration count, and the communication volume — the quantities behind
+Fig. 6's panels.
+
+Run:  python examples/distributed_weak_scaling.py
+"""
+
+import numpy as np
+
+from repro.bench import RANKS_PER_NODE, run_distributed
+from repro.config import multi_node_config
+from repro.problems import laplace_3d_27pt
+
+
+def main() -> None:
+    edge = 6  # rows per rank = edge^3 (the paper uses 96^3; DESIGN.md §2)
+    config = multi_node_config("ei")
+    print(f"{'nodes':>5} {'ranks':>5} {'rows':>8} {'setup[ms]':>10} "
+          f"{'solve[ms]':>10} {'iters':>5} {'comm[KB]':>9} {'MPI%':>5}")
+    for nodes in (1, 2, 4, 8, 16):
+        nranks = nodes * RANKS_PER_NODE
+        A = laplace_3d_27pt(edge, edge, edge * nranks)
+        sizes = np.full(nranks, edge**3, dtype=np.int64)
+        r = run_distributed(A, config, nodes, label="ei", rank_sizes=sizes,
+                            tol=1e-7)
+        mpi_share = 100 * r.solve_comm / r.solve_time
+        print(f"{nodes:>5} {nranks:>5} {A.nrows:>8} "
+              f"{r.setup_time * 1e3:>10.3f} {r.solve_time * 1e3:>10.3f} "
+              f"{r.iterations:>5} {r.comm_volume / 1e3:>9.1f} "
+              f"{mpi_share:>5.1f}")
+    print("\nIdeal weak scaling would keep the times flat; the drift is the "
+          "communication share growing with the machine — Fig. 6's story.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Reservoir pressure solve — the paper's strong-scaling workload (§5.1.2).
+
+Builds an elliptic pressure equation over a lognormal permeability field
+with several decades of contrast (the sequential-Gaussian-simulation
+surrogate of DESIGN.md §2), solves it with AMG-preconditioned Flexible
+GMRES at the paper's strong-scaling tolerance (1e-5), and compares the
+three Table 4 interpolation schemes: ei(4), 2s-ei(444), and mp.
+
+Run:  python examples/reservoir_simulation.py
+"""
+
+import numpy as np
+
+from repro.amg import AMGSolver
+from repro.config import multi_node_config
+from repro.krylov import fgmres
+from repro.problems import reservoir_problem
+from repro.sparse.spmv import spmv
+
+
+def main() -> None:
+    nx, ny, nz = 40, 40, 16
+    A, b, kappa = reservoir_problem(nx, ny, nz, log10_contrast=5.0, seed=11)
+    print(f"reservoir grid {nx}x{ny}x{nz}: n = {A.nrows}, "
+          f"permeability contrast {kappa.max() / kappa.min():.1e}")
+
+    for scheme in ("ei", "2s-ei", "mp"):
+        config = multi_node_config(scheme)
+        solver = AMGSolver(config)
+        hierarchy = solver.setup(A)
+        result = fgmres(A, b, precondition=solver.precondition, tol=1e-5)
+        res = np.linalg.norm(b - spmv(A, result.x)) / np.linalg.norm(b)
+        print(
+            f"  {scheme:>7}: {hierarchy.num_levels} levels, "
+            f"opcx {hierarchy.operator_complexity():.2f}, "
+            f"{result.iterations:>3} FGMRES iterations, "
+            f"relres {res:.1e}"
+        )
+
+    # The well pair drives a pressure dipole; sanity-check the physics.
+    config = multi_node_config("ei")
+    solver = AMGSolver(config)
+    solver.setup(A)
+    result = fgmres(A, b, precondition=solver.precondition, tol=1e-8)
+    p = result.x.reshape(nx, ny, nz)
+    inj = p[nx // 8, ny // 8, nz // 2]
+    prod = p[7 * nx // 8, 7 * ny // 8, nz // 2]
+    print(f"\npressure at injector {inj:+.3e}, at producer {prod:+.3e} "
+          "(expected: opposite signs)")
+    assert inj > 0 > prod
+
+
+if __name__ == "__main__":
+    main()

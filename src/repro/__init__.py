@@ -1,0 +1,70 @@
+"""repro — reproduction of "High-Performance Algebraic Multigrid Solver
+Optimized for Multi-Core Based Distributed Parallel Systems" (SC'15).
+
+A from-scratch classical AMG (BoomerAMG-style) library with every
+node-level and multi-node optimization of the paper implemented as a
+switchable flag, running on an instrumented simulated-parallel substrate
+(see DESIGN.md).
+
+Quick start::
+
+    from repro import AMGSolver, single_node_config
+    from repro.problems import laplace_2d_5pt
+
+    A = laplace_2d_5pt(96)
+    solver = AMGSolver(single_node_config())
+    solver.setup(A)
+    result = solver.solve(b, tol=1e-7)
+
+Subpackages
+-----------
+``repro.sparse``
+    CSR substrate: SpMV/SpGEMM/transpose/RAP kernels (§3.1).
+``repro.amg``
+    Strength, PMIS, interpolation operators, smoothers, hierarchy (§2–3).
+``repro.krylov``
+    FGMRES / GMRES / CG (Table 4's outer solver).
+``repro.dist``
+    Simulated distributed-memory layer: ParCSR, halo exchange, renumbering,
+    distributed AMG (§4).
+``repro.perf``
+    Instrumentation + Haswell/K40c/InfiniBand models (DESIGN.md §2).
+``repro.problems``
+    Workload generators (Table 2 surrogates, AMG2013, reservoir GRF).
+``repro.bench``
+    Drivers that regenerate the paper's tables and figures.
+"""
+
+from .amg import AMGSolver, SolveResult, build_hierarchy, vcycle
+from .config import (
+    AMGConfig,
+    HYPRE_BASE_FLAGS,
+    HYPRE_OPT_FLAGS,
+    OptimizationFlags,
+    amgx_config,
+    multi_node_config,
+    single_node_config,
+)
+from .krylov import fgmres, gmres, pcg
+from .sparse import CSRMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMGSolver",
+    "SolveResult",
+    "build_hierarchy",
+    "vcycle",
+    "AMGConfig",
+    "HYPRE_BASE_FLAGS",
+    "HYPRE_OPT_FLAGS",
+    "OptimizationFlags",
+    "amgx_config",
+    "multi_node_config",
+    "single_node_config",
+    "fgmres",
+    "gmres",
+    "pcg",
+    "CSRMatrix",
+    "__version__",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Generate a problem, run AMG (standalone or FGMRES-preconditioned),
+    print convergence and modeled Haswell times.
+``info``
+    Print the hierarchy a configuration produces for a problem.
+``suite``
+    List the Table 2 surrogate suite.
+
+Examples::
+
+    python -m repro solve --problem lap3d27 --size 16 --scheme ei
+    python -m repro solve --problem reservoir --size 24 --baseline
+    python -m repro info --problem lap2d --size 64
+    python -m repro suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from .amg import AMGSolver
+from .config import multi_node_config, single_node_config
+from .krylov import fgmres
+from .perf import HaswellModel, collect
+from .problems import (
+    TABLE2_SUITE,
+    generate,
+    laplace_2d_5pt,
+    laplace_3d_7pt,
+    laplace_3d_27pt,
+    reservoir_problem,
+    suite_names,
+)
+from .sparse.spmv import spmv
+
+
+def _build_problem(name: str, size: int, seed: int):
+    if name == "lap2d":
+        A = laplace_2d_5pt(size)
+    elif name == "lap3d7":
+        A = laplace_3d_7pt(size)
+    elif name == "lap3d27":
+        A = laplace_3d_27pt(size)
+    elif name == "reservoir":
+        A, b, _ = reservoir_problem(size, size, max(size // 2, 2), seed=seed)
+        return A, b
+    elif name in suite_names():
+        A, _ = generate(name, scale=64)
+    else:
+        raise SystemExit(
+            f"unknown problem {name!r}; pick from lap2d, lap3d7, lap3d27, "
+            f"reservoir, or a Table 2 name: {', '.join(suite_names())}"
+        )
+    b = np.random.default_rng(seed).standard_normal(A.nrows)
+    return A, b
+
+
+def _config(args):
+    if args.scheme:
+        cfg = multi_node_config(args.scheme, optimized=not args.baseline,
+                                nthreads=args.threads)
+    else:
+        cfg = single_node_config(optimized=not args.baseline,
+                                 strength_threshold=args.theta,
+                                 nthreads=args.threads)
+    if args.smoother:
+        cfg = replace(cfg, smoother=args.smoother)
+    if args.cycle:
+        cfg = replace(cfg, cycle_type=args.cycle)
+    return cfg
+
+
+def cmd_solve(args) -> int:
+    A, b = _build_problem(args.problem, args.size, args.seed)
+    cfg = _config(args)
+    solver = AMGSolver(cfg)
+    with collect() as setup_log:
+        solver.setup(A)
+    with collect() as solve_log:
+        if args.krylov:
+            res = fgmres(A, b, precondition=solver.precondition, tol=args.tol)
+        else:
+            res = solver.solve(b, tol=args.tol)
+    true_res = np.linalg.norm(b - spmv(A, res.x)) / np.linalg.norm(b)
+    machine = HaswellModel(threads=args.threads)
+    t_setup = machine.log_time(setup_log)
+    t_solve = machine.log_time(solve_log)
+    print(f"problem       : {args.problem}  (n={A.nrows}, nnz={A.nnz})")
+    print(f"configuration : {'baseline' if args.baseline else 'optimized'}"
+          f"{' + FGMRES' if args.krylov else ''}"
+          f", cycle={cfg.cycle_type}, smoother={cfg.smoother}")
+    print(f"hierarchy     : {solver.hierarchy.num_levels} levels, "
+          f"operator complexity {solver.operator_complexity:.2f}")
+    print(f"convergence   : {res.iterations} iterations, "
+          f"converged={res.converged}, true relres={true_res:.2e}")
+    print(f"modeled time  : setup {t_setup * 1e3:.3f} ms, "
+          f"solve {t_solve * 1e3:.3f} ms  (Haswell model)")
+    return 0 if res.converged else 1
+
+
+def cmd_info(args) -> int:
+    A, _ = _build_problem(args.problem, args.size, args.seed)
+    solver = AMGSolver(_config(args))
+    h = solver.setup(A)
+    print(f"{args.problem}: n={A.nrows}, nnz={A.nnz}")
+    print(f"{'level':>5} {'rows':>9} {'nnz':>10} {'nnz/row':>8}")
+    for l, (n, nnz) in enumerate(h.level_sizes()):
+        print(f"{l:>5} {n:>9} {nnz:>10} {nnz / max(n, 1):>8.1f}")
+    print(f"operator complexity {h.operator_complexity():.3f}, "
+          f"grid complexity {h.grid_complexity():.3f}")
+    return 0
+
+
+def cmd_suite(_args) -> int:
+    print(f"{'name':<16} {'paper rows':>11} {'nnz/row':>8} {'str_thr':>8}")
+    for m in TABLE2_SUITE:
+        print(f"{m.name:<16} {m.paper_rows:>11} {m.paper_nnz_per_row:>8} "
+              f"{m.strength_threshold:>8}")
+    return 0
+
+
+def _common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--problem", default="lap2d")
+    p.add_argument("--size", type=int, default=48, help="grid edge length")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--baseline", action="store_true",
+                   help="HYPRE_base flags (all optimizations off)")
+    p.add_argument("--scheme", choices=["ei", "2s-ei", "mp"], default=None,
+                   help="Table 4 multi-node preset instead of Table 3")
+    p.add_argument("--smoother", default=None,
+                   choices=["hybrid_gs", "lex", "multicolor", "jacobi",
+                            "l1_jacobi", "chebyshev"])
+    p.add_argument("--cycle", default=None, choices=["V", "W", "F"])
+    p.add_argument("--threads", type=int, default=14)
+    p.add_argument("--theta", type=float, default=0.25,
+                   help="strength threshold")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="run an AMG solve")
+    _common(p_solve)
+    p_solve.add_argument("--tol", type=float, default=1e-7)
+    p_solve.add_argument("--krylov", action="store_true",
+                         help="use AMG as FGMRES preconditioner")
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_info = sub.add_parser("info", help="print the AMG hierarchy")
+    _common(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_suite = sub.add_parser("suite", help="list the Table 2 suite")
+    p_suite.set_defaults(func=cmd_suite)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Classical AMG (BoomerAMG-style): the paper's primary contribution.
+
+Setup: strength -> PMIS / aggressive PMIS -> {direct, extended+i, multipass,
+2-stage extended+i} interpolation with fused truncation -> Galerkin product.
+Solve: V-cycles with C-F hybrid Gauss–Seidel smoothing.
+"""
+
+from .coarse import CoarseSolver
+from .coarsen_rs import rs_coarsening
+from .interp_classical import classical_interpolation
+from .cycle import cycle, fcycle, vcycle, wcycle
+from .fmg import full_multigrid
+from .interp_direct import direct_interpolation
+from .interp_extended import extended_i_interpolation, extended_i_reference
+from .interp_multipass import multipass_interpolation
+from .interp_twostage import two_stage_extended_i
+from .level import Level
+from .pmis import C_PT, F_PT, aggressive_pmis, pmis, random_measures
+from .setup import Hierarchy, build_hierarchy
+from .smoothers import (
+    chebyshev_sweep,
+    estimate_lambda_max,
+    l1_diagonal,
+    l1_jacobi_sweep,
+    GSSchedule,
+    HybridGSSmoother,
+    block_of_rows,
+    build_gs_schedule,
+    greedy_coloring,
+    gs_sweep,
+    gs_sweep_reference,
+    jacobi_sweep,
+    multicolor_gs_sweep,
+)
+from .solver import AMGSolver, SolveResult
+from .strength import strength_matrix
+from .truncation import truncate_interpolation
+
+__all__ = [
+    "CoarseSolver",
+    "rs_coarsening",
+    "classical_interpolation",
+    "chebyshev_sweep",
+    "estimate_lambda_max",
+    "l1_diagonal",
+    "l1_jacobi_sweep",
+    "vcycle",
+    "wcycle",
+    "fcycle",
+    "cycle",
+    "full_multigrid",
+    "direct_interpolation",
+    "extended_i_interpolation",
+    "extended_i_reference",
+    "multipass_interpolation",
+    "two_stage_extended_i",
+    "Level",
+    "C_PT",
+    "F_PT",
+    "aggressive_pmis",
+    "pmis",
+    "random_measures",
+    "Hierarchy",
+    "build_hierarchy",
+    "GSSchedule",
+    "HybridGSSmoother",
+    "block_of_rows",
+    "build_gs_schedule",
+    "greedy_coloring",
+    "gs_sweep",
+    "gs_sweep_reference",
+    "jacobi_sweep",
+    "multicolor_gs_sweep",
+    "AMGSolver",
+    "SolveResult",
+    "strength_matrix",
+    "truncate_interpolation",
+]

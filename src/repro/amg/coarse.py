@@ -1,0 +1,68 @@
+"""Coarsest-level solver.
+
+Small coarsest grids are solved directly (dense factorization precomputed in
+the setup phase, applied as a matvec per cycle); grids that are still large
+when ``max_levels`` is hit fall back to a few symmetric smoothing sweeps —
+the same policy BoomerAMG follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import VAL_BYTES, count, phase
+from ..sparse.csr import CSRMatrix
+from .smoothers import HybridGSSmoother
+
+__all__ = ["CoarseSolver"]
+
+
+class CoarseSolver:
+    """Direct (dense pseudo-inverse) or smoothing-based coarsest solver."""
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        *,
+        dense_threshold: int = 500,
+        nthreads: int = 1,
+        sweeps: int = 4,
+    ) -> None:
+        self.A = A
+        self.n = A.nrows
+        self.sweeps = sweeps
+        self.direct = self.n <= dense_threshold
+        if self.direct:
+            dense = A.to_dense()
+            # Pseudo-inverse tolerates the singular coarse operators of pure
+            # Neumann-like problems.
+            self.inv = np.linalg.pinv(dense)
+            count(
+                "coarse.factorize",
+                flops=2.0 * self.n**3,
+                bytes_read=self.n * self.n * VAL_BYTES,
+                bytes_written=self.n * self.n * VAL_BYTES,
+                phase="Setup_etc",
+            )
+            self.smoother = None
+        else:
+            self.inv = None
+            self.smoother = HybridGSSmoother(A, nthreads=nthreads)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        with phase("Solve_etc"):
+            if self.direct:
+                x = self.inv @ b
+                count(
+                    "coarse.direct_solve",
+                    flops=2.0 * self.n * self.n,
+                    bytes_read=self.n * self.n * VAL_BYTES + self.n * VAL_BYTES,
+                    bytes_written=self.n * VAL_BYTES,
+                )
+                return x
+            x = np.zeros(self.n)
+            self.smoother.presmooth(x, b, zero_guess=True)
+            for _ in range(self.sweeps - 1):
+                self.smoother.presmooth(x, b)
+                self.smoother.postsmooth(x, b)
+            return x

@@ -1,0 +1,82 @@
+"""Ruge–Stüben (classical, serial) coarsening — the §2 comparator.
+
+The original classical AMG coarsening: a greedy sequential pass that picks
+the unassigned point with the largest measure ``lambda(i) = |S_i^T|`` as C,
+makes everything it strongly influences F, and bumps the measures of points
+those new F points depend on (so their interpolation sets grow).
+
+The paper's §2 notes this converges fast but "often generates excessive
+operator complexities, especially for three-dimensional problems" — which
+motivated PMIS.  The extension benchmark
+(``benchmarks/bench_coarsening_comparison.py``) reproduces that trade-off.
+
+This is the *serial* algorithm (a priority loop); it is counted as serial
+work and intended as an algorithmic comparator, not a performance kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..perf.counters import IDX_BYTES, count
+from ..sparse.csr import CSRMatrix
+from ..sparse.transpose import transpose
+from .pmis import C_PT, F_PT
+
+__all__ = ["rs_coarsening"]
+
+
+def rs_coarsening(S: CSRMatrix) -> np.ndarray:
+    """First-pass Ruge–Stüben CF splitting on strength matrix *S*.
+
+    Returns a cf marker (+1 C, -1 F).  Points with no strong connections in
+    either direction become F immediately.
+    """
+    n = S.nrows
+    St = transpose(S, kernel="rs.transpose", parallel=False)
+
+    def rows(M, i):
+        return M.indices[M.indptr[i]: M.indptr[i + 1]]
+
+    lam = St.row_nnz().astype(np.int64).copy()
+    state = np.zeros(n, dtype=np.int64)
+    isolated = (lam == 0) & (S.row_nnz() == 0)
+    state[isolated] = F_PT
+
+    # Lazy-deletion max-heap keyed by (-lambda, index).
+    heap = [(-lam[i], i) for i in range(n) if state[i] == 0]
+    heapq.heapify(heap)
+    stamp = lam.copy()  # value at push time, for lazy invalidation
+
+    ops = 0
+    while heap:
+        neg, i = heapq.heappop(heap)
+        if state[i] != 0 or -neg != lam[i]:
+            continue  # stale entry
+        state[i] = C_PT
+        # Everything i strongly influences becomes F.
+        for j in rows(St, i):
+            ops += 1
+            if state[j] != 0:
+                continue
+            state[j] = F_PT
+            # New F point j: the points j depends on become more valuable.
+            for k in rows(S, j):
+                ops += 1
+                if state[k] == 0:
+                    lam[k] += 1
+                    heapq.heappush(heap, (-lam[k], k))
+        # Points i depends on lose one potential dependent.
+        for j in rows(S, i):
+            ops += 1
+            if state[j] == 0 and lam[j] > 0:
+                lam[j] -= 1
+                heapq.heappush(heap, (-lam[j], j))
+
+    # Leftover untouched points (no strong relations) are F.
+    state[state == 0] = F_PT
+    count("coarsen.ruge_stueben", branches=float(ops),
+          bytes_read=ops * IDX_BYTES, parallel=False)
+    return state

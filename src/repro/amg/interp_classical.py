@@ -1,0 +1,123 @@
+"""Classical (distance-one, modified) interpolation — the §2 comparator.
+
+For an F point *i* with strong C neighbours ``C_i^s``::
+
+    w_ij = -(1/a~_ii) * ( a_ij + sum_{k in F_i^s} a_ik * abar_kj / b_ik ),
+    b_ik = sum_{l in C_i^s} abar_kl,
+    a~_ii = a_ii + sum over weak neighbours of a_in,
+
+with the same sign filter ``abar`` as extended+i.  Unlike extended+i, the
+interpolation set is only ``C_i^s`` (distance one), so a strong F-F pair
+without a common C neighbour leaves ``b_ik = 0`` — the classical breakdown
+under PMIS coarsening that distance-two operators fix (§2).  Such ``k``
+are lumped into the diagonal, degrading (not crashing) the operator; the
+tests and the extension bench quantify the resulting convergence gap.
+
+Structurally a strict simplification of
+:mod:`repro.amg.interp_extended` and implemented with the same vectorized
+expansion machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, count
+from ..sparse.csr import CSRMatrix
+from ..sparse.ops import gather_range_indices, segment_sum
+from .interp_common import coarse_index, entries_in_pattern, identity_rows, pattern_keys
+from .truncation import truncate_interpolation
+
+__all__ = ["classical_interpolation"]
+
+_TINY = 1e-300
+
+
+def classical_interpolation(
+    A: CSRMatrix,
+    S: CSRMatrix,
+    cf_marker: np.ndarray,
+    *,
+    trunc_fact: float = 0.0,
+    max_elmts: int = 0,
+    truncate: bool = False,
+) -> CSRMatrix:
+    """Classical modified interpolation ``P`` (``n x n_coarse``)."""
+    n = A.nrows
+    cf_marker = np.asarray(cf_marker)
+    c_idx, nc = coarse_index(cf_marker)
+
+    rid = A.row_ids()
+    cols = A.indices
+    vals = A.data
+    diag = A.diagonal()
+    offdiag = cols != rid
+    f_row = cf_marker[rid] <= 0
+
+    strong = entries_in_pattern(rid, cols, S)
+    is_c_col = cf_marker[cols] > 0
+
+    # Strong-C pattern per row: the (distance-one) interpolation set.
+    sc = strong & is_c_col & f_row & offdiag
+    Chat = CSRMatrix.from_coo((n, n), rid[sc], cols[sc], np.ones(int(sc.sum())))
+    chat_keys = pattern_keys(Chat)
+
+    abar = np.where(np.sign(diag)[rid] == np.sign(vals), 0.0, vals)
+
+    # Expansion over strong F-F pairs (i, k).
+    fs = strong & ~is_c_col & f_row & offdiag
+    AFS = CSRMatrix.from_coo((n, n), rid[fs], cols[fs], vals[fs])
+    kcounts = A.indptr[AFS.indices + 1] - A.indptr[AFS.indices]
+    eidx = gather_range_indices(A.indptr[AFS.indices], kcounts)
+    p_pair = np.repeat(np.arange(AFS.nnz, dtype=np.int64), kcounts)
+    p_i = np.repeat(AFS.row_ids(), kcounts)
+    p_aik = np.repeat(AFS.data, kcounts)
+    p_l = A.indices[eidx]
+    p_abar = abar[eidx]
+
+    in_chat = entries_in_pattern(p_i, p_l, Chat, keys=chat_keys)
+    b = segment_sum(np.where(in_chat, p_abar, 0.0), p_pair, AFS.nnz)
+    b_ok = np.abs(b) > _TINY
+    b_safe = np.where(b_ok, b, 1.0)
+
+    # Diagonal: a_ii + weak neighbours + lumped degenerate strong-F terms.
+    atil = diag.copy()
+    wk = f_row & offdiag & ~strong
+    atil += segment_sum(np.where(wk, vals, 0.0), rid, n)
+    if AFS.nnz:
+        np.add.at(atil, AFS.row_ids()[~b_ok], AFS.data[~b_ok])
+
+    wsel = b_ok[p_pair] & in_chat
+    num_rows = [rid[sc]]
+    num_cols = [cols[sc]]
+    num_vals = [vals[sc]]
+    if wsel.any():
+        num_rows.append(p_i[wsel])
+        num_cols.append(p_l[wsel])
+        num_vals.append(p_aik[wsel] * p_abar[wsel] / b_safe[p_pair[wsel]])
+    nr = np.concatenate(num_rows)
+    ncol = np.concatenate(num_cols)
+    nv = np.concatenate(num_vals)
+    atil_safe = np.where(np.abs(atil) > _TINY, atil, 1.0)
+    nv = -nv / atil_safe[nr]
+
+    cr, cc, cv = identity_rows(cf_marker)
+    P = CSRMatrix.from_coo(
+        (n, nc),
+        np.concatenate([cr, nr]),
+        np.concatenate([cc, c_idx[ncol]]),
+        np.concatenate([cv, nv]),
+    ).eliminate_zeros()
+
+    expansion = len(p_l)
+    count(
+        "interp.classical",
+        flops=4 * expansion + 3 * A.nnz,
+        bytes_read=A.nnz * (VAL_BYTES + IDX_BYTES) + (n + 1) * PTR_BYTES
+        + expansion * (VAL_BYTES + IDX_BYTES),
+        bytes_written=P.nnz * (VAL_BYTES + IDX_BYTES) + (n + 1) * PTR_BYTES,
+        branches=float(expansion + A.nnz),
+    )
+    if truncate:
+        P = truncate_interpolation(P, trunc_fact, max_elmts)
+    return P

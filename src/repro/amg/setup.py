@@ -1,0 +1,270 @@
+"""AMG setup phase: build the multigrid hierarchy (§3.1).
+
+Per level: strength matrix -> PMIS (or aggressive PMIS) -> optional CF
+reordering of the level operator -> interpolation (+ fused truncation) ->
+Galerkin product.  The paper's Fig. 5 breakdown buckets are attributed here:
+``Strength+Coarsen``, ``Interp``, ``RAP``, ``Setup_etc`` (reordering
+pre-processing, kept transposes, smoother/coarse-solver setup).
+
+Ordering convention (see :class:`repro.amg.level.Level`): every level matrix
+lives in its own ordering; when ``cf_reorder`` is on, a level is permuted
+C-points-first as soon as its splitting is known, and the *parent's*
+interpolation columns are renumbered once to match — after which vectors
+flow through the hierarchy with no per-cycle permutations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AMGConfig
+from ..perf.counters import phase
+from ..sparse.csr import CSRMatrix
+from ..sparse.reorder import cf_permutation, partition_rows_by_category, permute_matrix
+from ..sparse.transpose import transpose
+from ..sparse.triple_product import (
+    rap_cf_block,
+    rap_fused,
+    rap_hypre_fusion,
+    rap_unfused,
+)
+from .coarse import CoarseSolver
+from .coarsen_rs import rs_coarsening
+from .interp_classical import classical_interpolation
+from .interp_direct import direct_interpolation
+from .interp_extended import extended_i_interpolation
+from .interp_multipass import multipass_interpolation
+from .interp_twostage import two_stage_extended_i
+from .level import Level
+from .pmis import aggressive_pmis, pmis
+from .smoothers import HybridGSSmoother
+from .strength import strength_matrix
+from .truncation import truncate_interpolation
+
+__all__ = ["Hierarchy", "build_hierarchy"]
+
+_SMOOTHER_VARIANTS = {
+    "hybrid_gs": "hybrid",
+    "lex": "lex",
+    "multicolor": "multicolor",
+    "jacobi": "jacobi",
+    "l1_jacobi": "l1_jacobi",
+    "chebyshev": "chebyshev",
+}
+
+
+@dataclass
+class Hierarchy:
+    """The complete multigrid hierarchy produced by :func:`build_hierarchy`."""
+
+    levels: list[Level]
+    coarse_solver: CoarseSolver
+    config: AMGConfig
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def operator_complexity(self) -> float:
+        """Sum of level nnz over finest nnz (§2)."""
+        return sum(l.A.nnz for l in self.levels) / self.levels[0].A.nnz
+
+    def grid_complexity(self) -> float:
+        return sum(l.A.nrows for l in self.levels) / self.levels[0].A.nrows
+
+    def level_sizes(self) -> list[tuple[int, int]]:
+        return [(l.A.nrows, l.A.nnz) for l in self.levels]
+
+
+def _build_interp(A, S, cf, cf_stage1, config: AMGConfig, level: int) -> CSRMatrix:
+    flags = config.flags
+    aggressive = cf_stage1 is not None
+    if aggressive and config.interp == "2s-ei":
+        return two_stage_extended_i(
+            A, S, cf, cf_stage1,
+            theta=config.strength_threshold,
+            max_row_sum=config.max_row_sum,
+            trunc_fact=config.trunc_fact,
+            max_elmts=config.max_elmts,
+            reordered=flags.three_way_partition,
+        )
+    if aggressive and config.interp == "multipass":
+        return multipass_interpolation(
+            A, S, cf, trunc_fact=config.trunc_fact, max_elmts=config.max_elmts
+        )
+    if config.interp == "classical":
+        P = classical_interpolation(A, S, cf)
+        return truncate_interpolation(
+            P, config.trunc_fact, config.max_elmts, fused=flags.fused_truncation
+        )
+    if config.interp == "direct":
+        P = direct_interpolation(A, S, cf)
+        return truncate_interpolation(
+            P, config.trunc_fact, config.max_elmts, fused=flags.fused_truncation
+        )
+    # Default / deeper levels: extended+i.
+    return extended_i_interpolation(
+        A, S, cf,
+        trunc_fact=config.trunc_fact,
+        max_elmts=config.max_elmts,
+        reordered=flags.three_way_partition,
+        fused_truncation=flags.fused_truncation,
+    )
+
+
+def _galerkin(A: CSRMatrix, P: CSRMatrix, cf: np.ndarray, config: AMGConfig) -> CSRMatrix:
+    flags = config.flags
+    scheme = flags.rap_scheme
+    if scheme == "cf_block":
+        nc = int((cf > 0).sum())
+        P_F = P.extract_rows(np.arange(nc, A.nrows, dtype=np.int64))
+        return rap_cf_block(
+            A, P_F, cf,
+            method="one_pass" if flags.spgemm_one_pass else "two_pass",
+            already_partitioned=flags.cf_reorder and flags.three_way_partition,
+        )
+    R = transpose(P, kernel="rap.transpose", parallel=flags.parallel_setup_kernels)
+    if scheme == "fused":
+        return rap_fused(R, A, P)
+    if scheme == "hypre":
+        return rap_hypre_fusion(R, A, P, two_pass=not flags.spgemm_one_pass)
+    if scheme == "unfused":
+        return rap_unfused(
+            R, A, P, method="one_pass" if flags.spgemm_one_pass else "two_pass"
+        )
+    raise ValueError(f"unknown rap_scheme {scheme!r}")
+
+
+def build_hierarchy(A0: CSRMatrix, config: AMGConfig | None = None) -> Hierarchy:
+    """Run the AMG setup phase on operator *A0*."""
+    config = config or AMGConfig()
+    flags = config.flags
+    if A0.nrows != A0.ncols:
+        raise ValueError("AMG requires a square operator")
+
+    levels: list[Level] = [Level(A=A0)]
+
+    for l in range(config.max_levels - 1):
+        lvl = levels[l]
+        A = lvl.A
+        if A.nrows <= config.coarse_size:
+            break
+
+        with phase("Strength+Coarsen"):
+            S = strength_matrix(
+                A,
+                config.strength_threshold,
+                config.max_row_sum,
+                parallel=flags.parallel_setup_kernels,
+            )
+            aggressive = (
+                l < config.aggressive_levels
+                and config.interp in ("2s-ei", "multipass")
+            )
+            if aggressive:
+                cf, cf_stage1 = aggressive_pmis(
+                    S, seed=config.seed + l, nthreads=config.nthreads,
+                    parallel_rng=flags.parallel_rng,
+                    parallel=flags.parallel_setup_kernels,
+                )
+            elif config.coarsening == "rs":
+                cf = rs_coarsening(S)
+                cf_stage1 = None
+            else:
+                cf = pmis(
+                    S, seed=config.seed + l, nthreads=config.nthreads,
+                    parallel_rng=flags.parallel_rng,
+                    parallel=flags.parallel_setup_kernels,
+                )
+                cf_stage1 = None
+
+        nc = int((cf > 0).sum())
+        if nc == 0 or nc == A.nrows:
+            break
+
+        if flags.cf_reorder:
+            with phase("Setup_etc"):
+                new2old, old2new = cf_permutation(cf)
+                A = permute_matrix(A, new2old, kernel="reorder.operator")
+                S = permute_matrix(S, new2old, kernel="reorder.strength")
+                cf = cf[new2old]
+                if cf_stage1 is not None:
+                    cf_stage1 = cf_stage1[new2old]
+                lvl.A = A
+                lvl.new2old = new2old
+                if l > 0:
+                    # Renumber the parent's interpolation columns into this
+                    # level's new ordering (one-time cost).  The parent's
+                    # coarse block of P becomes a permutation matrix; record
+                    # it so the identity-block SpMVs stay exact.
+                    parent = levels[l - 1]
+                    parent.P = CSRMatrix(
+                        parent.P.shape,
+                        parent.P.indptr,
+                        old2new[parent.P.indices],
+                        parent.P.data,
+                    ).sort_indices()
+                    parent.cperm = old2new
+                if flags.three_way_partition:
+                    # In-row 3-way partial sort: coarse>=0 | coarse<0 | fine,
+                    # fused into the permutation's data sweep (§3.1.2).
+                    is_c_col = cf[A.indices] > 0
+                    cat = np.where(
+                        is_c_col & (A.data >= 0), 0, np.where(is_c_col, 1, 2)
+                    )
+                    partition_rows_by_category(
+                        A, cat, 3, kernel="reorder.threeway",
+                        fused_with_permute=True,
+                    )
+
+        lvl.cf_marker = cf
+        lvl.n_coarse = nc
+
+        with phase("Interp"):
+            P = _build_interp(A, S, cf, cf_stage1, config, l)
+        lvl.P = P
+
+        with phase("RAP"):
+            A_next = _galerkin(A, P, cf, config)
+
+        levels.append(Level(A=A_next))
+        if A_next.nrows <= config.coarse_size:
+            break
+
+    with phase("Setup_etc"):
+        # Finalize grid transfers now that every level's ordering is fixed.
+        for l in range(len(levels) - 1):
+            lvl = levels[l]
+            if flags.cf_reorder:
+                lvl.P_F = lvl.P.extract_rows(
+                    np.arange(lvl.n_coarse, lvl.A.nrows, dtype=np.int64)
+                )
+            if flags.keep_transpose and not flags.cf_reorder:
+                lvl.R = transpose(
+                    lvl.P, kernel="setup.keep_transpose",
+                    parallel=flags.parallel_setup_kernels,
+                )
+        # Smoothers on every level but the coarsest.
+        for l in range(len(levels) - 1):
+            lvl = levels[l]
+            nthreads_l = config.nthreads
+            if config.gpu_rows_per_block > 0:
+                nthreads_l = max(4, lvl.A.nrows // config.gpu_rows_per_block)
+            lvl.smoother = HybridGSSmoother(
+                lvl.A,
+                nthreads=nthreads_l,
+                cf_marker=lvl.cf_marker,
+                variant=_SMOOTHER_VARIANTS[config.smoother],
+                optimized=flags.three_way_partition,
+                cf_contiguous=flags.cf_reorder,
+                seed=config.seed,
+            )
+        coarse = CoarseSolver(
+            levels[-1].A,
+            dense_threshold=config.dense_coarse_threshold,
+            nthreads=config.nthreads,
+        )
+
+    return Hierarchy(levels=levels, coarse_solver=coarse, config=config)

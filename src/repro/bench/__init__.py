@@ -1,0 +1,27 @@
+"""Benchmark drivers for regenerating every table and figure of §5."""
+
+from .runner import (
+    RANKS_PER_NODE,
+    SETUP_PHASES,
+    SOLVE_PHASES,
+    DistRunResult,
+    SingleNodeResult,
+    bench_scale,
+    machine_for,
+    run_distributed,
+    run_single_node,
+)
+from .runner import run_amgx
+
+__all__ = [
+    "RANKS_PER_NODE",
+    "SETUP_PHASES",
+    "SOLVE_PHASES",
+    "DistRunResult",
+    "SingleNodeResult",
+    "bench_scale",
+    "machine_for",
+    "run_distributed",
+    "run_single_node",
+    "run_amgx",
+]

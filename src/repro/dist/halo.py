@@ -1,0 +1,73 @@
+"""Vector halo exchange (§4.1, Fig. 3b) with optional persistent requests.
+
+A :class:`HaloExchange` is built once per matrix from the ranks' ``colmap``
+arrays: rank *p* must receive the vector entries at global indices
+``colmap_p`` from their owners, and symmetrically send its owned entries
+that appear in other ranks' colmaps.  ``persistent=True`` freezes the
+pattern into a :class:`repro.dist.comm.PersistentExchange` (§4.4); otherwise
+every exchange logs the non-persistent per-message setup cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import VAL_BYTES, count
+from .comm import PersistentExchange, SimComm
+from .parcsr import ParCSRMatrix, ParVector
+
+__all__ = ["HaloExchange", "build_halo"]
+
+
+class HaloExchange:
+    """Frozen halo-exchange pattern for one ParCSR matrix."""
+
+    def __init__(self, comm: SimComm, A: ParCSRMatrix, *, persistent: bool) -> None:
+        self.comm = comm
+        self.persistent = persistent
+        col_part = A.col_part
+        self.col_part = col_part
+        # For each receiving rank: the owners and per-owner index lists.
+        self.recv_plan: list[list[tuple[int, np.ndarray]]] = []
+        pattern: dict[tuple[int, int], int] = {}
+        for p, blk in enumerate(A.blocks):
+            owners = col_part.owner_of(blk.colmap)
+            plan = []
+            for q in np.unique(owners):
+                ids = blk.colmap[owners == q]
+                plan.append((int(q), col_part.to_local(ids, int(q))))
+                pattern[(int(q), p)] = len(ids)
+            self.recv_plan.append(plan)
+        self.pattern = pattern
+        self.total_elems = sum(pattern.values())
+        self._persistent_req = (
+            PersistentExchange(comm, pattern, bytes_per_elem=VAL_BYTES, tag="halo")
+            if persistent
+            else None
+        )
+
+    def __call__(self, x: ParVector) -> list[np.ndarray]:
+        """Gather each rank's external entries; returns ``x_ext`` per rank.
+
+        The returned array of rank *p* is indexed by the compressed offd
+        column index (aligned with ``colmap``), as in Fig. 3(b).
+        """
+        if self._persistent_req is not None:
+            self._persistent_req.start()
+        else:
+            for (src, dst), n in self.pattern.items():
+                self.comm.log_message(src, dst, n * VAL_BYTES, tag="halo")
+        ext = []
+        for p in range(self.comm.nranks):
+            pieces = [x.parts[q][ids] for q, ids in self.recv_plan[p]]
+            ext.append(np.concatenate(pieces) if pieces else np.empty(0))
+            # Sender-side pack + receiver-side unpack traffic.
+            n = len(ext[-1])
+            with self.comm.on_rank(p):
+                count("halo.pack_unpack", bytes_read=n * VAL_BYTES,
+                      bytes_written=n * VAL_BYTES)
+        return ext
+
+
+def build_halo(comm: SimComm, A: ParCSRMatrix, *, persistent: bool = True) -> HaloExchange:
+    return HaloExchange(comm, A, persistent=persistent)

@@ -1,0 +1,73 @@
+"""Distributed preconditioned conjugate gradients.
+
+Companion of :func:`repro.dist.solver.dist_fgmres` for SPD systems: fewer
+collectives per iteration (two dots + a norm vs. the Arnoldi sweep), which
+matters when allreduce latency dominates at scale (§5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import VAL_BYTES, count, phase
+from .comm import SimComm
+from .halo import build_halo
+from .parcsr import ParCSRMatrix, ParVector
+from .solver import DistSolveResult, par_axpy, par_dot, par_norm2
+from .spmv import dist_spmv
+
+__all__ = ["dist_pcg"]
+
+
+def dist_pcg(
+    comm: SimComm,
+    A: ParCSRMatrix,
+    b: ParVector,
+    *,
+    precondition=None,
+    halo=None,
+    tol: float = 1e-7,
+    max_iter: int = 1000,
+) -> DistSolveResult:
+    """Distributed PCG for SPD ParCSR systems."""
+    if halo is None:
+        halo = build_halo(comm, A, persistent=True)
+    M = precondition if precondition is not None else (lambda v: v.copy())
+
+    x = ParVector.zeros(b.part)
+    r = b.copy()
+    z = M(r)
+    p = z.copy()
+    rz = par_dot(comm, r, z)
+    r0 = par_norm2(comm, r)
+    residuals = [r0]
+    if r0 == 0.0:
+        return DistSolveResult(x, 0, residuals, True)
+
+    for it in range(1, max_iter + 1):
+        with phase("SpMV"):
+            Ap = dist_spmv(comm, A, p, halo, kernel="spmv.krylov")
+        with phase("BLAS1"):
+            pAp = par_dot(comm, p, Ap)
+        if pAp == 0.0:
+            break
+        alpha = rz / pAp
+        with phase("BLAS1"):
+            par_axpy(comm, alpha, p, x)
+            par_axpy(comm, -alpha, Ap, r)
+            rn = par_norm2(comm, r)
+        residuals.append(rn)
+        if rn <= tol * r0:
+            return DistSolveResult(x, it, residuals, True)
+        z = M(r)
+        with phase("BLAS1"):
+            rz_new = par_dot(comm, r, z)
+        beta = rz_new / rz
+        rz = rz_new
+        for q in range(comm.nranks):
+            with comm.on_rank(q):
+                n = len(p.parts[q])
+                p.parts[q] = z.parts[q] + beta * p.parts[q]
+                count("blas1.waxpby", flops=2 * n,
+                      bytes_read=2 * n * VAL_BYTES, bytes_written=n * VAL_BYTES)
+    return DistSolveResult(x, len(residuals) - 1, residuals, False)

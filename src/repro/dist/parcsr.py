@@ -1,0 +1,190 @@
+"""The ParCSR distributed matrix format (§4.1, Fig. 3a) and ParVector.
+
+Rank *p* stores its row range as two local CSR matrices: the block-diagonal
+part ``diag`` (columns inside the rank's *column* range, locally indexed)
+and the off-diagonal part ``offd`` whose column indices are *compressed*:
+``colmap[c]`` maps compressed column *c* back to its global index, so
+gathered external vector entries land in a contiguous buffer that ``offd``
+indexes directly (Fig. 3b).
+
+Rectangular operators (interpolation!) carry separate row and column
+partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .partition import RowPartition
+
+__all__ = ["RankBlock", "ParCSRMatrix", "ParVector"]
+
+
+@dataclass
+class RankBlock:
+    """One rank's portion of a ParCSR matrix."""
+
+    diag: CSRMatrix
+    offd: CSRMatrix
+    colmap: np.ndarray  # global column ids of compressed offd columns (sorted)
+
+    @property
+    def nrows(self) -> int:
+        return self.diag.nrows
+
+    @property
+    def nnz(self) -> int:
+        return self.diag.nnz + self.offd.nnz
+
+    def row_arrays_global(self, col_lo: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All entries as ``(local_row, global_col, value)`` triplets."""
+        rows = np.concatenate([self.diag.row_ids(), self.offd.row_ids()])
+        cols = np.concatenate(
+            [self.diag.indices + col_lo, self.colmap[self.offd.indices]]
+        )
+        vals = np.concatenate([self.diag.data, self.offd.data])
+        return rows, cols, vals
+
+
+def _split_rows(
+    local_rows: np.ndarray,
+    global_cols: np.ndarray,
+    vals: np.ndarray,
+    nrows: int,
+    col_part: RowPartition,
+    rank: int,
+) -> RankBlock:
+    """Build a RankBlock from (local row, global col, value) triplets."""
+    lo, hi = col_part.lo(rank), col_part.hi(rank)
+    nloc = hi - lo
+    in_diag = (global_cols >= lo) & (global_cols < hi)
+
+    diag = CSRMatrix.from_coo(
+        (nrows, nloc), local_rows[in_diag], global_cols[in_diag] - lo, vals[in_diag]
+    )
+    ext_cols = global_cols[~in_diag]
+    colmap = np.unique(ext_cols)
+    comp = np.searchsorted(colmap, ext_cols)
+    offd = CSRMatrix.from_coo(
+        (nrows, len(colmap)), local_rows[~in_diag], comp, vals[~in_diag]
+    )
+    return RankBlock(diag=diag, offd=offd, colmap=colmap)
+
+
+class ParCSRMatrix:
+    """A distributed CSR matrix over a :class:`SimComm`'s rank count."""
+
+    def __init__(
+        self,
+        blocks: list[RankBlock],
+        row_part: RowPartition,
+        col_part: RowPartition | None = None,
+    ) -> None:
+        self.blocks = blocks
+        self.row_part = row_part
+        self.col_part = col_part if col_part is not None else row_part
+        for p, blk in enumerate(blocks):
+            if blk.nrows != row_part.size(p):
+                raise ValueError(f"rank {p}: block has {blk.nrows} rows, "
+                                 f"partition says {row_part.size(p)}")
+
+    # -- properties -------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return self.row_part.nranks
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.row_part.n, self.col_part.n)
+
+    @property
+    def nnz(self) -> int:
+        return sum(b.nnz for b in self.blocks)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_global(
+        cls,
+        A: CSRMatrix,
+        row_part: RowPartition,
+        col_part: RowPartition | None = None,
+    ) -> "ParCSRMatrix":
+        col_part = col_part if col_part is not None else row_part
+        if A.nrows != row_part.n or A.ncols != col_part.n:
+            raise ValueError("partition does not match matrix shape")
+        blocks = []
+        for p in range(row_part.nranks):
+            rows = row_part.range(p)
+            local, cols, vals = A.row_slice_arrays(rows)
+            blocks.append(
+                _split_rows(local, cols, vals, len(rows), col_part, p)
+            )
+        return cls(blocks, row_part, col_part)
+
+    @classmethod
+    def from_rank_triplets(
+        cls,
+        triplets: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        row_part: RowPartition,
+        col_part: RowPartition,
+    ) -> "ParCSRMatrix":
+        """Assemble from per-rank ``(local_row, global_col, value)`` arrays."""
+        blocks = [
+            _split_rows(r, c, v, row_part.size(p), col_part, p)
+            for p, (r, c, v) in enumerate(triplets)
+        ]
+        return cls(blocks, row_part, col_part)
+
+    # -- conversion ---------------------------------------------------------
+    def to_global(self) -> CSRMatrix:
+        """Reassemble the full matrix (tests / small problems only)."""
+        rows, cols, vals = [], [], []
+        for p, blk in enumerate(self.blocks):
+            r, c, v = blk.row_arrays_global(self.col_part.lo(p))
+            rows.append(r + self.row_part.lo(p))
+            cols.append(c)
+            vals.append(v)
+        return CSRMatrix.from_coo(
+            self.shape,
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParCSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"nranks={self.nranks})"
+        )
+
+
+class ParVector:
+    """A distributed vector partitioned like the rows of a ParCSR matrix."""
+
+    def __init__(self, parts: list[np.ndarray], part: RowPartition) -> None:
+        self.parts = [np.asarray(p, dtype=np.float64) for p in parts]
+        self.part = part
+        for p, arr in enumerate(self.parts):
+            if len(arr) != part.size(p):
+                raise ValueError("vector part size mismatch")
+
+    @classmethod
+    def from_global(cls, x: np.ndarray, part: RowPartition) -> "ParVector":
+        x = np.asarray(x, dtype=np.float64)
+        return cls([x[part.lo(p): part.hi(p)].copy() for p in range(part.nranks)], part)
+
+    @classmethod
+    def zeros(cls, part: RowPartition) -> "ParVector":
+        return cls([np.zeros(part.size(p)) for p in range(part.nranks)], part)
+
+    def to_global(self) -> np.ndarray:
+        return np.concatenate(self.parts) if self.parts else np.empty(0)
+
+    def copy(self) -> "ParVector":
+        return ParVector([p.copy() for p in self.parts], self.part)
+
+    def __len__(self) -> int:
+        return self.part.n

@@ -1,0 +1,72 @@
+"""Row-range partitioning of distributed matrices/vectors (§4.1).
+
+HYPRE partitions a distributed matrix by contiguous row ranges; rank *p*
+owns global rows ``[bounds[p], bounds[p+1])``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RowPartition"]
+
+
+@dataclass(frozen=True)
+class RowPartition:
+    """Contiguous row-range partition over ``nranks`` ranks."""
+
+    bounds: np.ndarray  # int64, length nranks + 1, bounds[0]=0
+
+    def __post_init__(self):
+        b = np.asarray(self.bounds, dtype=np.int64)
+        object.__setattr__(self, "bounds", b)
+        if b[0] != 0 or np.any(np.diff(b) < 0):
+            raise ValueError("invalid partition bounds")
+
+    @classmethod
+    def uniform(cls, n: int, nranks: int) -> "RowPartition":
+        return cls(np.linspace(0, n, nranks + 1).astype(np.int64))
+
+    @classmethod
+    def from_sizes(cls, sizes) -> "RowPartition":
+        sizes = np.asarray(sizes, dtype=np.int64)
+        bounds = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=bounds[1:])
+        return cls(bounds)
+
+    @property
+    def nranks(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def n(self) -> int:
+        return int(self.bounds[-1])
+
+    def size(self, rank: int) -> int:
+        return int(self.bounds[rank + 1] - self.bounds[rank])
+
+    def lo(self, rank: int) -> int:
+        return int(self.bounds[rank])
+
+    def hi(self, rank: int) -> int:
+        return int(self.bounds[rank + 1])
+
+    def range(self, rank: int) -> np.ndarray:
+        return np.arange(self.lo(rank), self.hi(rank), dtype=np.int64)
+
+    def owner_of(self, global_ids: np.ndarray) -> np.ndarray:
+        """Owning rank of each global index (vectorized)."""
+        return (
+            np.searchsorted(self.bounds, np.asarray(global_ids, dtype=np.int64),
+                            side="right")
+            - 1
+        ).astype(np.int64)
+
+    def to_local(self, global_ids: np.ndarray, rank: int) -> np.ndarray:
+        return np.asarray(global_ids, dtype=np.int64) - self.lo(rank)
+
+    def owns(self, global_ids: np.ndarray, rank: int) -> np.ndarray:
+        g = np.asarray(global_ids, dtype=np.int64)
+        return (g >= self.lo(rank)) & (g < self.hi(rank))

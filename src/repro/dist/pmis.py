@@ -1,0 +1,207 @@
+"""Distributed PMIS coarsening (§2, §4).
+
+The same round structure as the node-level kernel
+(:func:`repro.amg.pmis.pmis`), executed per rank with halo exchanges of the
+boundary measures and states each round — the communication pattern the real
+BoomerAMG PMIS performs.  Given the same measure vector, the distributed
+result equals the sequential result point for point (asserted in the tests).
+
+Aggressive coarsening runs a second PMIS over the distance-<=2 strong graph
+restricted to first-pass C points, with the candidate mask freezing
+everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import IDX_BYTES, PTR_BYTES, count
+from .comm import SimComm
+from .halo import build_halo
+from .parcsr import ParCSRMatrix, ParVector
+from .spgemm import dist_spgemm
+from .transpose import dist_transpose
+
+__all__ = ["dist_pmis", "dist_aggressive_pmis", "dist_random_measures"]
+
+C_PT = 1
+F_PT = -1
+
+
+def dist_random_measures(comm: SimComm, part, seed: int) -> list[np.ndarray]:
+    """Per-rank random measure fractions (independent spawned streams —
+    the parallel-RNG behaviour of the optimized code, §3.3)."""
+    children = np.random.SeedSequence(seed).spawn(comm.nranks)
+    return [
+        np.random.default_rng(children[p]).random(part.size(p))
+        for p in range(comm.nranks)
+    ]
+
+
+def _union_adjacency(comm: SimComm, S: ParCSRMatrix) -> ParCSRMatrix:
+    """Pattern of ``S + S^T`` as a ParCSR matrix (unit values)."""
+    St = dist_transpose(comm, S, tag="pmis.transpose")
+    triplets = []
+    for p in range(comm.nranks):
+        r1, c1, _ = S.blocks[p].row_arrays_global(S.col_part.lo(p))
+        r2, c2, _ = St.blocks[p].row_arrays_global(St.col_part.lo(p))
+        rows = np.concatenate([r1, r2])
+        cols = np.concatenate([c1, c2])
+        triplets.append((rows, cols, np.ones(len(rows))))
+    return ParCSRMatrix.from_rank_triplets(triplets, S.row_part, S.col_part)
+
+
+def dist_pmis(
+    comm: SimComm,
+    S: ParCSRMatrix,
+    *,
+    seed: int = 0,
+    measures: list[np.ndarray] | None = None,
+    candidates: list[np.ndarray] | None = None,
+) -> list[np.ndarray]:
+    """PMIS CF splitting; returns per-rank cf-marker arrays.
+
+    ``measures`` overrides the random fractions (used by tests for
+    dist-vs-sequential equality); ``candidates`` (bool per rank) freezes
+    non-candidate points as F immediately (aggressive second pass).
+    """
+    part = S.row_part
+    St = dist_transpose(comm, S, tag="pmis.transpose")
+    adj = _union_adjacency(comm, S)
+    halo = build_halo(comm, adj, persistent=True)
+
+    frac = measures if measures is not None else dist_random_measures(comm, part, seed)
+    measure_parts = []
+    state_parts = []
+    for p in range(comm.nranks):
+        infl = St.blocks[p].diag.row_nnz() + St.blocks[p].offd.row_nnz()
+        m = infl.astype(np.float64) + frac[p]
+        measure_parts.append(m)
+        st = np.zeros(part.size(p), dtype=np.float64)
+        st[infl < 1] = F_PT
+        if candidates is not None:
+            st[~candidates[p]] = F_PT
+        state_parts.append(st)
+
+    measure = ParVector(measure_parts, part)
+
+    while True:
+        undecided_count = comm.allreduce(
+            [float((s == 0).sum()) for s in state_parts], kind="pmis.count"
+        )
+        if undecided_count == 0:
+            break
+        # Exchange the "undecided measure" boundary values.
+        u_parts = [
+            np.where(state_parts[p] == 0, measure_parts[p], -np.inf)
+            for p in range(comm.nranks)
+        ]
+        u_ext = halo(ParVector(u_parts, part))
+
+        new_c_parts = []
+        for p in range(comm.nranks):
+            blk = adj.blocks[p]
+            nloc = blk.nrows
+            with comm.on_rank(p):
+                nbr_max = np.full(nloc, -np.inf)
+                d_rid = blk.diag.row_ids()
+                np.maximum.at(nbr_max, d_rid, u_parts[p][blk.diag.indices])
+                if blk.offd.nnz:
+                    o_rid = blk.offd.row_ids()
+                    np.maximum.at(nbr_max, o_rid, u_ext[p][blk.offd.indices])
+                und = state_parts[p] == 0
+                winners = und & (measure_parts[p] > nbr_max)
+                count(
+                    "pmis.round",
+                    bytes_read=blk.nnz * IDX_BYTES + nloc * (IDX_BYTES + PTR_BYTES),
+                    branches=float(und.sum()),
+                )
+            state_parts[p][winners] = C_PT
+            new_c_parts.append(winners)
+
+        # Exchange updated states; undecided neighbours of C points in the
+        # symmetrized strong graph become F (independence even under
+        # asymmetric strength).
+        st_ext = halo(ParVector(state_parts, part))
+        for p in range(comm.nranks):
+            blk = adj.blocks[p]
+            nloc = blk.nrows
+            adj_c = np.zeros(nloc, dtype=bool)
+            d_rid = blk.diag.row_ids()
+            adj_c |= (
+                np.bincount(
+                    d_rid,
+                    weights=(state_parts[p][blk.diag.indices] == C_PT).astype(float),
+                    minlength=nloc,
+                )
+                > 0
+            )
+            if blk.offd.nnz:
+                o_rid = blk.offd.row_ids()
+                adj_c |= (
+                    np.bincount(
+                        o_rid,
+                        weights=(st_ext[p][blk.offd.indices] == C_PT).astype(float),
+                        minlength=nloc,
+                    )
+                    > 0
+                )
+            sel = (state_parts[p] == 0) & adj_c
+            state_parts[p][sel] = F_PT
+
+    return [s.astype(np.int64) for s in state_parts]
+
+
+def dist_aggressive_pmis(
+    comm: SimComm,
+    S: ParCSRMatrix,
+    *,
+    seed: int = 0,
+    measures: list[np.ndarray] | None = None,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Two-pass aggressive coarsening; returns ``(cf_final, cf_stage1)``."""
+    cf1 = dist_pmis(comm, S, seed=seed, measures=measures)
+
+    # Distance-<=2 strong graph restricted to stage-1 C points.
+    S2 = dist_spgemm(comm, S, S, tag="pmis.dist2")
+    cf_vec = ParVector([c.astype(np.float64) for c in cf1], S.row_part)
+    triplets = []
+    for p in range(comm.nranks):
+        pieces_r, pieces_c = [], []
+        for M in (S.blocks[p], S2.blocks[p]):
+            r, c, _ = M.row_arrays_global(S.col_part.lo(p))
+            pieces_r.append(r)
+            pieces_c.append(c)
+        rows = np.concatenate(pieces_r)
+        cols = np.concatenate(pieces_c)
+        grows = rows + S.row_part.lo(p)
+        keep = (cf1[p][rows] == C_PT) & (grows != cols)
+        triplets.append((rows[keep], cols[keep], np.ones(int(keep.sum()))))
+    Sc_all = ParCSRMatrix.from_rank_triplets(triplets, S.row_part, S.col_part)
+    # Drop columns that are not C points: exchange cf and filter.
+    halo = build_halo(comm, Sc_all, persistent=False)
+    cf_ext = halo(cf_vec)
+    triplets2 = []
+    for p in range(comm.nranks):
+        blk = Sc_all.blocks[p]
+        lo = S.col_part.lo(p)
+        d_keep = cf1[p][blk.diag.indices] == C_PT
+        o_keep = (
+            cf_ext[p][blk.offd.indices] == C_PT
+            if blk.offd.nnz
+            else np.zeros(0, dtype=bool)
+        )
+        rows = np.concatenate([blk.diag.row_ids()[d_keep], blk.offd.row_ids()[o_keep]])
+        cols = np.concatenate(
+            [blk.diag.indices[d_keep] + lo, blk.colmap[blk.offd.indices[o_keep]]]
+        )
+        triplets2.append((rows, cols, np.ones(len(rows))))
+    Sc = ParCSRMatrix.from_rank_triplets(triplets2, S.row_part, S.col_part)
+
+    cand = [c == C_PT for c in cf1]
+    cf2 = dist_pmis(comm, Sc, seed=seed + 1, candidates=cand, measures=measures)
+    cf_final = [
+        np.where((cf1[p] == C_PT) & (cf2[p] == C_PT), C_PT, F_PT).astype(np.int64)
+        for p in range(comm.nranks)
+    ]
+    return cf_final, cf1

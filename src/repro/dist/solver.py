@@ -1,0 +1,258 @@
+"""Distributed V-cycle and AMG-preconditioned Flexible GMRES (Table 4).
+
+Vector primitives (``par_dot`` etc.) count local BLAS1 work per rank and
+log one allreduce per global reduction — the solve-phase collectives of
+Fig. 7's ``Solve_MPI`` bucket, alongside the halo exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AMGConfig
+from ..perf.counters import VAL_BYTES, count, phase
+from .comm import SimComm
+from .parcsr import ParCSRMatrix, ParVector
+from .setup import DistHierarchy, dist_build_hierarchy
+from .spmv import dist_residual_norm, dist_spmv
+from .transpose import dist_transpose
+
+__all__ = [
+    "par_dot",
+    "par_norm2",
+    "par_axpy",
+    "dist_vcycle",
+    "DistAMGSolver",
+    "dist_fgmres",
+    "DistSolveResult",
+]
+
+
+# ---------------------------------------------------------------------------
+# Distributed BLAS1
+# ---------------------------------------------------------------------------
+
+def par_dot(comm: SimComm, x: ParVector, y: ParVector) -> float:
+    locals_ = []
+    for p in range(comm.nranks):
+        with comm.on_rank(p):
+            n = len(x.parts[p])
+            count("blas1.dot", flops=2 * n, bytes_read=2 * n * VAL_BYTES)
+        locals_.append(float(x.parts[p] @ y.parts[p]))
+    return comm.allreduce(locals_)
+
+
+def par_norm2(comm: SimComm, x: ParVector) -> float:
+    return float(np.sqrt(max(par_dot(comm, x, x), 0.0)))
+
+
+def par_axpy(comm: SimComm, alpha: float, x: ParVector, y: ParVector) -> ParVector:
+    for p in range(comm.nranks):
+        with comm.on_rank(p):
+            n = len(x.parts[p])
+            y.parts[p] += alpha * x.parts[p]
+            count("blas1.axpy", flops=2 * n, bytes_read=2 * n * VAL_BYTES,
+                  bytes_written=n * VAL_BYTES)
+    return y
+
+
+def par_scale(comm: SimComm, alpha: float, x: ParVector) -> ParVector:
+    for p in range(comm.nranks):
+        with comm.on_rank(p):
+            n = len(x.parts[p])
+            x.parts[p] *= alpha
+            count("blas1.scal", flops=n, bytes_read=n * VAL_BYTES,
+                  bytes_written=n * VAL_BYTES)
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Distributed V-cycle
+# ---------------------------------------------------------------------------
+
+def dist_vcycle(h: DistHierarchy, b: ParVector, level: int = 0) -> ParVector:
+    comm = h.comm
+    flags = h.config.flags
+    if level == h.num_levels - 1:
+        return h.coarse_solver.solve(b)
+    lvl = h.levels[level]
+    x = ParVector.zeros(b.part)
+
+    with phase("GS"):
+        lvl.smoother.presmooth(x, b, zero_guess=True)
+
+    with phase("SpMV"):
+        Ax = dist_spmv(comm, lvl.A, x, lvl.halo, kernel="spmv.residual")
+        r = ParVector(
+            [b.parts[p] - Ax.parts[p] for p in range(comm.nranks)], b.part
+        )
+        for p in range(comm.nranks):
+            with comm.on_rank(p):
+                n = len(r.parts[p])
+                count("residual_sub", flops=n, bytes_read=2 * n * VAL_BYTES,
+                      bytes_written=n * VAL_BYTES)
+
+    with phase("SpMV"):
+        if lvl.R is not None:
+            R, halo_R = lvl.R, lvl.halo_R
+        else:
+            # Baseline: transpose P for every restriction (§3.2).
+            R = dist_transpose(comm, lvl.P, tag="solve.transpose")
+            from .halo import build_halo
+
+            halo_R = build_halo(comm, R, persistent=False)
+        rc = dist_spmv(comm, R, r, halo_R, kernel="spmv.restrict")
+
+    xc = dist_vcycle(h, rc, level + 1)
+
+    with phase("SpMV"):
+        corr = dist_spmv(comm, lvl.P, xc, lvl.halo_P, kernel="spmv.interp")
+    with phase("BLAS1"):
+        par_axpy(comm, 1.0, corr, x)
+
+    with phase("GS"):
+        lvl.smoother.postsmooth(x, b)
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Solvers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DistSolveResult:
+    x: ParVector
+    iterations: int
+    residuals: list[float]
+    converged: bool
+
+    @property
+    def final_relres(self) -> float:
+        return self.residuals[-1] / self.residuals[0] if self.residuals else np.inf
+
+
+class DistAMGSolver:
+    """Distributed AMG: standalone solver or FGMRES preconditioner."""
+
+    def __init__(self, comm: SimComm, config: AMGConfig | None = None) -> None:
+        self.comm = comm
+        self.config = config or AMGConfig()
+        self.hierarchy: DistHierarchy | None = None
+
+    def setup(self, A: ParCSRMatrix) -> DistHierarchy:
+        self.hierarchy = dist_build_hierarchy(self.comm, A, self.config)
+        return self.hierarchy
+
+    def precondition(self, r: ParVector) -> ParVector:
+        return dist_vcycle(self.hierarchy, r)
+
+    def solve(self, b: ParVector, *, tol: float = 1e-7, max_iter: int = 300) -> DistSolveResult:
+        h = self.hierarchy
+        comm = self.comm
+        lvl0 = h.levels[0]
+        x = ParVector.zeros(b.part)
+        bnorm = par_norm2(comm, b)
+        r, r0 = dist_residual_norm(
+            comm, lvl0.A, x, b, lvl0.halo, fused=self.config.flags.fuse_spmv_dot
+        )
+        ref = bnorm if bnorm > 0.0 else r0
+        residuals = [r0]
+        if r0 == 0.0:
+            return DistSolveResult(x, 0, residuals, True)
+        for it in range(1, max_iter + 1):
+            corr = dist_vcycle(h, r)
+            with phase("BLAS1"):
+                par_axpy(comm, 1.0, corr, x)
+            r, rn = dist_residual_norm(
+                comm, lvl0.A, x, b, lvl0.halo, fused=self.config.flags.fuse_spmv_dot
+            )
+            residuals.append(rn)
+            if rn <= tol * ref:
+                return DistSolveResult(x, it, residuals, True)
+        return DistSolveResult(x, max_iter, residuals, False)
+
+
+def dist_fgmres(
+    comm: SimComm,
+    A: ParCSRMatrix,
+    b: ParVector,
+    *,
+    precondition=None,
+    halo=None,
+    tol: float = 1e-7,
+    max_iter: int = 200,
+    restart: int = 50,
+) -> DistSolveResult:
+    """Distributed Flexible GMRES (right-preconditioned, MGS + Givens)."""
+    from .halo import build_halo
+
+    if halo is None:
+        halo = build_halo(comm, A, persistent=True)
+    M = precondition if precondition is not None else (lambda v: v.copy())
+
+    x = ParVector.zeros(b.part)
+    r = b.copy()
+    beta = par_norm2(comm, r)
+    r0 = beta
+    residuals = [beta]
+    if beta == 0.0:
+        return DistSolveResult(x, 0, residuals, True)
+
+    total_it = 0
+    while total_it < max_iter:
+        m = min(restart, max_iter - total_it)
+        V = [ParVector([p / beta for p in r.parts], b.part)]
+        Z: list[ParVector] = []
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = beta
+        j_done = 0
+        converged = False
+        for j in range(m):
+            z = M(V[j])
+            Z.append(z)
+            with phase("SpMV"):
+                w = dist_spmv(comm, A, z, halo, kernel="spmv.krylov")
+            with phase("BLAS1"):
+                for i in range(j + 1):
+                    H[i, j] = par_dot(comm, w, V[i])
+                    par_axpy(comm, -H[i, j], V[i], w)
+                H[j + 1, j] = par_norm2(comm, w)
+            if H[j + 1, j] != 0.0:
+                V.append(ParVector([p / H[j + 1, j] for p in w.parts], b.part))
+            else:
+                V.append(w)
+            for i in range(j):
+                t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                H[i, j] = t
+            denom = np.hypot(H[j, j], H[j + 1, j])
+            cs[j] = H[j, j] / denom if denom else 1.0
+            sn[j] = H[j + 1, j] / denom if denom else 0.0
+            H[j, j] = cs[j] * H[j, j] + sn[j] * H[j + 1, j]
+            H[j + 1, j] = 0.0
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+            residuals.append(abs(g[j + 1]))
+            total_it += 1
+            j_done = j + 1
+            if abs(g[j + 1]) <= tol * r0:
+                converged = True
+                break
+        y = np.zeros(j_done)
+        for i in range(j_done - 1, -1, -1):
+            y[i] = (g[i] - H[i, i + 1: j_done] @ y[i + 1: j_done]) / H[i, i]
+        with phase("BLAS1"):
+            for i in range(j_done):
+                par_axpy(comm, y[i], Z[i], x)
+        with phase("SpMV"):
+            Ax = dist_spmv(comm, A, x, halo, kernel="spmv.krylov")
+        r = ParVector([b.parts[p] - Ax.parts[p] for p in range(comm.nranks)], b.part)
+        beta = par_norm2(comm, r)
+        if converged or total_it >= max_iter:
+            return DistSolveResult(x, total_it, residuals, converged)
+    return DistSolveResult(x, total_it, residuals, False)

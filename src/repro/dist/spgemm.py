@@ -1,0 +1,150 @@
+"""Distributed SpGEMM (§4.1 Fig. 3c, §4.2).
+
+``C = A B`` with matching inner partitions: rank *p* gathers the external
+rows of ``B`` listed in its ``colmap`` (Fig. 3c), **renumbers** the received
+global column indices into its extended compressed column space (§4.2 — the
+multi-node setup bottleneck this paper parallelizes), stacks the received
+rows under its local ``B`` rows, and runs the node-level SpGEMM kernel on
+the stacked operand.
+
+The renumbering really feeds the computation: the stacked multiply runs in
+the compact column space produced by :mod:`repro.dist.renumber`, and the
+result's columns are mapped back through the extended colmap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.spgemm import spgemm
+from .comm import SimComm
+from .parcsr import ParCSRMatrix
+from .renumber import renumber_baseline, renumber_parallel
+from .rowgather import gather_matrix_rows
+
+__all__ = ["dist_spgemm", "dist_rap"]
+
+
+def dist_spgemm(
+    comm: SimComm,
+    A: ParCSRMatrix,
+    B: ParCSRMatrix,
+    *,
+    parallel_renumber: bool = True,
+    spgemm_method: str = "one_pass",
+    nthreads: int = 14,
+    tag: str = "spgemm",
+) -> ParCSRMatrix:
+    if A.col_part.bounds.tolist() != B.row_part.bounds.tolist():
+        raise ValueError("inner partitions must match")
+    nranks = comm.nranks
+
+    needed = [A.blocks[p].colmap for p in range(nranks)]
+    gathered = gather_matrix_rows(comm, B, needed, tag=tag)
+
+    triplets = []
+    for p in range(nranks):
+        blkA = A.blocks[p]
+        blkB = B.blocks[p]
+        g = gathered[p]
+        lo_b = B.col_part.lo(p)
+        hi_b = B.col_part.hi(p)
+        nloc = hi_b - lo_b
+
+        with comm.on_rank(p):
+            # ---- §4.2 renumbering of received column indices ----
+            ext_mask = (g.gcols < lo_b) | (g.gcols >= hi_b)
+            queries = g.gcols[ext_mask]
+            if parallel_renumber:
+                ren = renumber_parallel(blkB.colmap, queries, nthreads=nthreads)
+            else:
+                ren = renumber_baseline(blkB.colmap, queries)
+            colmap_ext = ren.colmap_new
+
+            # ---- stack local B rows over the gathered rows ----
+            # Compact column space: [0, nloc) owned, then colmap_ext order.
+            nB_local = blkB.nrows
+            loc_rows = np.concatenate([blkB.diag.row_ids(), blkB.offd.row_ids()])
+            loc_cols = np.concatenate(
+                [blkB.diag.indices, nloc + blkB.offd.indices]
+            )
+            loc_vals = np.concatenate([blkB.diag.data, blkB.offd.data])
+
+            g_rows = nB_local + np.repeat(
+                np.arange(len(g.row_gids), dtype=np.int64), np.diff(g.indptr)
+            )
+            g_cols = np.empty(g.nnz, dtype=np.int64)
+            g_cols[~ext_mask] = g.gcols[~ext_mask] - lo_b
+            g_cols[ext_mask] = nloc + ren.compressed
+            Bstack = CSRMatrix.from_coo(
+                (nB_local + len(g.row_gids), nloc + len(colmap_ext)),
+                np.concatenate([loc_rows, g_rows]),
+                np.concatenate([loc_cols, g_cols]),
+                np.concatenate([loc_vals, g.vals]),
+            )
+
+            # ---- A's columns as stacked-B row indices ----
+            # diag col j -> local B row j; offd col c -> stacked row
+            # nB_local + c (gathered rows were requested in colmap order).
+            a_rows = np.concatenate([blkA.diag.row_ids(), blkA.offd.row_ids()])
+            a_cols = np.concatenate(
+                [blkA.diag.indices, nB_local + blkA.offd.indices]
+            )
+            a_vals = np.concatenate([blkA.diag.data, blkA.offd.data])
+            Astack = CSRMatrix.from_coo(
+                (blkA.nrows, Bstack.nrows), a_rows, a_cols, a_vals
+            )
+
+            Cp = spgemm(Astack, Bstack, method=spgemm_method, kernel=f"{tag}.local")
+
+            # Map compact columns back to global ids.
+            # Map compact columns back to global ids (clip the ext lookup so
+            # diag-column positions never index out of range; np.where
+            # evaluates both branches).
+            if len(colmap_ext):
+                ext_lookup = colmap_ext[
+                    np.clip(Cp.indices - nloc, 0, len(colmap_ext) - 1)
+                ]
+            else:
+                ext_lookup = Cp.indices
+            c_gcols = np.where(Cp.indices < nloc, Cp.indices + lo_b, ext_lookup)
+        triplets.append((Cp.row_ids(), c_gcols, Cp.data))
+
+    return ParCSRMatrix.from_rank_triplets(triplets, A.row_part, B.col_part)
+
+
+def dist_rap(
+    comm: SimComm,
+    A: ParCSRMatrix,
+    P: ParCSRMatrix,
+    *,
+    parallel_renumber: bool = True,
+    spgemm_method: str = "one_pass",
+    nthreads: int = 14,
+    R: ParCSRMatrix | None = None,
+) -> tuple[ParCSRMatrix, ParCSRMatrix]:
+    """Distributed Galerkin product; returns ``(A_coarse, R)``.
+
+    ``R = P^T`` is computed with the distributed transpose (and returned so
+    the solve phase can keep it, §3.2).
+    """
+    from .transpose import dist_transpose
+
+    if R is None:
+        R = dist_transpose(comm, P, tag="rap.transpose")
+    RA = dist_spgemm(
+        comm, R, A,
+        parallel_renumber=parallel_renumber,
+        spgemm_method=spgemm_method,
+        nthreads=nthreads,
+        tag="rap.RA",
+    )
+    Ac = dist_spgemm(
+        comm, RA, P,
+        parallel_renumber=parallel_renumber,
+        spgemm_method=spgemm_method,
+        nthreads=nthreads,
+        tag="rap.BP",
+    )
+    return Ac, R

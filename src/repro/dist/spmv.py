@@ -1,0 +1,71 @@
+"""Distributed SpMV (§4.1, Fig. 3b).
+
+``y = A x``: each rank gathers its external vector entries via the halo
+exchange, multiplies its ``diag`` block by the local part (this computation
+overlaps the exchange in the modeled implementation) and its ``offd`` block
+by the gathered buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.spmv import spmv
+from .comm import SimComm
+from .halo import HaloExchange
+from .parcsr import ParCSRMatrix, ParVector
+
+__all__ = ["dist_spmv", "dist_residual_norm"]
+
+
+def dist_spmv(
+    comm: SimComm,
+    A: ParCSRMatrix,
+    x: ParVector,
+    halo: HaloExchange,
+    *,
+    kernel: str = "spmv",
+) -> ParVector:
+    if x.part.n != A.col_part.n:
+        raise ValueError("dimension mismatch")
+    x_ext = halo(x)
+    out = []
+    for p, blk in enumerate(A.blocks):
+        with comm.on_rank(p):
+            y = spmv(blk.diag, x.parts[p], kernel=kernel)
+            if blk.offd.nnz:
+                y += spmv(blk.offd, x_ext[p], kernel=kernel + ".offd")
+        out.append(y)
+    return ParVector(out, A.row_part)
+
+
+def dist_residual_norm(
+    comm: SimComm,
+    A: ParCSRMatrix,
+    x: ParVector,
+    b: ParVector,
+    halo: HaloExchange,
+    *,
+    fused: bool = True,
+) -> tuple[ParVector, float]:
+    """``r = b - A x`` and its 2-norm (one allreduce)."""
+    from ..perf.counters import VAL_BYTES, count
+
+    Ax = dist_spmv(comm, A, x, halo, kernel="spmv.residual")
+    parts = []
+    sq = []
+    for p in range(comm.nranks):
+        with comm.on_rank(p):
+            r = b.parts[p] - Ax.parts[p]
+            n = len(r)
+            if fused:
+                count("residual_norm_fused", flops=3 * n,
+                      bytes_read=2 * n * VAL_BYTES, bytes_written=n * VAL_BYTES)
+            else:
+                count("residual_sub", flops=n, bytes_read=2 * n * VAL_BYTES,
+                      bytes_written=n * VAL_BYTES)
+                count("blas1.norm2", flops=2 * n, bytes_read=n * VAL_BYTES)
+        parts.append(r)
+        sq.append(float(r @ r))
+    total = comm.allreduce(sq)
+    return ParVector(parts, A.row_part), float(np.sqrt(total))

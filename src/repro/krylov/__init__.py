@@ -1,0 +1,7 @@
+"""Krylov solvers: FGMRES (the paper's multi-node outer solver), GMRES, CG."""
+
+from .bicgstab import bicgstab
+from .cg import pcg
+from .gmres import KrylovResult, fgmres, gmres
+
+__all__ = ["bicgstab", "pcg", "KrylovResult", "fgmres", "gmres"]

@@ -1,0 +1,97 @@
+"""BiCGStab — the nonsymmetric Krylov workhorse.
+
+Completes the solver family for the nonsymmetric suite members
+(``atmosmod*``): unlike CG it tolerates nonsymmetry, unlike GMRES it has
+constant memory.  Supports right preconditioning with an AMG V-cycle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..perf.counters import phase
+from ..sparse.blas1 import axpy, dot, norm2
+from ..sparse.csr import CSRMatrix
+from ..sparse.spmv import spmv
+from .gmres import KrylovResult
+
+__all__ = ["bicgstab"]
+
+
+def bicgstab(
+    A: CSRMatrix,
+    b: np.ndarray,
+    *,
+    precondition: Callable[[np.ndarray], np.ndarray] | None = None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-7,
+    max_iter: int = 1000,
+) -> KrylovResult:
+    """Right-preconditioned BiCGStab."""
+    b = np.asarray(b, dtype=np.float64)
+    n = len(b)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    M = precondition if precondition is not None else (lambda v: v.copy())
+
+    with phase("SpMV"):
+        r = b - spmv(A, x, kernel="spmv.krylov")
+    with phase("BLAS1"):
+        r0hat = r.copy()
+        rho = alpha = omega = 1.0
+        v = np.zeros(n)
+        p = np.zeros(n)
+        nrm0 = norm2(r)
+    residuals = [nrm0]
+    if nrm0 == 0.0:
+        return KrylovResult(x, 0, residuals, True)
+
+    for it in range(1, max_iter + 1):
+        with phase("BLAS1"):
+            rho_new = dot(r0hat, r)
+        if rho_new == 0.0:
+            break  # breakdown
+        if it == 1:
+            p = r.copy()
+        else:
+            beta = (rho_new / rho) * (alpha / omega)
+            with phase("BLAS1"):
+                p = r + beta * (p - omega * v)
+        phat = M(p)
+        with phase("SpMV"):
+            v = spmv(A, phat, kernel="spmv.krylov")
+        with phase("BLAS1"):
+            denom = dot(r0hat, v)
+        if denom == 0.0:
+            break
+        alpha = rho_new / denom
+        s = r - alpha * v
+        with phase("BLAS1"):
+            s_nrm = norm2(s)
+        if s_nrm <= tol * nrm0:
+            with phase("BLAS1"):
+                axpy(alpha, phat, x)
+            residuals.append(s_nrm)
+            return KrylovResult(x, it, residuals, True)
+        shat = M(s)
+        with phase("SpMV"):
+            t = spmv(A, shat, kernel="spmv.krylov")
+        with phase("BLAS1"):
+            tt = dot(t, t)
+        if tt == 0.0:
+            break
+        with phase("BLAS1"):
+            omega = dot(t, s) / tt
+            axpy(alpha, phat, x)
+            axpy(omega, shat, x)
+        r = s - omega * t
+        with phase("BLAS1"):
+            nrm = norm2(r)
+        residuals.append(nrm)
+        rho = rho_new
+        if nrm <= tol * nrm0:
+            return KrylovResult(x, it, residuals, True)
+        if omega == 0.0:
+            break
+    return KrylovResult(x, len(residuals) - 1, residuals, False)

@@ -1,0 +1,159 @@
+"""GMRES and Flexible GMRES (Saad [34]).
+
+The multi-node evaluation (Table 4) wraps AMG as the preconditioner of
+Flexible GMRES: FGMRES admits a preconditioner that varies between
+iterations (an AMG V-cycle is nonlinear in finite precision), at the cost of
+storing the preconditioned basis ``Z`` alongside the Krylov basis ``V``.
+
+Right-preconditioned formulation with modified Gram–Schmidt; the Hessenberg
+least-squares problem is solved with Givens rotations, so the residual norm
+is available every iteration without forming the solution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perf.counters import count, phase
+from ..sparse.blas1 import axpy, dot, norm2
+from ..sparse.csr import CSRMatrix
+from ..sparse.spmv import spmv
+
+__all__ = ["fgmres", "gmres", "KrylovResult"]
+
+
+@dataclass
+class KrylovResult:
+    x: np.ndarray
+    iterations: int
+    residuals: list[float]
+    converged: bool
+
+    @property
+    def final_relres(self) -> float:
+        return self.residuals[-1] / self.residuals[0] if self.residuals else np.inf
+
+
+def _arnoldi_step(A: CSRMatrix, V: list[np.ndarray], H: np.ndarray, j: int,
+                  w: np.ndarray) -> np.ndarray:
+    """Modified Gram–Schmidt orthogonalization of ``w`` against ``V[:j+1]``."""
+    with phase("BLAS1"):
+        for i in range(j + 1):
+            H[i, j] = dot(w, V[i])
+            axpy(-H[i, j], V[i], w)
+        H[j + 1, j] = norm2(w)
+    return w
+
+
+def _givens_update(H: np.ndarray, cs: np.ndarray, sn: np.ndarray,
+                   g: np.ndarray, j: int) -> float:
+    """Apply/extend the Givens rotations; returns the new residual norm."""
+    for i in range(j):
+        t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+        H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+        H[i, j] = t
+    denom = np.hypot(H[j, j], H[j + 1, j])
+    if denom == 0.0:
+        cs[j], sn[j] = 1.0, 0.0
+    else:
+        cs[j] = H[j, j] / denom
+        sn[j] = H[j + 1, j] / denom
+    H[j, j] = cs[j] * H[j, j] + sn[j] * H[j + 1, j]
+    H[j + 1, j] = 0.0
+    g[j + 1] = -sn[j] * g[j]
+    g[j] = cs[j] * g[j]
+    return abs(g[j + 1])
+
+
+def fgmres(
+    A: CSRMatrix,
+    b: np.ndarray,
+    *,
+    precondition: Callable[[np.ndarray], np.ndarray] | None = None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-7,
+    max_iter: int = 200,
+    restart: int = 50,
+) -> KrylovResult:
+    """Flexible GMRES with a (possibly varying) right preconditioner."""
+    b = np.asarray(b, dtype=np.float64)
+    n = len(b)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    M = precondition if precondition is not None else (lambda v: v)
+
+    with phase("SpMV"):
+        r = b - spmv(A, x, kernel="spmv.krylov")
+    with phase("BLAS1"):
+        beta = norm2(r)
+    r0 = beta
+    residuals = [beta]
+    if beta == 0.0:
+        return KrylovResult(x, 0, residuals, True)
+
+    total_it = 0
+    while total_it < max_iter:
+        m = min(restart, max_iter - total_it)
+        V = [r / beta]
+        Z: list[np.ndarray] = []
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = beta
+        j_done = 0
+        converged = False
+        for j in range(m):
+            z = M(V[j])
+            Z.append(z)
+            with phase("SpMV"):
+                w = spmv(A, z, kernel="spmv.krylov")
+            w = _arnoldi_step(A, V, H, j, w)
+            if H[j + 1, j] != 0.0:
+                V.append(w / H[j + 1, j])
+            else:
+                V.append(w)
+            res = _givens_update(H, cs, sn, g, j)
+            count("krylov.givens", flops=20.0, phase="Solve_etc")
+            residuals.append(res)
+            total_it += 1
+            j_done = j + 1
+            if res <= tol * r0:
+                converged = True
+                break
+        # Solve the small triangular system and update x from Z.
+        y = np.zeros(j_done)
+        for i in range(j_done - 1, -1, -1):
+            y[i] = (g[i] - H[i, i + 1: j_done] @ y[i + 1: j_done]) / H[i, i]
+        with phase("BLAS1"):
+            for i in range(j_done):
+                axpy(y[i], Z[i], x)
+        if converged or total_it >= max_iter:
+            with phase("SpMV"):
+                r = b - spmv(A, x, kernel="spmv.krylov")
+            with phase("BLAS1"):
+                beta = norm2(r)
+            return KrylovResult(x, total_it, residuals, converged)
+        with phase("SpMV"):
+            r = b - spmv(A, x, kernel="spmv.krylov")
+        with phase("BLAS1"):
+            beta = norm2(r)
+    return KrylovResult(x, total_it, residuals, False)
+
+
+def gmres(
+    A: CSRMatrix,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-7,
+    max_iter: int = 200,
+    restart: int = 50,
+) -> KrylovResult:
+    """Plain (unpreconditioned) restarted GMRES — the Krylov baseline whose
+    iteration growth with problem size motivates AMG (§1)."""
+    return fgmres(
+        A, b, precondition=None, x0=x0, tol=tol, max_iter=max_iter, restart=restart
+    )

@@ -1,0 +1,50 @@
+"""Performance instrumentation and analytical machine/network models.
+
+This package is the substitution layer for the paper's hardware (see
+DESIGN.md §2): kernels *execute* the real algorithms and *count* the work a
+tuned native implementation would perform; the models here turn counts into
+modeled seconds on the paper's Table 1 machines and the Endeavor cluster
+network.
+"""
+
+from .counters import (
+    IDX_BYTES,
+    PTR_BYTES,
+    VAL_BYTES,
+    KernelRecord,
+    PerfLog,
+    active_log,
+    collect,
+    count,
+    current_phase,
+    phase,
+)
+from .machine import HaswellModel, K40cModel, MachineModel
+from .network import FDRInfinibandModel, MessageEvent, NetworkModel
+from .report import format_breakdown, format_table, geomean
+from .trace import comm_to_trace, log_to_trace, write_trace
+
+__all__ = [
+    "IDX_BYTES",
+    "PTR_BYTES",
+    "VAL_BYTES",
+    "KernelRecord",
+    "PerfLog",
+    "active_log",
+    "collect",
+    "count",
+    "current_phase",
+    "phase",
+    "MachineModel",
+    "HaswellModel",
+    "K40cModel",
+    "NetworkModel",
+    "FDRInfinibandModel",
+    "MessageEvent",
+    "format_breakdown",
+    "format_table",
+    "geomean",
+    "comm_to_trace",
+    "log_to_trace",
+    "write_trace",
+]

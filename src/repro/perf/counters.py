@@ -1,0 +1,259 @@
+"""Kernel instrumentation: operation/traffic counters.
+
+Every computational kernel in :mod:`repro` reports what a tuned native
+implementation of the same algorithm would do to the memory system and the
+core: floating-point operations, bytes read and written, data-dependent
+branches executed and (estimated) mispredicted.  The counts are *structural*
+— they follow from matrix sizes/sparsity patterns and from which algorithmic
+variant ran (e.g. one-pass vs. two-pass SpGEMM), not from wall-clock
+measurements of the Python vehicle.
+
+A :class:`PerfLog` collects :class:`KernelRecord` entries.  Kernels report
+through the module-level :func:`count` helper, which writes into the
+currently *active* log (see :func:`collect`).  When no log is active,
+counting is a no-op, so library code can always call :func:`count`
+unconditionally.
+
+Phases mirror the paper's Fig. 5 breakdown labels::
+
+    Strength+Coarsen | Interp | RAP | Setup_etc | GS | SpMV | BLAS1 | Solve_etc
+
+plus the multi-node phases of Fig. 7 (``Solve_MPI`` etc.).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "IDX_BYTES",
+    "VAL_BYTES",
+    "PTR_BYTES",
+    "KernelRecord",
+    "PerfLog",
+    "collect",
+    "phase",
+    "count",
+    "active_log",
+    "current_phase",
+]
+
+#: Bytes per column index in the modeled native implementation (HYPRE uses
+#: 32-bit local indices).
+IDX_BYTES = 4
+#: Bytes per matrix/vector value (double precision, Table 3: non-complex FP64).
+VAL_BYTES = 8
+#: Bytes per row-pointer entry.
+PTR_BYTES = 4
+
+
+@dataclass
+class KernelRecord:
+    """One instrumented kernel invocation.
+
+    Attributes
+    ----------
+    phase:
+        Breakdown bucket (Fig. 5 / Fig. 7 label) active when the kernel ran.
+    kernel:
+        Fine-grained kernel name, e.g. ``"spgemm.numeric"``.
+    flops:
+        Floating point operations (adds + multiplies counted separately).
+    bytes_read / bytes_written:
+        Memory traffic of the modeled native kernel, in bytes.  Reads that a
+        native kernel would serve from cache (e.g. the fused ``B`` rows in the
+        Fig. 1a RAP) are *not* counted.
+    branches:
+        Data-dependent (unpredictable) branches executed.  Loop-bound branches
+        are excluded: they are well predicted.
+    mispredicts:
+        Estimated mispredicted branches.
+    parallel:
+        Whether the kernel is thread-parallel in the modeled implementation.
+        ``HYPRE_base`` runs several setup kernels serially (§3.3).
+    level:
+        Multigrid level, when applicable.
+    """
+
+    phase: str
+    kernel: str
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    branches: float = 0.0
+    mispredicts: float = 0.0
+    parallel: bool = True
+    level: int | None = None
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+
+#: Default fraction of data-dependent branches that mispredict.  Sparse
+#: accumulation hit/miss branches are close to coin flips on first touch and
+#: biased afterwards; 0.3 matches the 2.1x pattern-reuse speedup (§3.1.1)
+#: under the Haswell penalty.
+DEFAULT_MISPREDICT_RATE = 0.3
+
+
+# The phase/level stacks are process-global (not per-log) so that a phase
+# opened around a distributed operation tags the counts of *every* rank's
+# log, whichever one is active when a kernel reports.
+_PHASE_STACK: list[str] = []
+_LEVEL_STACK: list[int] = []
+
+
+class PerfLog:
+    """Accumulates kernel records, organized by phase."""
+
+    def __init__(self) -> None:
+        self.records: list[KernelRecord] = []
+
+    # -- recording -----------------------------------------------------
+    def add(
+        self,
+        kernel: str,
+        *,
+        flops: float = 0.0,
+        bytes_read: float = 0.0,
+        bytes_written: float = 0.0,
+        branches: float = 0.0,
+        mispredicts: float | None = None,
+        parallel: bool = True,
+        phase: str | None = None,
+    ) -> KernelRecord:
+        if mispredicts is None:
+            mispredicts = branches * DEFAULT_MISPREDICT_RATE
+        rec = KernelRecord(
+            phase=phase if phase is not None else self.phase,
+            kernel=kernel,
+            flops=float(flops),
+            bytes_read=float(bytes_read),
+            bytes_written=float(bytes_written),
+            branches=float(branches),
+            mispredicts=float(mispredicts),
+            parallel=parallel,
+            level=_LEVEL_STACK[-1] if _LEVEL_STACK else None,
+        )
+        self.records.append(rec)
+        return rec
+
+    # -- phase management ------------------------------------------------
+    @property
+    def phase(self) -> str:
+        return _PHASE_STACK[-1] if _PHASE_STACK else "unattributed"
+
+    @contextmanager
+    def in_phase(self, name: str):
+        _PHASE_STACK.append(name)
+        try:
+            yield self
+        finally:
+            _PHASE_STACK.pop()
+
+    @contextmanager
+    def at_level(self, level: int):
+        _LEVEL_STACK.append(level)
+        try:
+            yield self
+        finally:
+            _LEVEL_STACK.pop()
+
+    # -- aggregation -----------------------------------------------------
+    def totals_by_phase(self) -> dict[str, KernelRecord]:
+        """Aggregate records into one synthetic record per phase."""
+        out: dict[str, KernelRecord] = {}
+        for r in self.records:
+            agg = out.get(r.phase)
+            if agg is None:
+                out[r.phase] = KernelRecord(
+                    phase=r.phase,
+                    kernel="*",
+                    flops=r.flops,
+                    bytes_read=r.bytes_read,
+                    bytes_written=r.bytes_written,
+                    branches=r.branches,
+                    mispredicts=r.mispredicts,
+                    parallel=r.parallel,
+                )
+            else:
+                agg.flops += r.flops
+                agg.bytes_read += r.bytes_read
+                agg.bytes_written += r.bytes_written
+                agg.branches += r.branches
+                agg.mispredicts += r.mispredicts
+        return out
+
+    def total(self, attr: str) -> float:
+        return sum(getattr(r, attr) for r in self.records)
+
+    def phase_total(self, phase: str, attr: str = "bytes_total") -> float:
+        return sum(getattr(r, attr) for r in self.records if r.phase == phase)
+
+    def merge(self, other: "PerfLog") -> None:
+        self.records.extend(other.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+# --------------------------------------------------------------------------
+# Module-level active log
+# --------------------------------------------------------------------------
+
+_ACTIVE: list[PerfLog] = []
+
+
+def active_log() -> PerfLog | None:
+    """The innermost active :class:`PerfLog`, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def current_phase() -> str:
+    return _PHASE_STACK[-1] if _PHASE_STACK else "unattributed"
+
+
+@contextmanager
+def collect(log: PerfLog | None = None):
+    """Activate *log* (a fresh one if ``None``) for the enclosed block.
+
+    Yields the active log.  Nested ``collect`` blocks record into the
+    innermost log only; callers that want merged numbers should use
+    :meth:`PerfLog.merge`.
+    """
+    if log is None:
+        log = PerfLog()
+    _ACTIVE.append(log)
+    try:
+        yield log
+    finally:
+        _ACTIVE.pop()
+
+
+@contextmanager
+def phase(name: str):
+    """Tag records emitted in the enclosed block with phase *name*.
+
+    The tag applies process-wide (it survives switching the active log, so
+    per-rank logs in the distributed simulator see it too).
+    """
+    _PHASE_STACK.append(name)
+    try:
+        yield active_log()
+    finally:
+        _PHASE_STACK.pop()
+
+
+def count(kernel: str, **kw) -> None:
+    """Record a kernel invocation into the active log (no-op otherwise).
+
+    Keyword arguments are those of :meth:`PerfLog.add`.
+    """
+    log = active_log()
+    if log is not None:
+        log.add(kernel, **kw)

@@ -1,0 +1,74 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The paper's figures are stacked-bar breakdowns and scaling curves; the
+benches regenerate them as aligned text tables (one row per bar / per curve
+point), which is the form the harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_breakdown", "geomean"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    log_sum = 0.0
+    for v in vals:
+        import math
+
+        log_sum += math.log(v)
+    import math
+
+    return math.exp(log_sum / len(vals))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [float_fmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_breakdown(
+    label: str,
+    phase_times: Mapping[str, float],
+    *,
+    normalize_to: float | None = None,
+    order: Sequence[str] | None = None,
+) -> str:
+    """One stacked bar of a Fig. 5 / Fig. 7 style breakdown as a text row.
+
+    ``normalize_to`` divides every component (the paper normalizes each
+    matrix's bars to HYPRE_base time-to-solution).
+    """
+    keys = list(order) if order is not None else sorted(phase_times)
+    total = sum(phase_times.values())
+    scale = normalize_to if normalize_to else 1.0
+    parts = [
+        f"{k}={phase_times.get(k, 0.0) / scale:.3f}" for k in keys if k in phase_times
+    ]
+    return f"{label:<16s} total={total / scale:.3f}  " + " ".join(parts)

@@ -1,0 +1,42 @@
+"""Workload generators for the paper's evaluation inputs (Table 2, §5.1.2)."""
+
+from .amg2013 import amg2013_problem
+from .anisotropic import anisotropic_2d, rotated_anisotropy_2d
+from .grf import gaussian_random_field_3d, lognormal_permeability
+from .laplace import (
+    grid_indices_3d,
+    laplace_2d_5pt,
+    laplace_3d_7pt,
+    laplace_3d_27pt,
+    variable_coefficient_3d_7pt,
+)
+from .reservoir import reservoir_problem
+from .stencil import (
+    convection_diffusion_3d,
+    hex7_matrix_2d,
+    stencil_matrix_2d,
+    stencil_matrix_3d,
+)
+from .suite import TABLE2_SUITE, SuiteMatrix, generate, suite_names
+
+__all__ = [
+    "amg2013_problem",
+    "anisotropic_2d",
+    "rotated_anisotropy_2d",
+    "gaussian_random_field_3d",
+    "lognormal_permeability",
+    "grid_indices_3d",
+    "laplace_2d_5pt",
+    "laplace_3d_7pt",
+    "laplace_3d_27pt",
+    "variable_coefficient_3d_7pt",
+    "reservoir_problem",
+    "convection_diffusion_3d",
+    "hex7_matrix_2d",
+    "stencil_matrix_2d",
+    "stencil_matrix_3d",
+    "TABLE2_SUITE",
+    "SuiteMatrix",
+    "generate",
+    "suite_names",
+]

@@ -1,0 +1,136 @@
+"""AMG2013-style semi-structured input (§5.1.2, Fig. 6d–f).
+
+The AMG2013 proxy app's default input (``pooldist=1``) couples structured
+grid blocks — one per MPI rank, arranged in a processor grid — through
+semi-structured interfaces, producing ~8 nnz/row.  The surrogate here:
+each rank owns an ``r^3`` 7-point block; blocks adjacent in the processor
+grid are stitched face-to-face (structured coupling), and a fraction of
+interface points receive an extra skew coupling into the diagonal
+neighbour block (the "semi-structured" part that pushes nnz/row toward 8
+and breaks pure grid structure).  Requires >= 8 ranks for a 2x2x2
+processor grid, like the original (``pooldist=1`` note in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["amg2013_problem"]
+
+
+def _proc_grid(nranks: int) -> tuple[int, int, int]:
+    """Near-cubic factorization of the rank count."""
+    best = (nranks, 1, 1)
+    best_score = nranks
+    for px in range(1, nranks + 1):
+        if nranks % px:
+            continue
+        rem = nranks // px
+        for py in range(1, rem + 1):
+            if rem % py:
+                continue
+            pz = rem // py
+            score = max(px, py, pz) - min(px, py, pz)
+            if score < best_score:
+                best_score = score
+                best = (px, py, pz)
+    return best
+
+
+def amg2013_problem(
+    nranks: int, r: int = 8, *, skew_fraction: float = 0.3, seed: int = 0
+) -> tuple[CSRMatrix, np.ndarray]:
+    """Returns ``(A, rank_sizes)`` for ``nranks`` blocks of ``r^3`` points.
+
+    Rows are ordered rank-major (rank *p*'s block is rows
+    ``[p*r^3, (p+1)*r^3)``), so a uniform :class:`RowPartition` matches the
+    intended ownership exactly.
+    """
+    if nranks < 8:
+        raise ValueError("the semi-structured input requires >= 8 ranks")
+    px, py, pz = _proc_grid(nranks)
+    n_blk = r**3
+    n = nranks * n_blk
+    rng = np.random.default_rng(seed)
+
+    bi, bj, bk = np.meshgrid(np.arange(px), np.arange(py), np.arange(pz),
+                             indexing="ij")
+    block_id = ((bi * py + bj) * pz + bk)
+
+    li, lj, lk = np.meshgrid(np.arange(r), np.arange(r), np.arange(r),
+                             indexing="ij")
+    local = ((li * r + lj) * r + lk).ravel()
+
+    rows, cols, vals = [], [], []
+    diag = np.zeros(n)
+
+    def gid(b, loc):
+        return b * n_blk + loc
+
+    # Interior 7-pt couplings within every block (vectorized over blocks).
+    for d in ((1, 0, 0), (0, 1, 0), (0, 0, 1)):
+        i2, j2, k2 = li + d[0], lj + d[1], lk + d[2]
+        ok = ((i2 < r) & (j2 < r) & (k2 < r)).ravel()
+        src_l = local[ok]
+        dst_l = ((i2 * r + j2) * r + k2).ravel()[ok]
+        for b in range(nranks):
+            s = gid(b, src_l)
+            t = gid(b, dst_l)
+            rows.extend([s, t])
+            cols.extend([t, s])
+            vals.extend([np.full(len(s), -1.0)] * 2)
+            diag[s] += 1.0
+            diag[t] += 1.0
+
+    # Face couplings between adjacent blocks in the processor grid.
+    face = {
+        0: (li == r - 1).ravel(),
+        1: (lj == r - 1).ravel(),
+        2: (lk == r - 1).ravel(),
+    }
+    opp = {
+        0: ((li == 0).ravel()),
+        1: ((lj == 0).ravel()),
+        2: ((lk == 0).ravel()),
+    }
+    for axis, dvec in enumerate(((1, 0, 0), (0, 1, 0), (0, 0, 1))):
+        nb_i, nb_j, nb_k = bi + dvec[0], bj + dvec[1], bk + dvec[2]
+        ok_blk = (nb_i < px) & (nb_j < py) & (nb_k < pz)
+        src_blocks = block_id[ok_blk].ravel()
+        dst_blocks = ((nb_i * py + nb_j) * pz + nb_k)[ok_blk].ravel()
+        f_src = local[face[axis]]
+        f_dst = local[opp[axis]]
+        for sb, db in zip(src_blocks, dst_blocks):
+            s = gid(sb, f_src)
+            t = gid(db, f_dst)
+            rows.extend([s, t])
+            cols.extend([t, s])
+            vals.extend([np.full(len(s), -1.0)] * 2)
+            diag[s] += 1.0
+            diag[t] += 1.0
+            # Semi-structured extras: skewed couplings for a subset of the
+            # interface points into a shifted partner on the far side.
+            m = rng.random(len(s)) < skew_fraction
+            if m.any():
+                shift = rng.integers(1, r, size=int(m.sum()))
+                t2 = gid(db, (f_dst[m] + shift * r) % n_blk)
+                s2 = s[m]
+                rows.extend([s2, t2])
+                cols.extend([t2, s2])
+                vals.extend([np.full(len(s2), -0.5)] * 2)
+                diag[s2] += 0.5
+                diag[t2] += 0.5
+
+    p_all = np.arange(n, dtype=np.int64)
+    rows.append(p_all)
+    cols.append(p_all)
+    vals.append(diag + 1.0)  # boundary closure keeps the operator SPD
+    A = CSRMatrix.from_coo(
+        (n, n),
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+    )
+    return A, np.full(nranks, n_blk, dtype=np.int64)

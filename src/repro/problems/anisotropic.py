@@ -1,0 +1,40 @@
+"""Anisotropic / rotated-anisotropy diffusion problems.
+
+Not part of the paper's Table 2 — used by the extension benchmarks and the
+strength-threshold ablation (anisotropy is the classic stressor for the
+strength-of-connection heuristic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .stencil import stencil_matrix_2d
+
+__all__ = ["anisotropic_2d", "rotated_anisotropy_2d"]
+
+
+def anisotropic_2d(nx: int, ny: int | None = None, *, epsilon: float = 0.01) -> CSRMatrix:
+    """``-u_xx - eps*u_yy`` on a 5-point stencil (grid-aligned anisotropy)."""
+    ny = ny or nx
+    return stencil_matrix_2d(
+        nx, ny,
+        [(1, 0), (-1, 0), (0, 1), (0, -1)],
+        [-1.0, -1.0, -epsilon, -epsilon],
+        diag_shift=1e-8,
+    )
+
+
+def rotated_anisotropy_2d(
+    nx: int, ny: int | None = None, *, epsilon: float = 0.01, theta: float = np.pi / 4
+) -> CSRMatrix:
+    """Anisotropy rotated by *theta*, discretized on a 9-point stencil."""
+    ny = ny or nx
+    c, s = np.cos(theta), np.sin(theta)
+    a = c * c + epsilon * s * s
+    b = s * s + epsilon * c * c
+    d = (1.0 - epsilon) * s * c
+    offsets = [(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, -1), (1, -1), (-1, 1)]
+    weights = [-a, -a, -b, -b, -d / 2, -d / 2, d / 2, d / 2]
+    return stencil_matrix_2d(nx, ny, offsets, weights, diag_shift=1e-8)

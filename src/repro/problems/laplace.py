@@ -1,0 +1,165 @@
+"""Structured Laplacian generators (Table 2 / §5 workloads).
+
+* :func:`laplace_2d_5pt` — the ``lap2d_2000`` matrix class (AMG2013's 2-D
+  Laplace, 5-point stencil, ~5 nnz/row).
+* :func:`laplace_3d_7pt` — 7-point 3-D Poisson (the strong-scaling
+  reservoir problem's stencil, ~7 nnz/row; also variable-coefficient form).
+* :func:`laplace_3d_27pt` — the HPCG 27-point operator (``lap3d_128``,
+  ~27 nnz/row): diagonal 26, all neighbours in the 3x3x3 cube -1.
+
+All generators are fully vectorized and return :class:`CSRMatrix` plus
+helper index utilities.  Dirichlet boundaries are imposed by truncating the
+stencil at the domain boundary (rows keep the full diagonal), which matches
+the benchmark matrices' structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "laplace_2d_5pt",
+    "laplace_3d_7pt",
+    "laplace_3d_27pt",
+    "variable_coefficient_3d_7pt",
+    "grid_indices_3d",
+]
+
+
+def laplace_2d_5pt(nx: int, ny: int | None = None) -> CSRMatrix:
+    """2-D Poisson, 5-point stencil, Dirichlet boundary (diag 4, off -1)."""
+    ny = ny or nx
+    n = nx * ny
+    ii, jj = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    p = (ii * ny + jj).ravel()
+    rows = [p]
+    cols = [p]
+    vals = [np.full(n, 4.0)]
+    for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        i2, j2 = ii + di, jj + dj
+        ok = ((i2 >= 0) & (i2 < nx) & (j2 >= 0) & (j2 < ny)).ravel()
+        rows.append(p[ok])
+        cols.append((i2 * ny + j2).ravel()[ok])
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return CSRMatrix.from_coo(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def grid_indices_3d(nx: int, ny: int, nz: int):
+    """Meshgrid index arrays and the flattening rule used by the 3-D gens."""
+    ii, jj, kk = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    flat = (ii * ny + jj) * nz + kk
+    return ii, jj, kk, flat
+
+
+def laplace_3d_7pt(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+    """3-D Poisson, 7-point stencil (diag 6, off -1), Dirichlet."""
+    ny = ny or nx
+    nz = nz or nx
+    n = nx * ny * nz
+    ii, jj, kk, flat = grid_indices_3d(nx, ny, nz)
+    p = flat.ravel()
+    rows = [p]
+    cols = [p]
+    vals = [np.full(n, 6.0)]
+    for d in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+        i2, j2, k2 = ii + d[0], jj + d[1], kk + d[2]
+        ok = (
+            (i2 >= 0) & (i2 < nx) & (j2 >= 0) & (j2 < ny) & (k2 >= 0) & (k2 < nz)
+        ).ravel()
+        rows.append(p[ok])
+        cols.append((((i2 * ny) + j2) * nz + k2).ravel()[ok])
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return CSRMatrix.from_coo(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def laplace_3d_27pt(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+    """The HPCG 27-point operator: diagonal 26, every cube neighbour -1."""
+    ny = ny or nx
+    nz = nz or nx
+    n = nx * ny * nz
+    ii, jj, kk, flat = grid_indices_3d(nx, ny, nz)
+    p = flat.ravel()
+    rows = [p]
+    cols = [p]
+    vals = [np.full(n, 26.0)]
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            for dk in (-1, 0, 1):
+                if di == dj == dk == 0:
+                    continue
+                i2, j2, k2 = ii + di, jj + dj, kk + dk
+                ok = (
+                    (i2 >= 0) & (i2 < nx) & (j2 >= 0) & (j2 < ny)
+                    & (k2 >= 0) & (k2 < nz)
+                ).ravel()
+                rows.append(p[ok])
+                cols.append((((i2 * ny) + j2) * nz + k2).ravel()[ok])
+                vals.append(np.full(int(ok.sum()), -1.0))
+    return CSRMatrix.from_coo(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def variable_coefficient_3d_7pt(kappa: np.ndarray) -> CSRMatrix:
+    """Cell-centered finite-volume discretization of ``-div(kappa grad u)``.
+
+    *kappa* is a positive coefficient field of shape ``(nx, ny, nz)``; face
+    transmissibilities use the harmonic mean of the adjacent cells, which is
+    the standard reservoir-simulation discretization and produces the badly
+    conditioned matrices of the paper's strong-scaling study (§5.1.2).
+    Dirichlet boundary conditions (unit transmissibility to the boundary on
+    the x faces) keep the operator non-singular.
+    """
+    kappa = np.asarray(kappa, dtype=np.float64)
+    nx, ny, nz = kappa.shape
+    n = nx * ny * nz
+    ii, jj, kk, flat = grid_indices_3d(nx, ny, nz)
+    p = flat.ravel()
+
+    rows, cols, vals = [], [], []
+    diag = np.zeros((nx, ny, nz))
+
+    def face(axis, sign):
+        sl_lo = [slice(None)] * 3
+        sl_hi = [slice(None)] * 3
+        sl_lo[axis] = slice(0, -1)
+        sl_hi[axis] = slice(1, None)
+        k_lo = kappa[tuple(sl_lo)]
+        k_hi = kappa[tuple(sl_hi)]
+        t = 2.0 * k_lo * k_hi / (k_lo + k_hi)
+        return t
+
+    for axis in range(3):
+        t = face(axis, +1)
+        # neighbour offsets along this axis
+        idx_lo = [slice(None)] * 3
+        idx_hi = [slice(None)] * 3
+        idx_lo[axis] = slice(0, -1)
+        idx_hi[axis] = slice(1, None)
+        p_lo = flat[tuple(idx_lo)].ravel()
+        p_hi = flat[tuple(idx_hi)].ravel()
+        tv = t.ravel()
+        rows.extend([p_lo, p_hi])
+        cols.extend([p_hi, p_lo])
+        vals.extend([-tv, -tv])
+        diag[tuple(idx_lo)] += t
+        diag[tuple(idx_hi)] += t
+
+    # Dirichlet closure on the x = 0 and x = nx-1 faces.
+    diag[0, :, :] += 2.0 * kappa[0, :, :]
+    diag[-1, :, :] += 2.0 * kappa[-1, :, :]
+
+    rows.append(p)
+    cols.append(p)
+    vals.append(diag.ravel())
+    return CSRMatrix.from_coo(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )

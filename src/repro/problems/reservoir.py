@@ -1,0 +1,52 @@
+"""The strong-scaling reservoir-simulation problem (§5.1.2, Fig. 8).
+
+A Poisson-like pressure equation ``-div(kappa grad p) = q`` over a
+lognormal permeability field with large contrast, discretized with the
+harmonic-mean finite-volume scheme of
+:func:`repro.problems.laplace.variable_coefficient_3d_7pt` — 7 nnz/row like
+the paper's 128M-row input, scaled down per DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .grf import lognormal_permeability
+from .laplace import variable_coefficient_3d_7pt
+
+__all__ = ["reservoir_problem"]
+
+
+def reservoir_problem(
+    nx: int,
+    ny: int | None = None,
+    nz: int | None = None,
+    *,
+    log10_contrast: float = 6.0,
+    correlation_length: float = 4.0,
+    seed: int = 0,
+) -> tuple[CSRMatrix, np.ndarray, np.ndarray]:
+    """Returns ``(A, b, kappa)``.
+
+    ``b`` models an injector/producer well pair (point sources of opposite
+    sign), the standard reservoir test configuration.
+    """
+    ny = ny or nx
+    nz = nz or max(nx // 4, 2)
+    kappa = lognormal_permeability(
+        (nx, ny, nz),
+        log10_contrast=log10_contrast,
+        correlation_length=correlation_length,
+        seed=seed,
+    )
+    A = variable_coefficient_3d_7pt(kappa)
+    n = nx * ny * nz
+    b = np.zeros(n)
+
+    def cell(i, j, k):
+        return (i * ny + j) * nz + k
+
+    b[cell(nx // 8, ny // 8, nz // 2)] = 1.0
+    b[cell(7 * nx // 8, 7 * ny // 8, nz // 2)] = -1.0
+    return A, b, kappa

@@ -1,0 +1,60 @@
+"""Instrumented level-1 vector operations.
+
+The solve phase's ``BLAS1`` bucket in Fig. 5 (vector scaling, addition,
+inner products).  Each helper performs the numpy operation and counts the
+streaming traffic of a native implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import VAL_BYTES, count
+
+__all__ = ["dot", "norm2", "axpy", "scale", "waxpby", "vcopy", "vzero"]
+
+
+def dot(x: np.ndarray, y: np.ndarray) -> float:
+    n = len(x)
+    count("blas1.dot", flops=2 * n, bytes_read=2 * n * VAL_BYTES)
+    return float(np.dot(x, y))
+
+
+def norm2(x: np.ndarray) -> float:
+    n = len(x)
+    count("blas1.norm2", flops=2 * n, bytes_read=n * VAL_BYTES)
+    return float(np.sqrt(np.dot(x, x)))
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y += alpha * x`` (in place, returns y)."""
+    n = len(x)
+    y += alpha * x
+    count("blas1.axpy", flops=2 * n, bytes_read=2 * n * VAL_BYTES, bytes_written=n * VAL_BYTES)
+    return y
+
+
+def waxpby(alpha: float, x: np.ndarray, beta: float, y: np.ndarray) -> np.ndarray:
+    """``w = alpha*x + beta*y`` (new vector)."""
+    n = len(x)
+    count("blas1.waxpby", flops=3 * n, bytes_read=2 * n * VAL_BYTES, bytes_written=n * VAL_BYTES)
+    return alpha * x + beta * y
+
+
+def scale(alpha: float, x: np.ndarray) -> np.ndarray:
+    """``x *= alpha`` (in place, returns x)."""
+    n = len(x)
+    x *= alpha
+    count("blas1.scal", flops=n, bytes_read=n * VAL_BYTES, bytes_written=n * VAL_BYTES)
+    return x
+
+
+def vcopy(x: np.ndarray) -> np.ndarray:
+    n = len(x)
+    count("blas1.copy", bytes_read=n * VAL_BYTES, bytes_written=n * VAL_BYTES)
+    return x.copy()
+
+
+def vzero(n: int) -> np.ndarray:
+    count("blas1.zero", bytes_written=n * VAL_BYTES)
+    return np.zeros(n, dtype=np.float64)

@@ -1,0 +1,102 @@
+"""Matrix I/O: MatrixMarket coordinate text and a fast NPZ container.
+
+The paper's suite comes from the UF/SuiteSparse collection, which ships
+MatrixMarket files — this module lets users run the solver on the *real*
+matrices when they have them (``load_matrix_market``), and round-trip
+generated problems quickly (``save_npz``/``load_npz``).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = [
+    "load_matrix_market",
+    "save_matrix_market",
+    "save_npz",
+    "load_npz",
+]
+
+
+def _open_maybe_gz(path, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def load_matrix_market(path) -> CSRMatrix:
+    """Read a MatrixMarket ``coordinate`` file (``.mtx`` or ``.mtx.gz``).
+
+    Supports ``real``/``integer``/``pattern`` fields and
+    ``general``/``symmetric``/``skew-symmetric`` symmetries (symmetric
+    storage is expanded).
+    """
+    with _open_maybe_gz(path, "r") as f:
+        header = f.readline().strip().lower()
+        if not header.startswith("%%matrixmarket matrix coordinate"):
+            raise ValueError(f"not a MatrixMarket coordinate file: {header!r}")
+        parts = header.split()
+        field = parts[3] if len(parts) > 3 else "real"
+        symmetry = parts[4] if len(parts) > 4 else "general"
+        if field == "complex":
+            raise ValueError("complex matrices are not supported")
+
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        nrows, ncols, nnz = (int(x) for x in line.split())
+
+        if nnz == 0:
+            return CSRMatrix.zeros((nrows, ncols))
+        data = np.loadtxt(f, ndmin=2, max_rows=nnz)
+    if data.size == 0:
+        return CSRMatrix.zeros((nrows, ncols))
+    rows = data[:, 0].astype(np.int64) - 1
+    cols = data[:, 1].astype(np.int64) - 1
+    vals = data[:, 2] if data.shape[1] > 2 else np.ones(len(rows))
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols_all = np.concatenate([cols, data[:, 0].astype(np.int64)[off] - 1])
+        vals = np.concatenate([vals, sign * vals[off]])
+        cols = cols_all
+    return CSRMatrix.from_coo((nrows, ncols), rows, cols, vals)
+
+
+def save_matrix_market(path, A: CSRMatrix, *, comment: str = "") -> None:
+    """Write *A* as a general real MatrixMarket coordinate file."""
+    with _open_maybe_gz(path, "w") as f:
+        f.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"% {line}\n")
+        f.write(f"{A.nrows} {A.ncols} {A.nnz}\n")
+        rid = A.row_ids()
+        for r, c, v in zip(rid, A.indices, A.data):
+            f.write(f"{r + 1} {c + 1} {v:.17g}\n")
+
+
+def save_npz(path, A: CSRMatrix) -> None:
+    """Fast binary round-trip of a CSR matrix."""
+    np.savez_compressed(
+        path,
+        shape=np.array(A.shape, dtype=np.int64),
+        indptr=A.indptr,
+        indices=A.indices,
+        data=A.data,
+    )
+
+
+def load_npz(path) -> CSRMatrix:
+    with np.load(path) as z:
+        return CSRMatrix(
+            tuple(z["shape"]), z["indptr"], z["indices"], z["data"]
+        )

@@ -1,0 +1,179 @@
+"""Sparse matrix–vector products and their paper-specific variants.
+
+Implements:
+
+* :func:`spmv` — the workhorse ``y = A x`` (vectorized gather + segment sum).
+* :func:`spmv_transposed` — ``y = A^T x`` without materializing the
+  transpose.  The *baseline* HYPRE computes the transpose of ``P`` for every
+  restriction (§3.2); the optimized code keeps ``R = P^T`` from setup.  The
+  instrumentation of the two paths differs accordingly.
+* :func:`spmv_identity_block` / :func:`spmv_identity_block_transposed` —
+  interpolation/restriction exploiting the permuted ``P = [I; P_F]`` form so
+  only the ``(n_l - n_{l+1}) x n_{l+1}`` block ``P_F`` is touched (§3.2).
+* :func:`spmv_dot_fused` — SpMV fused with an inner product so the output
+  vector is never written to memory (§3.3).
+
+Traffic model per SpMV (counted, not measured): read values (8 B/nnz),
+column indices (4 B/nnz), row pointer (4 B/row), the gathered source vector
+(8 B/nnz — irregular), and write the destination (8 B/row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, count
+from .csr import CSRMatrix
+from .ops import segment_sum
+
+__all__ = [
+    "spmv",
+    "spmv_transposed",
+    "spmv_identity_block",
+    "spmv_identity_block_transposed",
+    "spmv_dot_fused",
+    "residual",
+    "spmv_traffic",
+]
+
+
+def spmv_traffic(nrows: int, nnz: int, *, write_output: bool = True) -> tuple[float, float]:
+    """(bytes_read, bytes_written) of one CSR SpMV."""
+    bytes_read = nnz * (VAL_BYTES + IDX_BYTES + VAL_BYTES) + (nrows + 1) * PTR_BYTES
+    bytes_written = nrows * VAL_BYTES if write_output else 0.0
+    return float(bytes_read), float(bytes_written)
+
+
+def spmv(A: CSRMatrix, x: np.ndarray, *, kernel: str = "spmv") -> np.ndarray:
+    """``y = A @ x``."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != A.ncols:
+        raise ValueError(f"dimension mismatch: A is {A.shape}, x has {x.shape[0]}")
+    y = segment_sum(A.data * x[A.indices], A.row_ids(), A.nrows)
+    br, bw = spmv_traffic(A.nrows, A.nnz)
+    count(kernel, flops=2 * A.nnz, bytes_read=br, bytes_written=bw)
+    return y
+
+
+def spmv_transposed(A: CSRMatrix, x: np.ndarray, *, materialize: bool = False) -> np.ndarray:
+    """``y = A^T @ x``.
+
+    With ``materialize=True`` this models the baseline behaviour of
+    transposing the matrix first (an extra full read + write of the matrix,
+    the cost the paper's "keep R = P^T" optimization removes); the numerical
+    result is identical.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != A.nrows:
+        raise ValueError("dimension mismatch")
+    y = segment_sum(A.data * x[A.row_ids()], A.indices, A.ncols)
+    if materialize:
+        # Transpose built then multiplied: counting-sort transpose traffic
+        # (read matrix, write matrix) plus the SpMV on the result.  The
+        # baseline transpose is serial — threading it is one of the §3.3
+        # optimizations.
+        matrix_bytes = A.nnz * (VAL_BYTES + IDX_BYTES) + (A.nrows + 1) * PTR_BYTES
+        count(
+            "transpose.per_restriction",
+            bytes_read=matrix_bytes + A.nnz * IDX_BYTES,
+            bytes_written=matrix_bytes,
+            branches=0,
+            parallel=False,
+        )
+    br, bw = spmv_traffic(A.ncols, A.nnz)
+    count("spmv_t", flops=2 * A.nnz, bytes_read=br, bytes_written=bw)
+    return y
+
+
+def spmv_identity_block(
+    P_F: CSRMatrix, xc: np.ndarray, cperm: np.ndarray | None = None
+) -> np.ndarray:
+    """Interpolation with the permuted operator ``P = [Pi; P_F]``.
+
+    In CF ordering the coarse-point block of ``P`` is the identity — or,
+    when the *next* level was itself CF-permuted, a permutation matrix
+    ``Pi`` with ``Pi[i, cperm[i]] = 1``.  Either way no matrix values are
+    read for that block: ``x_fine = concat(x_coarse[cperm], P_F @ x_coarse)``.
+    """
+    xc = np.asarray(xc, dtype=np.float64)
+    xf_c = xc if cperm is None else xc[cperm]
+    xf_f = segment_sum(P_F.data * xc[P_F.indices], P_F.row_ids(), P_F.nrows)
+    br, bw = spmv_traffic(P_F.nrows, P_F.nnz)
+    # The identity/permutation part is a vector copy (streamed read+write).
+    count(
+        "spmv.interp_idblock",
+        flops=2 * P_F.nnz,
+        bytes_read=br + len(xc) * VAL_BYTES,
+        bytes_written=bw + len(xc) * VAL_BYTES,
+    )
+    return np.concatenate([xf_c, xf_f])
+
+
+def spmv_identity_block_transposed(
+    P_F: CSRMatrix, xf: np.ndarray, cperm: np.ndarray | None = None
+) -> np.ndarray:
+    """Restriction with ``R = P^T = [Pi^T  P_F^T]``: ``y = Pi^T x_C + P_F^T x_F``."""
+    xf = np.asarray(xf, dtype=np.float64)
+    nc = P_F.ncols
+    xF = xf[nc:]
+    y = segment_sum(P_F.data * xF[P_F.row_ids()], P_F.indices, nc)
+    if cperm is None:
+        y += xf[:nc]
+    else:
+        np.add.at(y, cperm, xf[:nc])
+    br, bw = spmv_traffic(nc, P_F.nnz)
+    count(
+        "spmv.restrict_idblock",
+        flops=2 * P_F.nnz + nc,
+        bytes_read=br + nc * VAL_BYTES,
+        bytes_written=bw,
+    )
+    return y
+
+
+def spmv_dot_fused(A: CSRMatrix, x: np.ndarray, w: np.ndarray | None = None) -> tuple[np.ndarray, float]:
+    """``y = A x`` fused with ``d = <y, y>`` (or ``<y, w>``).
+
+    §3.3: when the SpMV output is consumed only by an inner product, fusing
+    saves writing — and re-reading — the output vector.  We still *return*
+    ``y`` (callers may want it); the counted traffic omits the store.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = segment_sum(A.data * x[A.indices], A.row_ids(), A.nrows)
+    d = float(y @ (y if w is None else np.asarray(w, dtype=np.float64)))
+    br, _ = spmv_traffic(A.nrows, A.nnz, write_output=False)
+    extra_read = A.nrows * VAL_BYTES if w is not None else 0.0
+    count("spmv_dot_fused", flops=2 * A.nnz + 2 * A.nrows, bytes_read=br + extra_read)
+    return y, d
+
+
+def residual(A: CSRMatrix, x: np.ndarray, b: np.ndarray, *, fused_norm: bool = False):
+    """``r = b - A x``; with ``fused_norm`` also returns ``||r||_2``.
+
+    The fused variant models §3.3's SpMV+inner-product fusion applied to the
+    residual-norm computation of the solve loop.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if fused_norm:
+        y = segment_sum(A.data * np.asarray(x, dtype=np.float64)[A.indices], A.row_ids(), A.nrows)
+        r = b - y
+        nrm = float(np.sqrt(r @ r))
+        br, bw = spmv_traffic(A.nrows, A.nnz)
+        # b is streamed in; r is written once (needed by the caller), but the
+        # separate read-back for the norm is fused away.
+        count(
+            "residual_norm_fused",
+            flops=2 * A.nnz + 3 * A.nrows,
+            bytes_read=br + A.nrows * VAL_BYTES,
+            bytes_written=bw,
+        )
+        return r, nrm
+    y = spmv(A, x)
+    r = b - y
+    count(
+        "residual_sub",
+        flops=A.nrows,
+        bytes_read=2 * A.nrows * VAL_BYTES,
+        bytes_written=A.nrows * VAL_BYTES,
+    )
+    return r

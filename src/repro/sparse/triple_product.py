@@ -1,0 +1,201 @@
+"""The Galerkin triple product ``RAP`` and its optimization variants (§3.1.1).
+
+Variants (all numerically equivalent; instrumentation differs):
+
+* :func:`rap_unfused` — straightforward ``B = R A`` then ``C = B P``; the
+  temporary ``B`` is streamed to memory and read back.
+* :func:`rap_fused` — the paper's fusion (Fig. 1a): row ``B_i`` is consumed
+  by the second product straight out of cache, so ``B`` never hits memory.
+  Flops: ``2*N2 + 2*M2`` where ``N2`` is the number of ``(r_ij, a_jk)``
+  product terms and ``M2`` the number of ``(b_ij, p_jk)`` terms.
+* :func:`rap_hypre_fusion` — the baseline HYPRE fusion (Fig. 1b): the
+  scalar ``temp = r_ij * a_jk`` is pushed through row ``P_k`` immediately,
+  which avoids storing ``B`` entirely but redundantly re-multiplies ``P``
+  rows: flops ``N2 + 2*N3`` with ``N3 >= M2`` (``N3`` counts *duplicated*
+  ``(i, j, k)`` triples).  The paper measures ``(N2 + 2*N3)/(2*N2 + 2*M2)``
+  ≈ 1.73 on its suite; :func:`fusion_flop_counts` reports both numbers.
+* :func:`rap_cf_block` — with the CF permutation, ``P = [I; P_F]`` and
+  ``RAP = A_CC + P_F^T A_FC + (A_CF + P_F^T A_FF) P_F``: the triple product
+  shrinks to the ``A_FF`` block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, count
+from .csr import CSRMatrix
+from .ops import segment_sum
+from .reorder import extract_cf_blocks
+from .spgemm import expansion_size, sp_add, spgemm
+from .transpose import transpose
+
+__all__ = [
+    "rap_unfused",
+    "rap_fused",
+    "rap_hypre_fusion",
+    "rap_cf_block",
+    "fusion_flop_counts",
+]
+
+
+def _check_dims(R: CSRMatrix, A: CSRMatrix, P: CSRMatrix) -> None:
+    if R.ncols != A.nrows or A.ncols != P.nrows:
+        raise ValueError(f"RAP dimension mismatch: {R.shape} {A.shape} {P.shape}")
+
+
+def fusion_flop_counts(R: CSRMatrix, A: CSRMatrix, P: CSRMatrix) -> dict[str, float]:
+    """Exact flop counts of the Fig. 1a and Fig. 1b fusion strategies.
+
+    Returns ``{"fused_a": 2*N2 + 2*M2, "hypre_b": N2 + 2*N3, "ratio": b/a}``.
+    """
+    _check_dims(R, A, P)
+    N2 = expansion_size(R, A)
+    B = spgemm(R, A, kernel="rap.flop_probe")
+    M2 = expansion_size(B, P)
+    # N3 = sum over (i,j) in R, (j,k) in A of nnz(P_k)
+    p_rownnz = P.row_nnz().astype(np.float64)
+    w = segment_sum(p_rownnz[A.indices], A.row_ids(), A.nrows)
+    N3 = float(np.sum(w[R.indices]))
+    fused_a = 2.0 * N2 + 2.0 * M2
+    hypre_b = float(N2) + 2.0 * N3
+    return {
+        "N2": float(N2),
+        "M2": float(M2),
+        "N3": N3,
+        "fused_a": fused_a,
+        "hypre_b": hypre_b,
+        "ratio": hypre_b / fused_a if fused_a else 0.0,
+    }
+
+
+def rap_unfused(R: CSRMatrix, A: CSRMatrix, P: CSRMatrix, *, method: str = "one_pass") -> CSRMatrix:
+    """``(R A) P`` with the temporary product streamed through memory."""
+    _check_dims(R, A, P)
+    B = spgemm(R, A, method=method, kernel="rap.RA")
+    return spgemm(B, P, method=method, kernel="rap.BP")
+
+
+def _matrix_bytes(M: CSRMatrix) -> float:
+    return float(M.nnz * (VAL_BYTES + IDX_BYTES) + (M.nrows + 1) * PTR_BYTES)
+
+
+def rap_fused(R: CSRMatrix, A: CSRMatrix, P: CSRMatrix) -> CSRMatrix:
+    """Fig. 1a fusion: rows of ``B = R A`` consumed from cache.
+
+    The numerical path is the same expansion/compression as the unfused
+    product; the counted traffic omits the memory round-trip of ``B`` and
+    adds the one-pass output copy (§3.1.1's pre-allocation scheme).
+    """
+    _check_dims(R, A, P)
+    N2 = expansion_size(R, A)
+    B = spgemm(R, A, kernel="rap.fused_internal")
+    M2 = expansion_size(B, P)
+    C = spgemm(B, P, kernel="rap.fused_internal")
+    # Discard the two internal records; emit the fused kernel's accounting.
+    from ..perf.counters import active_log
+
+    log = active_log()
+    if log is not None:
+        log.records = [r for r in log.records if r.kernel != "rap.fused_internal.one_pass"]
+    bytes_read = (
+        _matrix_bytes(R)
+        + N2 * (VAL_BYTES + IDX_BYTES)  # gathered rows of A
+        + R.nnz * 2 * PTR_BYTES
+        + M2 * (VAL_BYTES + IDX_BYTES)  # gathered rows of P
+        + B.nnz * 2 * PTR_BYTES
+        + _matrix_bytes(C)  # one-pass chunk copy (read side)
+    )
+    bytes_written = 2 * _matrix_bytes(C)  # chunk write + contiguous copy
+    count(
+        "rap.fused",
+        flops=2 * N2 + 2 * M2,
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        branches=float(N2 + M2),
+    )
+    return C
+
+
+def rap_hypre_fusion(
+    R: CSRMatrix, A: CSRMatrix, P: CSRMatrix, *, two_pass: bool = True
+) -> CSRMatrix:
+    """Fig. 1b fusion (the baseline HYPRE scheme).
+
+    Saves all storage for ``B`` but recomputes ``temp * P_k`` per duplicated
+    ``(i, j, k)`` triple: ``N2 + 2*N3`` flops and ``N3`` accumulator
+    branches.  ``two_pass`` adds the symbolic pass of the traditional
+    size-discovery implementation.
+    """
+    _check_dims(R, A, P)
+    N2 = expansion_size(R, A)
+    B = spgemm(R, A, kernel="rap.hypre_internal")
+    C = spgemm(B, P, kernel="rap.hypre_internal")
+    from ..perf.counters import active_log
+
+    log = active_log()
+    if log is not None:
+        log.records = [r for r in log.records if r.kernel != "rap.hypre_internal.one_pass"]
+    p_rownnz = P.row_nnz().astype(np.float64)
+    w = segment_sum(p_rownnz[A.indices], A.row_ids(), A.nrows)
+    N3 = float(np.sum(w[R.indices]))
+    read_inputs = (
+        _matrix_bytes(R)
+        + N2 * (VAL_BYTES + IDX_BYTES)
+        + R.nnz * 2 * PTR_BYTES
+        + N3 * (VAL_BYTES + IDX_BYTES)  # P rows re-read per duplicated triple
+        + N2 * 2 * PTR_BYTES
+    )
+    bytes_read = read_inputs
+    branches = N3
+    if two_pass:
+        # Symbolic pass re-reads the index structure.
+        bytes_read += (
+            R.nnz * IDX_BYTES
+            + N2 * IDX_BYTES
+            + N3 * IDX_BYTES
+            + (R.nrows + 1) * PTR_BYTES
+        )
+        branches += N3
+    count(
+        "rap.hypre_fusion",
+        flops=N2 + 2 * N3,
+        bytes_read=bytes_read,
+        bytes_written=_matrix_bytes(C),
+        branches=branches,
+    )
+    return C
+
+
+def rap_cf_block(
+    A: CSRMatrix,
+    P_F: CSRMatrix,
+    cf_marker: np.ndarray,
+    *,
+    method: str = "one_pass",
+    already_partitioned: bool = False,
+) -> CSRMatrix:
+    """CF-block Galerkin product: ``A_CC + P_F^T A_FC + (A_CF + P_F^T A_FF) P_F``.
+
+    *A* is in its original ordering; *cf_marker* (>0 = C) selects the blocks.
+    ``P_F`` is the fine-point block of the interpolation matrix: rows are F
+    points (in compact F ordering), columns are coarse points.  Returns the
+    coarse operator in coarse-point ordering.
+
+    This is the §3.1.1 "Reordering of the Interpolation Matrix" optimization:
+    only the ``(n_l - n_{l+1})^2`` block ``A_FF`` enters a triple product.
+    """
+    A_CC, A_CF, A_FC, A_FF = extract_cf_blocks(
+        A, cf_marker, already_partitioned=already_partitioned
+    )
+    if P_F.nrows != A_FF.nrows or P_F.ncols != A_CC.nrows:
+        raise ValueError(
+            f"P_F shape {P_F.shape} inconsistent with CF split "
+            f"({A_FF.nrows} F pts, {A_CC.nrows} C pts)"
+        )
+    PFt = transpose(P_F, kernel="rap.pf_transpose")
+    t_fc = spgemm(PFt, A_FC, method=method, kernel="rap.pft_afc")
+    inner = sp_add(A_CF, spgemm(PFt, A_FF, method=method, kernel="rap.pft_aff"),
+                   kernel="rap.add_inner")
+    t_ff = spgemm(inner, P_F, method=method, kernel="rap.inner_pf")
+    return sp_add(sp_add(A_CC, t_fc, kernel="rap.add1"), t_ff, kernel="rap.add2")

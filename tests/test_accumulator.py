@@ -1,0 +1,69 @@
+"""Unit tests for the marker-array sparse accumulator (§3.1.1)."""
+
+import numpy as np
+
+from repro.sparse import CSRMatrix, SparseAccumulator, spgemm, spgemm_gustavson
+
+from conftest import random_csr
+
+
+class TestSparseAccumulator:
+    def test_single_row_union(self):
+        spa = SparseAccumulator(6)
+        spa.begin_row()
+        spa.scatter([1, 3], [1.0, 2.0])
+        spa.scatter([3, 5], [10.0, 4.0])
+        cols, vals = spa.finish_row()
+        order = np.argsort(cols)
+        np.testing.assert_array_equal(cols[order], [1, 3, 5])
+        np.testing.assert_allclose(vals[order], [1.0, 12.0, 4.0])
+
+    def test_marker_self_invalidates_across_rows(self):
+        """The `marker[k] < row_start` trick: no wholesale clearing."""
+        spa = SparseAccumulator(4)
+        spa.begin_row()
+        spa.scatter([2], [1.0])
+        spa.finish_row()
+        spa.begin_row()
+        spa.scatter([2], [5.0])  # same column, new row: must re-insert
+        cols, vals = spa.finish_row()
+        np.testing.assert_array_equal(cols, [2])
+        np.testing.assert_allclose(vals, [5.0])
+
+    def test_branch_counter(self):
+        spa = SparseAccumulator(4)
+        spa.begin_row()
+        spa.scatter([0, 1, 0], [1.0, 1.0, 1.0])
+        assert spa.branches_executed == 3
+
+    def test_result_matrix(self):
+        spa = SparseAccumulator(3)
+        indptr = np.zeros(3, dtype=np.int64)
+        spa.begin_row()
+        spa.scatter([0, 2], [1.0, 2.0])
+        indptr[1] = len(spa.cols)
+        spa.begin_row()
+        spa.scatter([1], [3.0])
+        indptr[2] = len(spa.cols)
+        M = spa.result((2, 3), indptr)
+        np.testing.assert_allclose(M.to_dense(), [[1, 0, 2], [0, 3, 0]])
+
+
+class TestGustavsonReference:
+    def test_matches_vectorized_many(self):
+        for seed in range(4):
+            A = random_csr(10, 8, density=0.3, seed=seed)
+            B = random_csr(8, 9, density=0.3, seed=seed + 50)
+            assert spgemm_gustavson(A, B).allclose(spgemm(A, B))
+
+    def test_empty_inputs(self):
+        A = CSRMatrix.zeros((3, 4))
+        B = CSRMatrix.zeros((4, 2))
+        C = spgemm_gustavson(A, B)
+        assert C.nnz == 0 and C.shape == (3, 2)
+
+    def test_two_pass_same_result(self):
+        A = random_csr(8, 8, density=0.4, seed=9)
+        assert spgemm_gustavson(A, A, preallocate=False).allclose(
+            spgemm_gustavson(A, A, preallocate=True)
+        )

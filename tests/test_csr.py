@@ -1,0 +1,158 @@
+"""Unit tests for the CSR matrix substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix
+
+from conftest import assert_csr_equal, random_csr
+
+
+class TestConstruction:
+    def test_from_coo_basic(self):
+        A = CSRMatrix.from_coo((2, 3), [0, 1, 1], [2, 0, 1], [1.0, 2.0, 3.0])
+        assert A.shape == (2, 3)
+        assert A.nnz == 3
+        np.testing.assert_allclose(A.to_dense(), [[0, 0, 1], [2, 3, 0]])
+
+    def test_from_coo_sums_duplicates(self):
+        A = CSRMatrix.from_coo((2, 2), [0, 0, 0], [1, 1, 0], [1.0, 2.0, 5.0])
+        np.testing.assert_allclose(A.to_dense(), [[5, 3], [0, 0]])
+        assert A.nnz == 2
+
+    def test_from_coo_keeps_duplicates_when_asked(self):
+        A = CSRMatrix.from_coo(
+            (1, 2), [0, 0], [1, 1], [1.0, 2.0], sum_duplicates=False
+        )
+        assert A.nnz == 2
+        np.testing.assert_allclose(A.to_dense(), [[0, 3]])
+
+    def test_from_coo_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo((2, 2), [0, 2], [0, 0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo((2, 2), [0, 1], [0, -1], [1.0, 1.0])
+
+    def test_from_dense_roundtrip(self, rng):
+        d = (rng.random((7, 9)) < 0.3) * rng.standard_normal((7, 9))
+        A = CSRMatrix.from_dense(d)
+        np.testing.assert_allclose(A.to_dense(), d)
+
+    def test_identity(self):
+        ident = CSRMatrix.identity(5)
+        np.testing.assert_allclose(ident.to_dense(), np.eye(5))
+
+    def test_zeros(self):
+        Z = CSRMatrix.zeros((3, 4))
+        assert Z.nnz == 0
+        np.testing.assert_allclose(Z.to_dense(), np.zeros((3, 4)))
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            CSRMatrix((1, 2), np.array([1, 1]), np.array([], dtype=np.int64),
+                      np.array([]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((1, 2), np.array([0, 2]), np.array([0]), np.array([1.0]))
+
+
+class TestAccessors:
+    def test_diagonal(self):
+        A = CSRMatrix.from_dense(np.array([[2.0, 1.0], [0.0, -3.0]]))
+        np.testing.assert_allclose(A.diagonal(), [2.0, -3.0])
+
+    def test_diagonal_missing_entries_are_zero(self):
+        A = CSRMatrix.from_coo((3, 3), [0, 2], [1, 2], [1.0, 4.0])
+        np.testing.assert_allclose(A.diagonal(), [0, 0, 4.0])
+
+    def test_row_nnz(self, lap2d_small):
+        assert lap2d_small.row_nnz().sum() == lap2d_small.nnz
+
+    def test_row_ids_cache_consistency(self, lap2d_small):
+        rid = lap2d_small.row_ids()
+        assert len(rid) == lap2d_small.nnz
+        assert rid.max() == lap2d_small.nrows - 1
+
+    def test_has_sorted_indices(self, lap2d_small):
+        assert lap2d_small.has_sorted_indices()
+
+    def test_sort_indices(self):
+        A = CSRMatrix((1, 4), np.array([0, 3]), np.array([3, 0, 2]),
+                      np.array([1.0, 2.0, 3.0]))
+        assert not A.has_sorted_indices()
+        B = A.sort_indices()
+        assert B.has_sorted_indices()
+        np.testing.assert_allclose(B.to_dense(), A.to_dense())
+
+
+class TestStructureOps:
+    def test_extract_rows(self, rng):
+        A = random_csr(10, 8, seed=3)
+        sub = A.extract_rows(np.array([7, 1, 4]))
+        np.testing.assert_allclose(sub.to_dense(), A.to_dense()[[7, 1, 4]])
+
+    def test_extract_columns(self):
+        A = CSRMatrix.from_dense(np.arange(12.0).reshape(3, 4) + 1)
+        mask = np.array([True, False, True, False])
+        new_index = np.array([0, -1, 1, -1])
+        B = A.extract_columns(mask, new_index)
+        np.testing.assert_allclose(B.to_dense(), A.to_dense()[:, [0, 2]])
+
+    def test_eliminate_zeros(self):
+        A = CSRMatrix.from_coo((2, 2), [0, 0, 1], [0, 1, 1], [1.0, 0.0, 2.0],
+                               sum_duplicates=False)
+        B = A.eliminate_zeros()
+        assert B.nnz == 2
+        np.testing.assert_allclose(B.to_dense(), A.to_dense())
+
+    def test_scale_rows(self, rng):
+        A = random_csr(6, 6, seed=1)
+        s = rng.random(6) + 0.5
+        np.testing.assert_allclose(
+            A.scale_rows(s).to_dense(), s[:, None] * A.to_dense()
+        )
+
+    def test_copy_is_independent(self, lap2d_small):
+        B = lap2d_small.copy()
+        B.data[:] = 0
+        assert lap2d_small.data.max() > 0
+
+    def test_check_passes_on_valid(self, lap2d_small):
+        lap2d_small.check()
+
+    def test_row_slice_arrays(self):
+        A = CSRMatrix.from_dense(np.array([[1.0, 0], [0, 2.0], [3.0, 4.0]]))
+        local, cols, vals = A.row_slice_arrays(np.array([2, 0]))
+        np.testing.assert_array_equal(local, [0, 0, 1])
+        np.testing.assert_array_equal(cols, [0, 1, 0])
+        np.testing.assert_allclose(vals, [3, 4, 1])
+
+
+class TestOperatorsAndConversion:
+    def test_matmul_matrix(self):
+        A = random_csr(6, 5, seed=2)
+        B = random_csr(5, 7, seed=3)
+        assert_csr_equal(A @ B, A.to_scipy() @ B.to_scipy())
+
+    def test_matmul_vector(self, rng):
+        A = random_csr(6, 5, seed=4)
+        x = rng.standard_normal(5)
+        np.testing.assert_allclose(A @ x, A.to_dense() @ x)
+
+    def test_transpose_property(self):
+        A = random_csr(4, 6, seed=5)
+        np.testing.assert_allclose(A.T.to_dense(), A.to_dense().T)
+
+    def test_scipy_roundtrip(self):
+        A = random_csr(8, 8, seed=6)
+        B = CSRMatrix.from_scipy(A.to_scipy())
+        assert A.allclose(B)
+
+    def test_allclose_shape_mismatch(self):
+        assert not CSRMatrix.identity(2).allclose(CSRMatrix.identity(3))
+
+    def test_repr(self, lap2d_small):
+        assert "CSRMatrix" in repr(lap2d_small)

@@ -1,0 +1,220 @@
+"""Unit tests for the distributed substrate core (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    ParCSRMatrix,
+    ParVector,
+    RowPartition,
+    SimComm,
+    build_halo,
+    dist_rap,
+    dist_residual_norm,
+    dist_spgemm,
+    dist_spmv,
+    dist_transpose,
+)
+from repro.perf import FDRInfinibandModel
+from repro.problems import laplace_2d_5pt, laplace_3d_7pt
+from repro.sparse import spgemm as seq_spgemm
+from repro.sparse import transpose as seq_transpose
+from repro.sparse.spmv import spmv
+
+from conftest import random_csr
+
+
+class TestRowPartition:
+    def test_uniform(self):
+        p = RowPartition.uniform(10, 3)
+        assert p.n == 10 and p.nranks == 3
+        assert sum(p.size(r) for r in range(3)) == 10
+
+    def test_owner_of(self):
+        p = RowPartition.from_sizes([3, 2, 5])
+        np.testing.assert_array_equal(
+            p.owner_of(np.array([0, 2, 3, 4, 5, 9])), [0, 0, 1, 1, 2, 2]
+        )
+
+    def test_to_local_and_owns(self):
+        p = RowPartition.from_sizes([3, 4])
+        np.testing.assert_array_equal(p.to_local(np.array([3, 6]), 1), [0, 3])
+        np.testing.assert_array_equal(
+            p.owns(np.array([2, 3]), 0), [True, False]
+        )
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            RowPartition(np.array([1, 2]))
+
+
+class TestParCSR:
+    @pytest.mark.parametrize("nranks", [1, 3, 7])
+    def test_roundtrip(self, nranks):
+        A = random_csr(20, 20, seed=1)
+        part = RowPartition.uniform(20, nranks)
+        Ap = ParCSRMatrix.from_global(A, part)
+        assert Ap.to_global().allclose(A)
+        assert Ap.nnz == A.nnz
+
+    def test_rectangular(self):
+        A = random_csr(12, 7, seed=2)
+        Ap = ParCSRMatrix.from_global(
+            A, RowPartition.uniform(12, 3), RowPartition.uniform(7, 3)
+        )
+        assert Ap.to_global().allclose(A)
+
+    def test_colmap_sorted_and_external(self):
+        A = laplace_2d_5pt(6)
+        Ap = ParCSRMatrix.from_global(A, RowPartition.uniform(36, 4))
+        for p, blk in enumerate(Ap.blocks):
+            assert np.all(np.diff(blk.colmap) > 0)
+            assert not np.any(Ap.col_part.owns(blk.colmap, p))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ParCSRMatrix.from_global(random_csr(5, 5, seed=3),
+                                     RowPartition.uniform(6, 2))
+
+
+class TestParVector:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal(17)
+        part = RowPartition.uniform(17, 4)
+        assert np.allclose(ParVector.from_global(x, part).to_global(), x)
+
+    def test_zeros_and_copy(self):
+        part = RowPartition.uniform(9, 3)
+        z = ParVector.zeros(part)
+        c = z.copy()
+        c.parts[0][:] = 5
+        assert z.parts[0].sum() == 0
+
+
+class TestHaloAndSpMV:
+    @pytest.mark.parametrize("nranks", [2, 4, 7])
+    def test_dist_spmv_matches(self, nranks, rng):
+        A = laplace_2d_5pt(10)
+        part = RowPartition.uniform(A.nrows, nranks)
+        comm = SimComm(nranks)
+        Ap = ParCSRMatrix.from_global(A, part)
+        halo = build_halo(comm, Ap, persistent=True)
+        x = rng.standard_normal(A.nrows)
+        y = dist_spmv(comm, Ap, ParVector.from_global(x, part), halo)
+        np.testing.assert_allclose(y.to_global(), spmv(A, x))
+
+    def test_halo_message_pattern(self):
+        A = laplace_2d_5pt(8)
+        comm = SimComm(4)
+        Ap = ParCSRMatrix.from_global(A, RowPartition.uniform(64, 4))
+        halo = build_halo(comm, Ap, persistent=False)
+        halo(ParVector.zeros(Ap.row_part))
+        # 1-D row partition of a 2-D grid: each rank talks to its
+        # neighbours -> 6 directed messages for 4 ranks.
+        assert comm.message_count(tag="halo") == 6
+
+    def test_persistent_flag_logged(self):
+        A = laplace_2d_5pt(8)
+        for persistent in (True, False):
+            comm = SimComm(2)
+            Ap = ParCSRMatrix.from_global(A, RowPartition.uniform(64, 2))
+            halo = build_halo(comm, Ap, persistent=persistent)
+            halo(ParVector.zeros(Ap.row_part))
+            assert all(m.event.persistent == persistent for m in comm.messages)
+
+    def test_persistent_cheaper_in_model(self):
+        A = laplace_2d_5pt(12)
+        net = FDRInfinibandModel()
+        times = {}
+        for persistent in (True, False):
+            comm = SimComm(4)
+            Ap = ParCSRMatrix.from_global(A, RowPartition.uniform(A.nrows, 4))
+            halo = build_halo(comm, Ap, persistent=persistent)
+            x = ParVector.zeros(Ap.row_part)
+            for _ in range(10):
+                halo(x)
+            times[persistent] = comm.comm_time(net)
+        assert times[True] < times[False]
+
+    def test_residual_norm(self, rng):
+        A = laplace_2d_5pt(8)
+        part = RowPartition.uniform(64, 3)
+        comm = SimComm(3)
+        Ap = ParCSRMatrix.from_global(A, part)
+        halo = build_halo(comm, Ap, persistent=True)
+        x = rng.standard_normal(64)
+        b = rng.standard_normal(64)
+        r, nrm = dist_residual_norm(
+            comm, Ap, ParVector.from_global(x, part),
+            ParVector.from_global(b, part), halo,
+        )
+        np.testing.assert_allclose(r.to_global(), b - spmv(A, x))
+        assert nrm == pytest.approx(np.linalg.norm(b - spmv(A, x)))
+        assert len(comm.collectives) == 1
+
+
+class TestDistTranspose:
+    @pytest.mark.parametrize("nranks", [2, 5])
+    def test_matches_sequential(self, nranks):
+        A = random_csr(15, 11, density=0.2, seed=4)
+        comm = SimComm(nranks)
+        Ap = ParCSRMatrix.from_global(
+            A, RowPartition.uniform(15, nranks), RowPartition.uniform(11, nranks)
+        )
+        T = dist_transpose(comm, Ap)
+        assert T.to_global().allclose(seq_transpose(A))
+        assert T.row_part.n == 11 and T.col_part.n == 15
+
+
+class TestDistSpGEMM:
+    @pytest.mark.parametrize("nranks", [2, 4])
+    @pytest.mark.parametrize("parallel_renumber", [True, False])
+    def test_matches_sequential(self, nranks, parallel_renumber):
+        A = laplace_2d_5pt(8)
+        comm = SimComm(nranks)
+        Ap = ParCSRMatrix.from_global(A, RowPartition.uniform(64, nranks))
+        C = dist_spgemm(comm, Ap, Ap, parallel_renumber=parallel_renumber)
+        assert C.to_global().allclose(seq_spgemm(A, A))
+
+    def test_rectangular_product(self, rng):
+        A = random_csr(18, 12, density=0.2, seed=5)
+        B = random_csr(12, 9, density=0.3, seed=6)
+        comm = SimComm(3)
+        Ap = ParCSRMatrix.from_global(
+            A, RowPartition.uniform(18, 3), RowPartition.uniform(12, 3)
+        )
+        Bp = ParCSRMatrix.from_global(
+            B, RowPartition.uniform(12, 3), RowPartition.uniform(9, 3)
+        )
+        C = dist_spgemm(comm, Ap, Bp)
+        assert C.to_global().allclose(seq_spgemm(A, B))
+
+    def test_partition_mismatch_rejected(self):
+        A = random_csr(10, 10, seed=7)
+        comm = SimComm(2)
+        Ap = ParCSRMatrix.from_global(A, RowPartition.uniform(10, 2))
+        Bp = ParCSRMatrix.from_global(
+            A, RowPartition.from_sizes([7, 3]), RowPartition.uniform(10, 2)
+        )
+        with pytest.raises(ValueError):
+            dist_spgemm(comm, Ap, Bp)
+
+    def test_dist_rap(self):
+        A = laplace_3d_7pt(5)
+        n = A.nrows
+        rng = np.random.default_rng(8)
+        nc = n // 4
+        dense = (rng.random((n, nc)) < 0.1) * rng.random((n, nc))
+        dense[np.arange(nc), np.arange(nc)] = 1.0
+        from repro.sparse import CSRMatrix
+
+        P = CSRMatrix.from_dense(dense)
+        comm = SimComm(4)
+        Ap = ParCSRMatrix.from_global(A, RowPartition.uniform(n, 4))
+        Pp = ParCSRMatrix.from_global(
+            P, RowPartition.uniform(n, 4), RowPartition.uniform(nc, 4)
+        )
+        Ac, R = dist_rap(comm, Ap, Pp)
+        ref = seq_spgemm(seq_spgemm(seq_transpose(P), A), P)
+        assert Ac.to_global().allclose(ref)
+        assert R.to_global().allclose(seq_transpose(P))

@@ -1,0 +1,90 @@
+"""Unit tests for column-index renumbering (§4.2, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.dist import renumber_baseline, renumber_parallel
+from repro.perf import HaswellModel, collect
+
+
+@pytest.fixture
+def case(rng):
+    old = np.array([5, 9, 20, 33], dtype=np.int64)
+    queries = rng.choice(
+        np.array([2, 5, 7, 9, 20, 21, 33, 40, 41, 2, 7, 40]), size=60
+    ).astype(np.int64)
+    return old, queries
+
+
+class TestCorrectness:
+    def test_both_algorithms_identical(self, case):
+        old, q = case
+        a = renumber_baseline(old, q)
+        b = renumber_parallel(old, q, nthreads=4)
+        np.testing.assert_array_equal(a.colmap_new, b.colmap_new)
+        np.testing.assert_array_equal(a.compressed, b.compressed)
+        assert a.n_appended == b.n_appended
+
+    def test_old_colmap_is_prefix(self, case):
+        old, q = case
+        res = renumber_parallel(old, q)
+        np.testing.assert_array_equal(res.colmap_new[: len(old)], old)
+
+    def test_appended_sorted_unique(self, case):
+        old, q = case
+        res = renumber_parallel(old, q)
+        appended = res.colmap_new[len(old):]
+        assert np.all(np.diff(appended) > 0)
+        assert not np.isin(appended, old).any()
+
+    def test_lookup_consistency(self, case):
+        """compressed[t] must point at the query's global id in colmap_new."""
+        old, q = case
+        res = renumber_parallel(old, q)
+        np.testing.assert_array_equal(res.colmap_new[res.compressed], q)
+
+    def test_no_new_columns(self):
+        old = np.array([3, 8], dtype=np.int64)
+        res = renumber_baseline(old, np.array([8, 3, 8], dtype=np.int64))
+        assert res.n_appended == 0
+        np.testing.assert_array_equal(res.compressed, [1, 0, 1])
+
+    def test_empty_queries(self):
+        res = renumber_parallel(np.array([1, 2], dtype=np.int64),
+                                np.empty(0, dtype=np.int64))
+        assert res.n_appended == 0 and len(res.compressed) == 0
+
+    def test_empty_old_colmap(self):
+        res = renumber_baseline(np.empty(0, dtype=np.int64),
+                                np.array([7, 3, 7], dtype=np.int64))
+        np.testing.assert_array_equal(res.colmap_new, [3, 7])
+        np.testing.assert_array_equal(res.compressed, [1, 0, 1])
+
+    def test_single_thread_parallel_variant(self, case):
+        old, q = case
+        a = renumber_parallel(old, q, nthreads=1)
+        b = renumber_baseline(old, q)
+        np.testing.assert_array_equal(a.compressed, b.compressed)
+
+
+class TestAccounting:
+    def test_baseline_serial_parallel_tagged(self, case):
+        old, q = case
+        with collect() as log:
+            renumber_baseline(old, q)
+            renumber_parallel(old, q)
+        base, par = log.records
+        assert not base.parallel and par.parallel
+
+    def test_parallel_faster_in_model(self, rng):
+        """§4.2/§5.4: on large index streams the Fig. 4 renumbering is much
+        faster than the serial ordered set."""
+        machine = HaswellModel()
+        old = np.sort(rng.choice(100000, 500, replace=False)).astype(np.int64)
+        q = rng.integers(0, 100000, 50000).astype(np.int64)
+        with collect() as log:
+            renumber_baseline(old, q)
+            renumber_parallel(old, q, nthreads=14)
+        t_base = machine.record_time(log.records[0])
+        t_par = machine.record_time(log.records[1])
+        assert t_base > 3 * t_par

@@ -1,0 +1,144 @@
+"""Tests for FMG, distributed PCG, and the Chrome-trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import AMGSolver, single_node_config, multi_node_config
+from repro.amg import build_hierarchy, full_multigrid
+from repro.dist import (
+    DistAMGSolver,
+    ParCSRMatrix,
+    ParVector,
+    RowPartition,
+    SimComm,
+    dist_pcg,
+)
+from repro.perf import (
+    FDRInfinibandModel,
+    HaswellModel,
+    PerfLog,
+    collect,
+    comm_to_trace,
+    count,
+    log_to_trace,
+    phase,
+    write_trace,
+)
+from repro.problems import laplace_2d_5pt, laplace_3d_7pt
+from repro.sparse.spmv import spmv
+
+
+class TestFMG:
+    def test_one_pass_accuracy(self, rng):
+        A = laplace_2d_5pt(24)
+        h = build_hierarchy(A, single_node_config(nthreads=4))
+        b = rng.standard_normal(A.nrows)
+        # hierarchy ordering == user ordering translation via the solver
+        s = AMGSolver(single_node_config(nthreads=4))
+        s.hierarchy = h
+        x = s._from_level0(full_multigrid(h, s._to_level0(b)))
+        relres = np.linalg.norm(b - spmv(A, x)) / np.linalg.norm(b)
+        # One FMG pass ~ a few V-cycles of accuracy.
+        assert relres < 0.2
+
+    def test_beats_single_vcycle(self, rng):
+        from repro.amg import vcycle
+
+        A = laplace_3d_7pt(9)
+        h = build_hierarchy(A, single_node_config(nthreads=4))
+        b = rng.standard_normal(A.nrows)
+        x_v = vcycle(h, b)
+        x_f = full_multigrid(h, b)
+        r_v = np.linalg.norm(b - spmv(h.levels[0].A, x_v))
+        r_f = np.linalg.norm(b - spmv(h.levels[0].A, x_f))
+        assert r_f < r_v
+
+    def test_extra_vcycles_improve(self, rng):
+        A = laplace_2d_5pt(20)
+        h = build_hierarchy(A, single_node_config(nthreads=4))
+        b = rng.standard_normal(A.nrows)
+        r1 = np.linalg.norm(b - spmv(h.levels[0].A,
+                                     full_multigrid(h, b, vcycles_per_level=1)))
+        r2 = np.linalg.norm(b - spmv(h.levels[0].A,
+                                     full_multigrid(h, b, vcycles_per_level=2)))
+        assert r2 < r1
+
+
+class TestDistPCG:
+    def test_converges_and_matches_direct(self, rng):
+        A = laplace_2d_5pt(16)
+        part = RowPartition.uniform(A.nrows, 3)
+        comm = SimComm(3)
+        Ap = ParCSRMatrix.from_global(A, part)
+        b = rng.standard_normal(A.nrows)
+        res = dist_pcg(comm, Ap, ParVector.from_global(b, part), tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(
+            res.x.to_global(), np.linalg.solve(A.to_dense(), b), atol=1e-6
+        )
+
+    def test_amg_preconditioned_fewer_iterations(self):
+        A = laplace_2d_5pt(20)
+        part = RowPartition.uniform(A.nrows, 4)
+        comm = SimComm(4)
+        Ap = ParCSRMatrix.from_global(A, part)
+        b = ParVector.from_global(np.ones(A.nrows), part)
+        s = DistAMGSolver(comm, multi_node_config("ei", nthreads=4))
+        s.setup(Ap)
+        pre = dist_pcg(comm, Ap, b, precondition=s.precondition, tol=1e-8)
+        plain = dist_pcg(comm, Ap, b, tol=1e-8)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_collectives_logged(self, rng):
+        A = laplace_2d_5pt(10)
+        part = RowPartition.uniform(A.nrows, 2)
+        comm = SimComm(2)
+        Ap = ParCSRMatrix.from_global(A, part)
+        n0 = len(comm.collectives)
+        dist_pcg(comm, Ap, ParVector.from_global(rng.standard_normal(A.nrows), part),
+                 tol=1e-6)
+        assert len(comm.collectives) > n0
+
+    def test_zero_rhs(self):
+        A = laplace_2d_5pt(8)
+        part = RowPartition.uniform(A.nrows, 2)
+        comm = SimComm(2)
+        Ap = ParCSRMatrix.from_global(A, part)
+        res = dist_pcg(comm, Ap, ParVector.zeros(part))
+        assert res.converged and res.iterations == 0
+
+
+class TestTraceExport:
+    def test_log_to_trace_structure(self):
+        log = PerfLog()
+        with collect(log):
+            with phase("RAP"):
+                count("k1", flops=100, bytes_read=1e6)
+            count("k2", bytes_written=5e5)
+        events = log_to_trace(log, HaswellModel())
+        assert len(events) == 2
+        assert events[0]["cat"] == "RAP"
+        assert events[0]["ph"] == "X"
+        assert events[1]["ts"] >= events[0]["ts"] + events[0]["dur"] - 1e-6
+
+    def test_comm_to_trace_and_write(self, tmp_path, rng):
+        A = laplace_2d_5pt(8)
+        part = RowPartition.uniform(A.nrows, 2)
+        comm = SimComm(2)
+        Ap = ParCSRMatrix.from_global(A, part)
+        dist_pcg(comm, Ap,
+                 ParVector.from_global(rng.standard_normal(A.nrows), part),
+                 tol=1e-4)
+        events = comm_to_trace(comm, HaswellModel(), FDRInfinibandModel())
+        p = tmp_path / "trace.json"
+        write_trace(p, events)
+        data = json.loads(p.read_text())
+        assert len(data["traceEvents"]) == len(events)
+        names = {e["name"] for e in events}
+        assert any(n.startswith("msg") for n in names)
+        # Valid Trace Event essentials.
+        for e in events:
+            assert "ph" in e and "pid" in e

@@ -1,0 +1,236 @@
+"""Unit tests for interpolation operators and truncation (§3.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.amg import (
+    direct_interpolation,
+    extended_i_interpolation,
+    extended_i_reference,
+    multipass_interpolation,
+    pmis,
+    aggressive_pmis,
+    strength_matrix,
+    truncate_interpolation,
+    two_stage_extended_i,
+)
+from repro.perf import collect
+from repro.problems import (
+    anisotropic_2d,
+    laplace_2d_5pt,
+    laplace_3d_7pt,
+    laplace_3d_27pt,
+)
+from repro.sparse import CSRMatrix
+
+
+def setup_cf(A, theta=0.25, seed=0, aggressive=False):
+    S = strength_matrix(A, theta, 0.8)
+    if aggressive:
+        cf, cf1 = aggressive_pmis(S, seed=seed)
+        return S, cf, cf1
+    return S, pmis(S, seed=seed), None
+
+
+class TestExtendedI:
+    @pytest.mark.parametrize(
+        "gen", [lambda: laplace_2d_5pt(10), lambda: laplace_3d_7pt(6),
+                lambda: laplace_3d_27pt(5), lambda: anisotropic_2d(10)]
+    )
+    def test_matches_reference(self, gen):
+        A = gen()
+        S, cf, _ = setup_cf(A)
+        P_vec = extended_i_interpolation(A, S, cf, truncate=False)
+        P_ref = extended_i_reference(A, S, cf)
+        np.testing.assert_allclose(
+            P_vec.to_dense(), P_ref.to_dense(), atol=1e-13
+        )
+
+    def test_c_rows_are_identity(self):
+        A = laplace_2d_5pt(10)
+        S, cf, _ = setup_cf(A)
+        P = extended_i_interpolation(A, S, cf, truncate=False)
+        dense = P.to_dense()
+        c_idx = np.cumsum(cf > 0) - 1
+        for i in np.flatnonzero(cf > 0):
+            row = dense[i]
+            assert row[c_idx[i]] == 1.0
+            assert np.count_nonzero(row) == 1
+
+    def test_interior_row_sums_near_one(self):
+        """Zero-row-sum interior rows of the Laplacian interpolate the
+        constant exactly: P row sums = 1."""
+        A = laplace_3d_7pt(7)
+        S, cf, _ = setup_cf(A)
+        P = extended_i_interpolation(A, S, cf, truncate=False)
+        rs = P.to_dense().sum(axis=1)
+        interior = np.abs(A.to_dense().sum(axis=1)) < 1e-12
+        f_interior = interior & (cf <= 0)
+        if f_interior.any():
+            np.testing.assert_allclose(rs[f_interior], 1.0, atol=1e-10)
+
+    def test_shape(self):
+        A = laplace_2d_5pt(9)
+        S, cf, _ = setup_cf(A)
+        P = extended_i_interpolation(A, S, cf)
+        assert P.shape == (A.nrows, int((cf > 0).sum()))
+
+    def test_truncation_limits_row_size(self):
+        """With a large relative factor the threshold is the max_elmts-th
+        largest entry (paper: thr = min(tf*|p|_(1), |p|_(max_elmts))), so
+        rows shrink to ~max_elmts (ties may add a few)."""
+        A = laplace_3d_27pt(5)
+        S, cf, _ = setup_cf(A, theta=0.25)
+        P_raw = extended_i_interpolation(A, S, cf, truncate=False)
+        P = extended_i_interpolation(A, S, cf, trunc_fact=0.9, max_elmts=4)
+        assert P.nnz < P_raw.nnz
+        # Laplacian symmetry creates ties; allow a margin above 4.
+        assert np.median(P.row_nnz()[P.row_nnz() > 1]) <= 8
+
+    def test_active_rows_restriction(self):
+        A = laplace_2d_5pt(8)
+        S, cf, _ = setup_cf(A)
+        active = np.zeros(A.nrows, dtype=bool)
+        active[: A.nrows // 2] = True
+        P = extended_i_interpolation(A, S, cf, truncate=False, active_rows=active)
+        assert np.all(P.row_nnz()[~active] == 0)
+        P_full = extended_i_interpolation(A, S, cf, truncate=False)
+        np.testing.assert_allclose(
+            P.to_dense()[active], P_full.to_dense()[active]
+        )
+
+    def test_branch_counting_reordered(self):
+        A = laplace_2d_5pt(10)
+        S, cf, _ = setup_cf(A)
+        with collect() as opt:
+            extended_i_interpolation(A, S, cf, reordered=True)
+        with collect() as base:
+            extended_i_interpolation(A, S, cf, reordered=False)
+        b_opt = sum(r.branches for r in opt.records if r.kernel == "interp.extended_i")
+        b_base = sum(r.branches for r in base.records if r.kernel == "interp.extended_i")
+        assert b_base > 2 * b_opt
+
+
+class TestDirectInterpolation:
+    def test_c_rows_identity(self):
+        A = laplace_2d_5pt(8)
+        S, cf, _ = setup_cf(A)
+        P = direct_interpolation(A, S, cf)
+        c_idx = np.cumsum(cf > 0) - 1
+        dense = P.to_dense()
+        for i in np.flatnonzero(cf > 0):
+            assert dense[i, c_idx[i]] == 1.0
+
+    def test_interior_row_sums(self):
+        A = laplace_2d_5pt(10)
+        S, cf, _ = setup_cf(A)
+        P = direct_interpolation(A, S, cf)
+        rs = P.to_dense().sum(axis=1)
+        interior = np.abs(A.to_dense().sum(axis=1)) < 1e-12
+        sel = interior & (cf <= 0) & (P.row_nnz() > 0)
+        if sel.any():
+            np.testing.assert_allclose(rs[sel], 1.0, atol=1e-10)
+
+    def test_rows_subset(self):
+        A = laplace_2d_5pt(8)
+        S, cf, _ = setup_cf(A)
+        f = np.flatnonzero(cf <= 0)[:3]
+        P = direct_interpolation(A, S, cf, rows=f)
+        nnz_f_rows = P.row_nnz()[np.flatnonzero(cf <= 0)]
+        built = np.isin(np.flatnonzero(cf <= 0), f)
+        assert np.all(nnz_f_rows[~built] == 0)
+
+    def test_weights_nonnegative_for_mmatrix(self):
+        A = laplace_2d_5pt(8)
+        S, cf, _ = setup_cf(A)
+        P = direct_interpolation(A, S, cf)
+        assert P.data.min() >= 0.0
+
+
+class TestTruncation:
+    def test_row_sum_preserved(self, rng):
+        dense = (rng.random((20, 8)) < 0.6) * rng.random((20, 8))
+        P = CSRMatrix.from_dense(dense)
+        Pt = truncate_interpolation(P, 0.2, 3)
+        np.testing.assert_allclose(
+            Pt.to_dense().sum(axis=1), P.to_dense().sum(axis=1), atol=1e-12
+        )
+
+    def test_keeps_at_least_max_elmts_entries(self, rng):
+        dense = rng.random((10, 12)) + 0.1  # full rows, distinct values
+        P = CSRMatrix.from_dense(dense)
+        Pt = truncate_interpolation(P, 0.99, 4, rescale=False)
+        assert np.all(Pt.row_nnz() >= 4)
+
+    def test_relative_threshold_only_for_short_rows(self):
+        P = CSRMatrix.from_dense(np.array([[1.0, 0.05, 0.5]]))
+        Pt = truncate_interpolation(P, 0.1, 4, rescale=False)
+        np.testing.assert_allclose(Pt.to_dense(), [[1.0, 0.0, 0.5]])
+
+    def test_noop_when_disabled(self):
+        P = CSRMatrix.from_dense(np.array([[1.0, 0.001]]))
+        Pt = truncate_interpolation(P, 0.0, 0)
+        assert Pt.nnz == 2
+
+    def test_fused_counts_less_traffic(self, rng):
+        dense = (rng.random((50, 20)) < 0.5) * rng.random((50, 20))
+        P = CSRMatrix.from_dense(dense)
+        with collect() as f:
+            truncate_interpolation(P, 0.2, 3, fused=True)
+        with collect() as u:
+            truncate_interpolation(P, 0.2, 3, fused=False)
+        assert f.total("bytes_total") < u.total("bytes_total")
+
+
+class TestMultipass:
+    def test_all_reachable_f_points_interpolated(self):
+        A = laplace_2d_5pt(12)
+        S, cf, _ = setup_cf(A, aggressive=True)
+        P = multipass_interpolation(A, S, cf)
+        f_rows = np.flatnonzero(cf <= 0)
+        assert np.all(P.row_nnz()[f_rows] > 0)
+
+    def test_c_rows_identity(self):
+        A = laplace_2d_5pt(12)
+        S, cf, _ = setup_cf(A, aggressive=True)
+        P = multipass_interpolation(A, S, cf)
+        c_idx = np.cumsum(cf > 0) - 1
+        dense = P.to_dense()
+        for i in np.flatnonzero(cf > 0):
+            assert dense[i, c_idx[i]] == pytest.approx(1.0)
+
+    def test_interior_row_sums(self):
+        A = laplace_3d_7pt(7)
+        S = strength_matrix(A, 0.25, 0.8)
+        cf, _ = aggressive_pmis(S, seed=1)
+        P = multipass_interpolation(A, S, cf, trunc_fact=0.0, max_elmts=0)
+        rs = P.to_dense().sum(axis=1)
+        interior = np.abs(A.to_dense().sum(axis=1)) < 1e-12
+        sel = interior & (cf <= 0)
+        # Exactly 1 only when every source row is itself interior; boundary
+        # influence leaks in through later passes, so allow a band.
+        assert sel.any()
+        assert rs[sel].max() <= 1.0 + 1e-8
+        assert rs[sel].min() >= 0.7
+        assert rs[sel].mean() > 0.9
+
+
+class TestTwoStage:
+    def test_shapes_and_coverage(self):
+        A = laplace_3d_7pt(7)
+        S = strength_matrix(A, 0.25, 0.8)
+        cf, cf1 = aggressive_pmis(S, seed=1)
+        P = two_stage_extended_i(A, S, cf, cf1)
+        assert P.shape == (A.nrows, int((cf > 0).sum()))
+        assert P.row_nnz().min() >= 0
+        # Most F points should be reachable through two stages.
+        covered = (P.row_nnz() > 0).mean()
+        assert covered > 0.9
+
+    def test_rejects_inconsistent_stages(self):
+        A = laplace_2d_5pt(6)
+        S = strength_matrix(A, 0.25, 0.8)
+        cf1 = pmis(S, seed=0)
+        bad_final = np.where(cf1 > 0, -1, 1)  # C points not a subset
+        with pytest.raises(ValueError):
+            two_stage_extended_i(A, S, bad_final, cf1)

@@ -1,0 +1,115 @@
+"""Unit tests for matrix I/O (MatrixMarket, NPZ)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    load_matrix_market,
+    load_npz,
+    save_matrix_market,
+    save_npz,
+)
+
+from conftest import random_csr
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, rng):
+        A = random_csr(12, 9, density=0.3, seed=1)
+        p = tmp_path / "a.mtx"
+        save_matrix_market(p, A, comment="roundtrip\ntwo lines")
+        assert A.allclose(load_matrix_market(p))
+
+    def test_gzip_roundtrip(self, tmp_path):
+        A = random_csr(6, 6, seed=2)
+        p = tmp_path / "a.mtx.gz"
+        save_matrix_market(p, A)
+        assert A.allclose(load_matrix_market(p))
+
+    def test_symmetric_expansion(self, tmp_path):
+        p = tmp_path / "s.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 4\n1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 5.0\n"
+        )
+        S = load_matrix_market(p)
+        np.testing.assert_allclose(
+            S.to_dense(), [[2, -1, 0], [-1, 2, 0], [0, 0, 5.0]]
+        )
+
+    def test_skew_symmetric(self, tmp_path):
+        p = tmp_path / "k.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n"
+        )
+        K = load_matrix_market(p)
+        np.testing.assert_allclose(K.to_dense(), [[0, -3.0], [3.0, 0]])
+
+    def test_pattern_field(self, tmp_path):
+        p = tmp_path / "p.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 3 2\n1 2\n2 3\n"
+        )
+        P = load_matrix_market(p)
+        np.testing.assert_allclose(P.to_dense(), [[0, 1, 0], [0, 0, 1]])
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "c.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "1 1 1\n1 1 4.0\n"
+        )
+        np.testing.assert_allclose(load_matrix_market(p).to_dense(), [[4.0]])
+
+    def test_rejects_non_coordinate(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError):
+            load_matrix_market(p)
+
+    def test_rejects_complex(self, tmp_path):
+        p = tmp_path / "c.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n")
+        with pytest.raises(ValueError):
+            load_matrix_market(p)
+
+    def test_empty_matrix(self, tmp_path):
+        p = tmp_path / "e.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n3 4 0\n")
+        E = load_matrix_market(p)
+        assert E.shape == (3, 4) and E.nnz == 0
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        A = random_csr(20, 20, seed=3)
+        p = tmp_path / "a.npz"
+        save_npz(p, A)
+        B = load_npz(p)
+        assert A.allclose(B)
+        assert B.shape == A.shape
+
+    def test_preserves_exact_values(self, tmp_path):
+        A = random_csr(10, 10, seed=4)
+        p = tmp_path / "a.npz"
+        save_npz(p, A)
+        B = load_npz(p)
+        np.testing.assert_array_equal(A.data, B.data)
+        np.testing.assert_array_equal(A.indices, B.indices)
+
+    def test_solver_on_loaded_matrix(self, tmp_path):
+        from repro import AMGSolver, single_node_config
+        from repro.problems import laplace_2d_5pt
+
+        A = laplace_2d_5pt(16)
+        p = tmp_path / "lap.npz"
+        save_npz(p, A)
+        B = load_npz(p)
+        s = AMGSolver(single_node_config(nthreads=2))
+        s.setup(B)
+        res = s.solve(np.ones(B.nrows), tol=1e-7)
+        assert res.converged

@@ -1,0 +1,108 @@
+"""Unit tests for the Krylov solvers."""
+
+import numpy as np
+import pytest
+
+from repro.amg import AMGSolver
+from repro.config import single_node_config
+from repro.krylov import fgmres, gmres, pcg
+from repro.problems import laplace_2d_5pt
+from repro.sparse.spmv import spmv
+
+from conftest import random_csr
+
+
+class TestGMRES:
+    def test_solves_spd(self, rng):
+        A = random_csr(30, 30, seed=1, spd=True)
+        b = rng.standard_normal(30)
+        res = gmres(A, b, tol=1e-10, max_iter=100)
+        assert res.converged
+        np.testing.assert_allclose(
+            res.x, np.linalg.solve(A.to_dense(), b), atol=1e-6
+        )
+
+    def test_solves_nonsymmetric(self, rng):
+        dense = np.eye(25) * 10 + rng.standard_normal((25, 25)) * 0.5
+        from repro.sparse import CSRMatrix
+
+        A = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(25)
+        res = gmres(A, b, tol=1e-10)
+        np.testing.assert_allclose(res.x, np.linalg.solve(dense, b), atol=1e-6)
+
+    def test_restart_path(self, rng):
+        A = random_csr(40, 40, seed=2, spd=True)
+        b = rng.standard_normal(40)
+        res = gmres(A, b, tol=1e-8, max_iter=150, restart=5)
+        assert res.converged
+
+    def test_zero_rhs(self):
+        A = random_csr(10, 10, seed=3, spd=True)
+        res = gmres(A, np.zeros(10))
+        assert res.converged and res.iterations == 0
+
+    def test_residual_history_decreases(self, rng):
+        A = random_csr(30, 30, seed=4, spd=True)
+        res = gmres(A, rng.standard_normal(30), tol=1e-10)
+        r = np.array(res.residuals)
+        assert np.all(np.diff(r) <= 1e-12)
+
+    def test_iteration_growth_with_size(self):
+        """The §1 motivation: Krylov iterations grow with problem size."""
+        iters = []
+        for nx in (8, 16, 24):
+            A = laplace_2d_5pt(nx)
+            b = np.ones(A.nrows)
+            res = gmres(A, b, tol=1e-6, max_iter=500, restart=500)
+            iters.append(res.iterations)
+        assert iters[0] < iters[1] < iters[2]
+
+
+class TestFGMRESWithAMG:
+    def test_o1_iterations(self):
+        A = laplace_2d_5pt(32)
+        b = np.ones(A.nrows)
+        s = AMGSolver(single_node_config(nthreads=4))
+        s.setup(A)
+        res = fgmres(A, b, precondition=s.precondition, tol=1e-8)
+        assert res.converged and res.iterations < 15
+        err = np.linalg.norm(b - spmv(A, res.x)) / np.linalg.norm(b)
+        assert err < 1e-7
+
+    def test_beats_unpreconditioned(self):
+        A = laplace_2d_5pt(24)
+        b = np.ones(A.nrows)
+        s = AMGSolver(single_node_config(nthreads=4))
+        s.setup(A)
+        pre = fgmres(A, b, precondition=s.precondition, tol=1e-7)
+        plain = gmres(A, b, tol=1e-7, max_iter=500, restart=500)
+        assert pre.iterations < plain.iterations / 3
+
+
+class TestPCG:
+    def test_solves_spd(self, rng):
+        A = random_csr(35, 35, seed=5, spd=True)
+        b = rng.standard_normal(35)
+        res = pcg(A, b, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(res.x, np.linalg.solve(A.to_dense(), b), atol=1e-6)
+
+    def test_amg_preconditioned(self):
+        A = laplace_2d_5pt(24)
+        b = np.ones(A.nrows)
+        s = AMGSolver(single_node_config(nthreads=4))
+        s.setup(A)
+        pre = pcg(A, b, precondition=s.precondition, tol=1e-8)
+        plain = pcg(A, b, tol=1e-8)
+        assert pre.converged and pre.iterations < plain.iterations / 3
+
+    def test_zero_rhs(self):
+        A = random_csr(10, 10, seed=6, spd=True)
+        res = pcg(A, np.zeros(10))
+        assert res.converged and res.iterations == 0
+
+    def test_final_relres_property(self, rng):
+        A = random_csr(20, 20, seed=7, spd=True)
+        res = pcg(A, rng.standard_normal(20), tol=1e-9)
+        assert res.final_relres <= 1e-9

@@ -1,0 +1,77 @@
+"""Unit tests for the vectorized low-level helpers."""
+
+import numpy as np
+
+from repro.sparse.ops import (
+    counts_from_indptr,
+    gather_range_indices,
+    indptr_from_counts,
+    prefix_sum_partition,
+    row_ids_from_indptr,
+    segment_sum,
+)
+
+
+class TestRowIds:
+    def test_basic(self):
+        indptr = np.array([0, 2, 2, 5])
+        np.testing.assert_array_equal(row_ids_from_indptr(indptr), [0, 0, 2, 2, 2])
+
+    def test_empty(self):
+        np.testing.assert_array_equal(row_ids_from_indptr(np.array([0])), [])
+
+    def test_all_empty_rows(self):
+        np.testing.assert_array_equal(
+            row_ids_from_indptr(np.array([0, 0, 0])), []
+        )
+
+
+class TestIndptrCounts:
+    def test_roundtrip(self):
+        counts = np.array([3, 0, 2, 1])
+        indptr = indptr_from_counts(counts)
+        np.testing.assert_array_equal(indptr, [0, 3, 3, 5, 6])
+        np.testing.assert_array_equal(counts_from_indptr(indptr), counts)
+
+    def test_prefix_sum_partition(self):
+        indptr, total = prefix_sum_partition([2, 5, 0])
+        assert total == 7
+        np.testing.assert_array_equal(indptr, [0, 2, 7, 7])
+
+
+class TestGatherRanges:
+    def test_basic(self):
+        out = gather_range_indices(np.array([5, 0, 10]), np.array([2, 3, 1]))
+        np.testing.assert_array_equal(out, [5, 6, 0, 1, 2, 10])
+
+    def test_empty_segments(self):
+        out = gather_range_indices(np.array([3, 7]), np.array([0, 2]))
+        np.testing.assert_array_equal(out, [7, 8])
+
+    def test_all_empty(self):
+        assert len(gather_range_indices(np.array([1, 2]), np.array([0, 0]))) == 0
+
+    def test_no_segments(self):
+        assert len(gather_range_indices(np.array([]), np.array([]))) == 0
+
+    def test_matches_naive(self, rng):
+        starts = rng.integers(0, 100, 50)
+        counts = rng.integers(0, 10, 50)
+        expect = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(starts, counts)]
+        ) if counts.sum() else np.empty(0)
+        np.testing.assert_array_equal(gather_range_indices(starts, counts), expect)
+
+
+class TestSegmentSum:
+    def test_basic(self):
+        out = segment_sum(np.array([1.0, 2.0, 3.0]), np.array([0, 0, 2]), 3)
+        np.testing.assert_allclose(out, [3, 0, 3])
+
+    def test_empty(self):
+        np.testing.assert_allclose(segment_sum(np.array([]), np.array([], dtype=int), 4),
+                                   np.zeros(4))
+
+    def test_truncates_to_nseg(self):
+        out = segment_sum(np.array([1.0]), np.array([1]), 2)
+        assert len(out) == 2

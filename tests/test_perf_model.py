@@ -1,0 +1,180 @@
+"""Tests for the instrumentation layer and the machine/network models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    FDRInfinibandModel,
+    HaswellModel,
+    K40cModel,
+    KernelRecord,
+    MessageEvent,
+    PerfLog,
+    collect,
+    count,
+    current_phase,
+    format_breakdown,
+    format_table,
+    geomean,
+    phase,
+)
+
+
+class TestCounters:
+    def test_noop_without_active_log(self):
+        count("x", flops=1)  # must not raise
+
+    def test_collect_captures(self):
+        with collect() as log:
+            count("k1", flops=5, bytes_read=10)
+            count("k2", bytes_written=3)
+        assert len(log) == 2
+        assert log.total("flops") == 5
+        assert log.total("bytes_written") == 3
+
+    def test_phase_tagging_and_nesting(self):
+        with collect() as log:
+            with phase("Setup"):
+                count("a")
+                with phase("RAP"):
+                    count("b")
+                count("c")
+            count("d")
+        assert [r.phase for r in log.records] == ["Setup", "RAP", "Setup",
+                                                  "unattributed"]
+
+    def test_phase_survives_log_switch(self):
+        """The global phase stack must tag per-rank logs too (§4 sim)."""
+        inner = PerfLog()
+        with collect():
+            with phase("Interp"):
+                with collect(inner):
+                    count("k")
+        assert inner.records[0].phase == "Interp"
+
+    def test_default_mispredict_rate(self):
+        with collect() as log:
+            count("k", branches=100)
+        assert log.records[0].mispredicts == pytest.approx(30.0)
+
+    def test_totals_by_phase(self):
+        with collect() as log:
+            with phase("A"):
+                count("x", flops=1)
+                count("y", flops=2)
+            with phase("B"):
+                count("z", flops=4)
+        tb = log.totals_by_phase()
+        assert tb["A"].flops == 3 and tb["B"].flops == 4
+
+    def test_merge_and_clear(self):
+        a, b = PerfLog(), PerfLog()
+        with collect(a):
+            count("x")
+        with collect(b):
+            count("y")
+        a.merge(b)
+        assert len(a) == 2
+        a.clear()
+        assert len(a) == 0
+
+    def test_current_phase_helper(self):
+        assert current_phase() == "unattributed"
+        with phase("GS"):
+            assert current_phase() == "GS"
+
+
+class TestMachineModel:
+    def test_memory_bound_kernel(self):
+        m = HaswellModel()
+        rec = KernelRecord("p", "k", flops=10, bytes_read=54e9, bytes_written=0)
+        # 54 GB at ~half stream efficiency -> roughly 2 s.
+        t = m.record_time(rec)
+        assert 1.0 < t < 4.0
+
+    def test_serial_slower_than_parallel(self):
+        m = HaswellModel()
+        par = KernelRecord("p", "k", bytes_read=1e9, parallel=True)
+        ser = KernelRecord("p", "k", bytes_read=1e9, parallel=False)
+        assert m.record_time(ser) > 3 * m.record_time(par)
+
+    def test_branch_penalty_additive(self):
+        m = HaswellModel()
+        clean = KernelRecord("p", "k", bytes_read=1e6)
+        branchy = KernelRecord("p", "k", bytes_read=1e6, mispredicts=1e6)
+        assert m.record_time(branchy) > m.record_time(clean)
+
+    def test_gpu_launch_overhead_dominates_small_kernels(self):
+        gpu = K40cModel()
+        cpu = HaswellModel()
+        tiny = KernelRecord("p", "k", bytes_read=1e3)
+        assert gpu.record_time(tiny) > cpu.record_time(tiny)
+
+    def test_gpu_faster_on_big_streaming(self):
+        gpu = K40cModel()
+        cpu = HaswellModel()
+        big = KernelRecord("p", "k", bytes_read=1e9)
+        assert gpu.record_time(big, irregular_fraction=0.0) < cpu.record_time(
+            big, irregular_fraction=0.0
+        )
+
+    def test_phase_times(self):
+        m = HaswellModel()
+        log = PerfLog()
+        with collect(log):
+            with phase("A"):
+                count("k", bytes_read=1e6)
+            with phase("B"):
+                count("k", bytes_read=2e6)
+        pt = m.phase_times(log)
+        assert pt["B"] == pytest.approx(2 * pt["A"])
+
+
+class TestNetworkModel:
+    def test_small_messages_low_bandwidth(self):
+        net = FDRInfinibandModel()
+        assert net.message_bw(10e3) < net.message_bw(1e6)
+        assert net.message_bw(1e6) == net.peak_bw
+
+    def test_sub_100kb_under_1gbs(self):
+        """The paper measures <1 GB/s effective for <100 KB messages."""
+        net = FDRInfinibandModel()
+        nbytes = 80e3
+        t = net.message_time(MessageEvent(0, 1, int(nbytes), True))
+        assert nbytes / t < 1.6e9
+
+    def test_persistent_message_cheaper(self):
+        net = FDRInfinibandModel()
+        t_p = net.message_time(MessageEvent(0, 1, 1000, True))
+        t_n = net.message_time(MessageEvent(0, 1, 1000, False))
+        assert t_p < t_n
+
+    def test_exchange_time_is_busiest_rank(self):
+        net = FDRInfinibandModel()
+        msgs = [MessageEvent(0, 1, 1000, True), MessageEvent(0, 2, 1000, True)]
+        t = net.exchange_time(msgs, 3)
+        assert t == pytest.approx(2 * net.message_time(msgs[0]))
+
+    def test_allreduce_log_scaling(self):
+        net = FDRInfinibandModel()
+        assert net.allreduce_time(64) == pytest.approx(
+            net.allreduce_time(2) * math.ceil(math.log2(64))
+        )
+        assert net.allreduce_time(1) == 0.0
+
+
+class TestReporting:
+    def test_format_table(self):
+        s = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in s and "bb" in s and "2.5" in s
+
+    def test_format_breakdown_normalized(self):
+        s = format_breakdown("row", {"GS": 1.0, "SpMV": 3.0}, normalize_to=4.0,
+                             order=["GS", "SpMV"])
+        assert "total=1.000" in s and "GS=0.250" in s
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0

@@ -1,0 +1,184 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    TABLE2_SUITE,
+    amg2013_problem,
+    anisotropic_2d,
+    gaussian_random_field_3d,
+    generate,
+    laplace_2d_5pt,
+    laplace_3d_7pt,
+    laplace_3d_27pt,
+    lognormal_permeability,
+    reservoir_problem,
+    rotated_anisotropy_2d,
+    suite_names,
+    variable_coefficient_3d_7pt,
+)
+
+
+def is_symmetric(A):
+    return np.allclose(A.to_dense(), A.to_dense().T)
+
+
+class TestLaplacians:
+    def test_2d_interior_stencil(self):
+        A = laplace_2d_5pt(5)
+        dense = A.to_dense()
+        c = 2 * 5 + 2  # interior point
+        assert dense[c, c] == 4.0
+        assert dense[c].sum() == 0.0
+
+    def test_2d_rectangular(self):
+        A = laplace_2d_5pt(4, 6)
+        assert A.shape == (24, 24)
+        assert is_symmetric(A)
+
+    def test_3d7_properties(self):
+        A = laplace_3d_7pt(4)
+        assert A.shape == (64, 64)
+        assert is_symmetric(A)
+        assert np.all(A.diagonal() == 6.0)
+
+    def test_3d27_nnz_per_row(self):
+        A = laplace_3d_27pt(5)
+        # Interior rows have the full 27-point stencil.
+        assert A.row_nnz().max() == 27
+        assert np.all(A.diagonal() == 26.0)
+        assert is_symmetric(A)
+
+    def test_spd(self):
+        for A in (laplace_2d_5pt(6), laplace_3d_7pt(4), laplace_3d_27pt(4)):
+            w = np.linalg.eigvalsh(A.to_dense())
+            assert w.min() > 0
+
+
+class TestVariableCoefficient:
+    def test_constant_kappa_interior_matches_laplace(self):
+        kap = np.ones((4, 4, 4))
+        A = variable_coefficient_3d_7pt(kap)
+        L = laplace_3d_7pt(4)
+        # Interior rows agree (boundary closure differs by design).
+        dense, ldense = A.to_dense(), L.to_dense()
+        interior = [(i * 4 + j) * 4 + k
+                    for i in range(1, 3) for j in range(1, 3) for k in range(1, 3)]
+        for p in interior:
+            off = np.delete(dense[p], p)
+            loff = np.delete(ldense[p], p)
+            np.testing.assert_allclose(off, loff)
+
+    def test_symmetric_and_positive_definite(self):
+        kap = lognormal_permeability((4, 4, 4), seed=1)
+        A = variable_coefficient_3d_7pt(kap)
+        assert is_symmetric(A)
+        assert np.linalg.eigvalsh(A.to_dense()).min() > 0
+
+
+class TestGRF:
+    def test_normalized(self):
+        f = gaussian_random_field_3d((16, 16, 16), seed=0)
+        assert abs(f.mean()) < 1e-10
+        assert f.std() == pytest.approx(1.0)
+
+    def test_correlation_increases_smoothness(self):
+        rough = gaussian_random_field_3d((24, 24, 24), correlation_length=1.0, seed=1)
+        smooth = gaussian_random_field_3d((24, 24, 24), correlation_length=8.0, seed=1)
+
+        def grad_energy(f):
+            return np.mean(np.diff(f, axis=0) ** 2)
+
+        assert grad_energy(smooth) < grad_energy(rough)
+
+    def test_permeability_contrast(self):
+        k = lognormal_permeability((16, 16, 16), log10_contrast=6.0, seed=2)
+        assert k.min() > 0
+        assert k.max() / k.min() > 1e3
+
+    def test_reproducible(self):
+        a = gaussian_random_field_3d((8, 8, 8), seed=5)
+        b = gaussian_random_field_3d((8, 8, 8), seed=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestReservoir:
+    def test_well_pair_rhs(self):
+        A, b, kap = reservoir_problem(8, 8, 4, seed=0)
+        assert b.sum() == pytest.approx(0.0)
+        assert (b != 0).sum() == 2
+
+    def test_shapes(self):
+        A, b, kap = reservoir_problem(8, 8, 4)
+        assert A.shape == (256, 256) and len(b) == 256 and kap.shape == (8, 8, 4)
+
+
+class TestAMG2013:
+    def test_requires_eight_ranks(self):
+        with pytest.raises(ValueError):
+            amg2013_problem(4)
+
+    def test_structure(self):
+        A, sizes = amg2013_problem(8, r=5, seed=0)
+        assert A.nrows == 8 * 125
+        assert len(sizes) == 8 and sizes.sum() == A.nrows
+        assert is_symmetric(A)
+        assert 6.0 < A.nnz / A.nrows < 9.0
+
+    def test_spd(self):
+        A, _ = amg2013_problem(8, r=4)
+        assert np.linalg.eigvalsh(A.to_dense()).min() > 0
+
+
+class TestAnisotropic:
+    def test_axis_aligned(self):
+        A = anisotropic_2d(6, epsilon=0.1)
+        dense = A.to_dense()
+        c = 2 * 6 + 2
+        assert dense[c, c - 6] == -1.0  # strong x coupling
+        assert dense[c, c - 1] == pytest.approx(-0.1)
+
+    def test_rotated_has_nine_points(self):
+        A = rotated_anisotropy_2d(8)
+        assert A.row_nnz().max() == 9
+
+    def test_rotated_symmetric(self):
+        assert is_symmetric(rotated_anisotropy_2d(6))
+
+
+class TestSuite:
+    def test_fourteen_matrices(self):
+        assert len(TABLE2_SUITE) == 14
+        assert len(set(suite_names())) == 14
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_nnz_per_row_matches_paper(self, name):
+        A, meta = generate(name, scale=256)
+        got = A.nnz / A.nrows
+        assert abs(got - meta.paper_nnz_per_row) / meta.paper_nnz_per_row < 0.35, (
+            f"{name}: {got:.1f} vs paper {meta.paper_nnz_per_row}"
+        )
+
+    def test_scale_controls_size(self):
+        small, _ = generate("lap2d_2000", scale=512)
+        big, _ = generate("lap2d_2000", scale=64)
+        assert big.nrows > 2 * small.nrows
+
+    def test_atmosmod_nonsymmetric(self):
+        A, _ = generate("atmosmodd", scale=512)
+        assert not is_symmetric(A)
+
+    def test_symmetric_members(self):
+        for name in ("G2_circuit", "thermal2", "tmt_sym", "lap3d_128"):
+            A, _ = generate(name, scale=512)
+            assert is_symmetric(A), name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate("nope")
+
+    def test_diagonals_positive(self):
+        for name in suite_names():
+            A, _ = generate(name, scale=512)
+            assert A.diagonal().min() > 0, name

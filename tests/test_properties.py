@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on the core data structures/invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.amg import pmis, strength_matrix, truncate_interpolation
+from repro.dist import (
+    ParCSRMatrix,
+    ParVector,
+    RowPartition,
+    SimComm,
+    build_halo,
+    dist_spmv,
+    renumber_baseline,
+    renumber_parallel,
+)
+from repro.sparse import CSRMatrix, sp_add, spgemm, transpose
+from repro.sparse.ops import gather_range_indices, segment_sum
+from repro.sparse.reorder import cf_permutation, permute_matrix
+from repro.sparse.spmv import spmv
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def csr_matrices(draw, max_n=14, square=False, spd=False):
+    n = draw(st.integers(2, max_n))
+    m = n if (square or spd) else draw(st.integers(2, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    density = draw(st.floats(0.05, 0.5))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, m)) < density) * rng.standard_normal((n, m))
+    if spd:
+        dense = dense + dense.T + np.eye(n) * (np.abs(dense).sum() + 1.0)
+    return CSRMatrix.from_dense(dense)
+
+
+class TestSparseAlgebra:
+    @given(A=csr_matrices(), seed=st.integers(0, 1000))
+    @settings(**COMMON)
+    def test_spgemm_matches_dense(self, A, seed):
+        rng = np.random.default_rng(seed)
+        k = draw_cols = A.ncols
+        dense = (rng.random((k, 6)) < 0.4) * rng.standard_normal((k, 6))
+        B = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(
+            spgemm(A, B).to_dense(), A.to_dense() @ dense, atol=1e-10
+        )
+
+    @given(A=csr_matrices())
+    @settings(**COMMON)
+    def test_transpose_involution(self, A):
+        assert transpose(transpose(A)).allclose(A)
+
+    @given(A=csr_matrices(), seed=st.integers(0, 1000))
+    @settings(**COMMON)
+    def test_spmv_linear(self, A, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(A.ncols)
+        y = rng.standard_normal(A.ncols)
+        a = float(rng.standard_normal())
+        np.testing.assert_allclose(
+            spmv(A, a * x + y), a * spmv(A, x) + spmv(A, y), atol=1e-9
+        )
+
+    @given(A=csr_matrices(square=True), B=csr_matrices(square=True))
+    @settings(**COMMON)
+    def test_sp_add_commutes_when_shapes_match(self, A, B):
+        if A.shape != B.shape:
+            return
+        assert sp_add(A, B).allclose(sp_add(B, A))
+
+    @given(A=csr_matrices(square=True), seed=st.integers(0, 1000))
+    @settings(**COMMON)
+    def test_permutation_similarity(self, A, seed):
+        rng = np.random.default_rng(seed)
+        cf = np.where(rng.random(A.nrows) < 0.5, 1, -1)
+        new2old, old2new = cf_permutation(cf)
+        B = permute_matrix(A, new2old)
+        x = rng.standard_normal(A.nrows)
+        # (P A P^T)(P x) = P (A x)
+        np.testing.assert_allclose(
+            spmv(B, x[new2old]), spmv(A, x)[new2old], atol=1e-10
+        )
+
+
+class TestAMGProperties:
+    @given(seed=st.integers(0, 10_000), n=st.integers(3, 12),
+           theta=st.floats(0.1, 0.9))
+    @settings(**COMMON)
+    def test_pmis_independence_on_random_spd(self, seed, n, theta):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n, n)) < 0.4) * -rng.random((n, n))
+        dense = dense + dense.T
+        np.fill_diagonal(dense, -dense.sum(axis=1) + 1.0)
+        A = CSRMatrix.from_dense(dense)
+        S = strength_matrix(A, theta)
+        cf = pmis(S, seed=seed)
+        adj = ((S.to_dense() != 0) | (S.to_dense().T != 0))
+        np.fill_diagonal(adj, False)
+        c = np.flatnonzero(cf > 0)
+        assert not adj[np.ix_(c, c)].any()
+        assert np.all((cf == 1) | (cf == -1))
+
+    @given(P=csr_matrices(), tf=st.floats(0.0, 0.9), k=st.integers(1, 6))
+    @settings(**COMMON)
+    def test_truncation_preserves_row_sums(self, P, tf, k):
+        Pt = truncate_interpolation(P, tf, k)
+        np.testing.assert_allclose(
+            Pt.to_dense().sum(axis=1), P.to_dense().sum(axis=1), atol=1e-9
+        )
+
+    @given(P=csr_matrices(), tf=st.floats(0.0, 0.9), k=st.integers(1, 6))
+    @settings(**COMMON)
+    def test_truncation_pattern_subset(self, P, tf, k):
+        Pt = truncate_interpolation(P, tf, k, rescale=False)
+        mask_t = Pt.to_dense() != 0
+        mask_p = P.to_dense() != 0
+        assert not (mask_t & ~mask_p).any()
+
+
+class TestOpsProperties:
+    @given(seed=st.integers(0, 10_000), nseg=st.integers(1, 20))
+    @settings(**COMMON)
+    def test_segment_sum_total(self, seed, nseg):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 50)
+        ids = rng.integers(0, nseg, m)
+        vals = rng.standard_normal(m)
+        out = segment_sum(vals, ids, nseg)
+        assert np.isclose(out.sum(), vals.sum())
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(**COMMON)
+    def test_gather_ranges_matches_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        k = rng.integers(0, 10)
+        starts = rng.integers(0, 30, k)
+        counts = rng.integers(0, 6, k)
+        expect = (
+            np.concatenate([np.arange(s, s + c) for s, c in zip(starts, counts)])
+            if counts.sum()
+            else np.empty(0)
+        )
+        np.testing.assert_array_equal(
+            gather_range_indices(starts, counts), expect
+        )
+
+
+class TestDistProperties:
+    @given(seed=st.integers(0, 10_000), nranks=st.integers(1, 6))
+    @settings(**COMMON)
+    def test_renumber_algorithms_agree(self, seed, nranks):
+        rng = np.random.default_rng(seed)
+        old = np.unique(rng.integers(0, 200, rng.integers(0, 10)))
+        q = rng.integers(0, 200, rng.integers(0, 60)).astype(np.int64)
+        a = renumber_baseline(old, q)
+        b = renumber_parallel(old, q, nthreads=nranks)
+        np.testing.assert_array_equal(a.colmap_new, b.colmap_new)
+        np.testing.assert_array_equal(a.compressed, b.compressed)
+        if len(q):
+            np.testing.assert_array_equal(a.colmap_new[a.compressed], q)
+
+    @given(A=csr_matrices(square=True), nranks=st.integers(1, 5),
+           seed=st.integers(0, 1000))
+    @settings(**COMMON)
+    def test_dist_spmv_equals_sequential(self, A, nranks, seed):
+        rng = np.random.default_rng(seed)
+        part = RowPartition.uniform(A.nrows, nranks)
+        comm = SimComm(nranks)
+        Ap = ParCSRMatrix.from_global(A, part)
+        halo = build_halo(comm, Ap, persistent=True)
+        x = rng.standard_normal(A.nrows)
+        y = dist_spmv(comm, Ap, ParVector.from_global(x, part), halo)
+        np.testing.assert_allclose(y.to_global(), spmv(A, x), atol=1e-10)
+
+    @given(A=csr_matrices(square=True), sizes_seed=st.integers(0, 1000))
+    @settings(**COMMON)
+    def test_parcsr_roundtrip_random_partition(self, A, sizes_seed):
+        rng = np.random.default_rng(sizes_seed)
+        nranks = int(rng.integers(1, min(5, A.nrows) + 1))
+        cuts = np.sort(rng.integers(0, A.nrows + 1, nranks - 1))
+        bounds = np.concatenate([[0], cuts, [A.nrows]])
+        part = RowPartition(bounds)
+        Ap = ParCSRMatrix.from_global(A, part)
+        assert Ap.to_global().allclose(A)

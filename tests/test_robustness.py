@@ -1,0 +1,159 @@
+"""Failure injection / degenerate inputs through the full stack.
+
+A production solver must not crash on weird-but-legal operators: diagonal
+matrices, disconnected domains, dense rows, near-singular systems, tiny
+problems below the coarsening threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AMGSolver, fgmres, single_node_config
+from repro.amg import build_hierarchy, pmis, strength_matrix
+from repro.problems import laplace_2d_5pt
+from repro.sparse import CSRMatrix
+from repro.sparse.spmv import spmv
+
+from conftest import random_csr
+
+
+def solve_ok(A, tol=1e-8, max_iter=200):
+    b = np.random.default_rng(0).standard_normal(A.nrows)
+    s = AMGSolver(single_node_config(nthreads=2))
+    s.setup(A)
+    res = s.solve(b, tol=tol, max_iter=max_iter)
+    err = np.linalg.norm(b - spmv(A, res.x)) / np.linalg.norm(b)
+    return res, err
+
+
+class TestDegenerateOperators:
+    def test_diagonal_matrix(self):
+        A = CSRMatrix.from_dense(np.diag(np.arange(1.0, 41.0)))
+        res, err = solve_ok(A)
+        assert res.converged and err < 1e-7
+
+    def test_tiny_matrix_below_coarse_size(self):
+        A = CSRMatrix.from_dense(np.diag([2.0, 3.0, 4.0]) - 0.1)
+        res, err = solve_ok(A)
+        assert res.converged
+
+    def test_disconnected_domains(self):
+        """Two independent grids in one matrix."""
+        L = laplace_2d_5pt(8)
+        n = L.nrows
+        dense = np.zeros((2 * n, 2 * n))
+        dense[:n, :n] = L.to_dense()
+        dense[n:, n:] = L.to_dense() * 2.0
+        A = CSRMatrix.from_dense(dense)
+        res, err = solve_ok(A)
+        assert res.converged and err < 1e-7
+
+    def test_matrix_with_dense_row(self):
+        L = laplace_2d_5pt(8).to_dense()
+        L[0, :] = -0.01
+        L[:, 0] = -0.01
+        L[0, 0] = 1.0 + 0.01 * len(L)
+        np.fill_diagonal(L, np.abs(L).sum(axis=1) + 1.0)
+        A = CSRMatrix.from_dense(L)
+        res, err = solve_ok(A)
+        assert res.converged
+
+    def test_wide_value_range(self):
+        """Coefficients spanning 12 orders of magnitude."""
+        rng = np.random.default_rng(1)
+        scale = 10.0 ** rng.uniform(-6, 6, 64)
+        L = laplace_2d_5pt(8).to_dense()
+        D = np.diag(np.sqrt(scale))
+        A = CSRMatrix.from_dense(D @ L @ D)
+        res, err = solve_ok(A, tol=1e-6)
+        assert res.converged
+
+    def test_near_singular_regularized(self):
+        """Neumann-like operator with a tiny shift still converges under
+        FGMRES+AMG."""
+        L = laplace_2d_5pt(10).to_dense()
+        # Make rows sum to zero (pure Neumann), then shift slightly.
+        np.fill_diagonal(L, 0.0)
+        np.fill_diagonal(L, -L.sum(axis=1) + 1e-6)
+        A = CSRMatrix.from_dense(L)
+        b = np.random.default_rng(0).standard_normal(A.nrows)
+        b -= b.mean()
+        s = AMGSolver(single_node_config(nthreads=2))
+        s.setup(A)
+        res = fgmres(A, b, precondition=s.precondition, tol=1e-6, max_iter=300)
+        assert res.converged
+
+    def test_single_row(self):
+        A = CSRMatrix.from_dense(np.array([[5.0]]))
+        res, err = solve_ok(A)
+        assert res.converged and err < 1e-12
+
+    def test_already_coarse_hierarchy_is_single_level(self):
+        A = CSRMatrix.from_dense(np.diag(np.ones(10)) * 3)
+        h = build_hierarchy(A, single_node_config(nthreads=2))
+        assert h.num_levels == 1
+
+
+class TestStrengthAndCoarseningEdgeCases:
+    def test_strength_of_diagonal_matrix_is_empty(self):
+        A = CSRMatrix.from_dense(np.diag([1.0, 2.0, 3.0]))
+        S = strength_matrix(A, 0.25)
+        assert S.nnz == 0
+
+    def test_pmis_on_empty_strength(self):
+        from repro.amg import F_PT
+
+        S = CSRMatrix.zeros((5, 5))
+        cf = pmis(S, seed=0)
+        assert np.all(cf == F_PT)
+
+    def test_hierarchy_stops_when_all_fine(self):
+        # Diagonal-dominant => everything weak => no C points => 1 level.
+        A = CSRMatrix.from_dense(np.eye(80) * 10 + np.eye(80, k=1) * 1e-6)
+        h = build_hierarchy(A, single_node_config(nthreads=2))
+        assert h.num_levels == 1
+
+    def test_interp_empty_coarse_grid(self):
+        from repro.amg import extended_i_interpolation
+
+        A = CSRMatrix.from_dense(np.eye(4) * 2)
+        S = strength_matrix(A, 0.25)
+        cf = np.full(4, -1)
+        P = extended_i_interpolation(A, S, cf, truncate=False)
+        assert P.shape == (4, 0)
+
+
+class TestSolverRobustness:
+    def test_max_iter_respected(self):
+        A = laplace_2d_5pt(16)
+        s = AMGSolver(single_node_config(nthreads=2))
+        s.setup(A)
+        res = s.solve(np.ones(A.nrows), tol=1e-30, max_iter=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_x0_used(self):
+        A = laplace_2d_5pt(12)
+        b = np.ones(A.nrows)
+        s = AMGSolver(single_node_config(nthreads=2))
+        s.setup(A)
+        exact = s.solve(b, tol=1e-12).x
+        res = s.solve(b, tol=1e-8, x0=exact)
+        assert res.iterations <= 1
+
+    def test_solve_twice_same_result(self):
+        A = laplace_2d_5pt(12)
+        b = np.ones(A.nrows)
+        s = AMGSolver(single_node_config(nthreads=2))
+        s.setup(A)
+        x1 = s.solve(b, tol=1e-9).x
+        x2 = s.solve(b, tol=1e-9).x
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_nonfinite_rhs_raises_or_flags(self):
+        A = laplace_2d_5pt(8)
+        s = AMGSolver(single_node_config(nthreads=2))
+        s.setup(A)
+        res = s.solve(np.full(A.nrows, np.nan), max_iter=2)
+        # Must terminate (not hang/crash); convergence is impossible.
+        assert not res.converged or np.isnan(res.residuals[-1])

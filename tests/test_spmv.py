@@ -1,0 +1,145 @@
+"""Unit tests for SpMV kernels and their paper-specific variants."""
+
+import numpy as np
+import pytest
+
+from repro.perf import collect
+from repro.sparse import (
+    CSRMatrix,
+    compose_cf_interpolation,
+    residual,
+    spmv,
+    spmv_dot_fused,
+    spmv_identity_block,
+    spmv_identity_block_transposed,
+    spmv_transposed,
+)
+
+from conftest import random_csr
+
+
+class TestSpMV:
+    def test_matches_dense(self, rng):
+        A = random_csr(20, 15, seed=1)
+        x = rng.standard_normal(15)
+        np.testing.assert_allclose(spmv(A, x), A.to_dense() @ x)
+
+    def test_empty_rows(self):
+        A = CSRMatrix.from_coo((4, 4), [1], [2], [3.0])
+        np.testing.assert_allclose(spmv(A, np.ones(4)), [0, 3, 0, 0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            spmv(CSRMatrix.identity(3), np.ones(4))
+
+    def test_counts_traffic(self):
+        A = random_csr(10, 10, seed=2)
+        with collect() as log:
+            spmv(A, np.ones(10))
+        assert len(log.records) == 1
+        rec = log.records[0]
+        assert rec.flops == 2 * A.nnz
+        assert rec.bytes_read > 0 and rec.bytes_written > 0
+
+
+class TestTransposedSpMV:
+    def test_matches_dense(self, rng):
+        A = random_csr(12, 9, seed=3)
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(spmv_transposed(A, x), A.to_dense().T @ x)
+
+    def test_materialize_counts_transpose(self):
+        A = random_csr(12, 9, seed=3)
+        x = np.ones(12)
+        with collect() as log1:
+            y1 = spmv_transposed(A, x, materialize=False)
+        with collect() as log2:
+            y2 = spmv_transposed(A, x, materialize=True)
+        np.testing.assert_allclose(y1, y2)
+        # The baseline "transpose each restriction" pays extra traffic.
+        assert log2.total("bytes_read") > log1.total("bytes_read")
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            spmv_transposed(CSRMatrix.identity(3), np.ones(4))
+
+
+class TestIdentityBlockSpMV:
+    @pytest.fixture
+    def pf_setup(self, rng):
+        nc, nf = 6, 10
+        P_F = random_csr(nf, nc, density=0.4, seed=4)
+        P = compose_cf_interpolation(P_F)
+        return P, P_F, nc, nf
+
+    def test_interp_matches_full(self, pf_setup, rng):
+        P, P_F, nc, nf = pf_setup
+        xc = rng.standard_normal(nc)
+        np.testing.assert_allclose(
+            spmv_identity_block(P_F, xc), P.to_dense() @ xc
+        )
+
+    def test_restrict_matches_full(self, pf_setup, rng):
+        P, P_F, nc, nf = pf_setup
+        xf = rng.standard_normal(nc + nf)
+        np.testing.assert_allclose(
+            spmv_identity_block_transposed(P_F, xf), P.to_dense().T @ xf
+        )
+
+    def test_permuted_identity_block(self, pf_setup, rng):
+        P, P_F, nc, nf = pf_setup
+        cperm = rng.permutation(nc)
+        # P with its identity block replaced by the permutation matrix Pi.
+        dense = P.to_dense().copy()
+        dense[:nc] = 0.0
+        dense[np.arange(nc), cperm] = 1.0
+        xc = rng.standard_normal(nc)
+        np.testing.assert_allclose(
+            spmv_identity_block(P_F, xc, cperm), dense @ xc
+        )
+        xf = rng.standard_normal(nc + nf)
+        np.testing.assert_allclose(
+            spmv_identity_block_transposed(P_F, xf, cperm), dense.T @ xf
+        )
+
+    def test_reads_only_pf(self, pf_setup):
+        P, P_F, nc, nf = pf_setup
+        with collect() as log:
+            spmv_identity_block(P_F, np.ones(nc))
+        with collect() as log_full:
+            spmv(P, np.ones(nc))
+        assert log.total("bytes_read") < log_full.total("bytes_read")
+
+
+class TestFusedKernels:
+    def test_spmv_dot_fused_values(self, rng):
+        A = random_csr(15, 15, seed=5)
+        x = rng.standard_normal(15)
+        y, d = spmv_dot_fused(A, x)
+        np.testing.assert_allclose(y, A.to_dense() @ x)
+        assert d == pytest.approx(float(y @ y))
+
+    def test_spmv_dot_fused_with_w(self, rng):
+        A = random_csr(15, 15, seed=6)
+        x = rng.standard_normal(15)
+        w = rng.standard_normal(15)
+        y, d = spmv_dot_fused(A, x, w)
+        assert d == pytest.approx(float(y @ w))
+
+    def test_fused_saves_write(self):
+        A = random_csr(30, 30, seed=7)
+        x = np.ones(30)
+        with collect() as fused:
+            spmv_dot_fused(A, x)
+        with collect() as plain:
+            spmv(A, x)
+        assert fused.total("bytes_written") < plain.total("bytes_written")
+
+    def test_residual_plain_and_fused_agree(self, rng):
+        A = random_csr(12, 12, seed=8, spd=True)
+        x = rng.standard_normal(12)
+        b = rng.standard_normal(12)
+        r_plain = residual(A, x, b)
+        r_fused, nrm = residual(A, x, b, fused_norm=True)
+        np.testing.assert_allclose(r_plain, r_fused)
+        assert nrm == pytest.approx(np.linalg.norm(r_plain))

@@ -1,0 +1,95 @@
+"""Unit tests for the classical strength-of-connection matrix."""
+
+import numpy as np
+import pytest
+
+from repro.amg import strength_matrix
+from repro.perf import collect
+from repro.problems import anisotropic_2d, laplace_2d_5pt
+from repro.sparse import CSRMatrix
+
+
+class TestBasicStrength:
+    def test_laplacian_all_strong_at_low_theta(self):
+        A = laplace_2d_5pt(6)
+        S = strength_matrix(A, theta=0.25, max_row_sum=1.0)
+        # Every off-diagonal of the uniform Laplacian is strong.
+        assert S.nnz == A.nnz - A.nrows
+
+    def test_diagonal_never_included(self):
+        A = laplace_2d_5pt(5)
+        S = strength_matrix(A, 0.25)
+        assert not np.any(S.indices == S.row_ids())
+
+    def test_threshold_filters_weak(self):
+        # Row 0: neighbours -4 and -1; theta=0.5 keeps only the -4.
+        A = CSRMatrix.from_dense(
+            np.array([[6.0, -4.0, -1.0], [-4.0, 6.0, 0.0], [-1.0, 0.0, 6.0]])
+        )
+        S = strength_matrix(A, theta=0.5)
+        np.testing.assert_allclose(
+            S.to_dense(), [[0, 1, 0], [1, 0, 0], [1, 0, 0]]
+        )
+
+    def test_anisotropy_keeps_strong_axis_only(self):
+        A = anisotropic_2d(8, epsilon=0.01)
+        S = strength_matrix(A, theta=0.25)
+        # Strong connections must be along x (stride ny = 8), not y (+-1).
+        rid = S.row_ids()
+        d = np.abs(S.indices - rid)
+        assert np.all(d == 8)
+
+    def test_negative_diagonal_flips_sign(self):
+        A = CSRMatrix.from_dense(
+            np.array([[-4.0, 1.0, 1.0], [1.0, -4.0, 1.0], [1.0, 1.0, -4.0]])
+        )
+        S = strength_matrix(A, theta=0.25)
+        assert S.nnz == 6  # all off-diagonals strong under the flipped test
+
+    def test_positive_offdiag_not_strong_with_positive_diag(self):
+        A = CSRMatrix.from_dense(
+            np.array([[4.0, 2.0, -2.0], [2.0, 4.0, -1.0], [-2.0, -1.0, 4.0]])
+        )
+        S = strength_matrix(A, theta=0.25)
+        dense = S.to_dense()
+        assert dense[0, 1] == 0  # positive coupling is not a strong dependency
+        assert dense[0, 2] == 1
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            strength_matrix(CSRMatrix.zeros((2, 3)))
+
+
+class TestMaxRowSum:
+    def test_dominant_rows_lose_connections(self):
+        # Row 0 is strongly diagonally dominant (|row sum| large vs |diag|
+        # is false here; HYPRE semantics: large |row sum| relative to diag
+        # => drop).  Construct a row whose sum is large.
+        A = CSRMatrix.from_dense(
+            np.array([[10.0, -1.0, -1.0], [-1.0, 2.0, -1.0], [-1.0, -1.0, 2.0]])
+        )
+        S_all = strength_matrix(A, 0.25, max_row_sum=1.0)
+        S_cut = strength_matrix(A, 0.25, max_row_sum=0.5)
+        assert S_cut.row_nnz()[0] == 0
+        assert S_all.row_nnz()[0] > 0
+        # Balanced rows keep their connections.
+        assert S_cut.row_nnz()[1] == S_all.row_nnz()[1]
+
+    def test_disabled_at_one(self):
+        A = laplace_2d_5pt(5)
+        S1 = strength_matrix(A, 0.25, max_row_sum=1.0)
+        S2 = strength_matrix(A, 0.25, max_row_sum=0.99)
+        # Boundary rows of the Dirichlet Laplacian have nonzero row sums and
+        # are affected; interior rows are not.
+        assert S1.nnz >= S2.nnz
+
+
+class TestInstrumentation:
+    def test_serial_vs_parallel_tagging(self):
+        A = laplace_2d_5pt(8)
+        with collect() as lp:
+            strength_matrix(A, 0.25, parallel=True)
+        with collect() as ls:
+            strength_matrix(A, 0.25, parallel=False)
+        assert lp.records[0].parallel and not ls.records[0].parallel
+        assert lp.records[0].bytes_read == ls.records[0].bytes_read
