@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: solve a Poisson problem with the optimized AMG solver.
 
-Covers the core workflow:
-  1. build (or bring) a sparse matrix as a ``repro.sparse.CSRMatrix``;
-  2. run the AMG setup phase (Table 3 configuration);
-  3. solve standalone, or use AMG as an FGMRES preconditioner;
+Covers the core workflow through the top-level ``repro`` facade:
+  1. build (or bring) a sparse matrix — a ``repro.sparse.CSRMatrix``, a
+     ``scipy.sparse`` matrix, or a dense array all work;
+  2. one-call solve (``repro.solve``), or ``repro.setup`` once and reuse
+     the hierarchy for many right-hand sides;
+  3. batched multi-RHS solves (``solve_many``) that stream the hierarchy
+     once for a whole block;
   4. inspect the instrumentation: modeled Haswell times per phase.
 
 Run:  python examples/quickstart.py
@@ -12,9 +15,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.amg import AMGSolver
-from repro.config import single_node_config
-from repro.krylov import fgmres
+import repro
 from repro.perf import HaswellModel, collect
 from repro.problems import laplace_2d_5pt
 from repro.sparse.spmv import spmv
@@ -27,11 +28,10 @@ def main() -> None:
     b = rng.standard_normal(A.nrows)
     print(f"problem: n = {A.nrows}, nnz = {A.nnz}")
 
-    # -- 2. AMG setup, instrumented -----------------------------------------
-    config = single_node_config(optimized=True)
-    solver = AMGSolver(config)
+    # -- 2. setup once, solve many (instrumented) ---------------------------
     with collect() as setup_log:
-        hierarchy = solver.setup(A)
+        handle = repro.setup(A)          # Table 3 configuration, all opts on
+    hierarchy = handle.hierarchy
     print(f"hierarchy: {hierarchy.num_levels} levels, "
           f"operator complexity {hierarchy.operator_complexity():.2f}")
     for l, (n, nnz) in enumerate(hierarchy.level_sizes()):
@@ -39,17 +39,31 @@ def main() -> None:
 
     # -- 3a. standalone AMG solve (Table 3 style) ----------------------------
     with collect() as solve_log:
-        result = solver.solve(b, tol=1e-7)
+        result = handle.solve(b, tol=1e-7)
     res = np.linalg.norm(b - spmv(A, result.x)) / np.linalg.norm(b)
     print(f"\nstandalone AMG: {result.iterations} V-cycles, "
           f"relative residual {res:.2e}")
 
     # -- 3b. AMG-preconditioned FGMRES (Table 4 style) -----------------------
-    k = fgmres(A, b, precondition=solver.precondition, tol=1e-7)
+    k = handle.solve(b, method="fgmres", tol=1e-7)
     print(f"FGMRES + AMG:   {k.iterations} iterations, converged={k.converged}")
 
-    # -- 4. what would this cost on the paper's Haswell? ---------------------
+    # One-call form (repeats hit the hierarchy cache, so setup is free):
+    one_shot = repro.solve(A, b)
+    assert one_shot.iterations == result.iterations
+
+    # -- 3c. a block of right-hand sides through the batched path ------------
+    B = rng.standard_normal((A.nrows, 8))
+    with collect() as batch_log:
+        results = handle.solve_many(B)   # hierarchy streamed once per cycle
     machine = HaswellModel()
+    t_solo = machine.log_time(solve_log)
+    t_batch = machine.log_time(batch_log) / B.shape[1]
+    print(f"multi-RHS (k=8): {results[0].iterations} V-cycles/RHS, modeled "
+          f"{t_batch * 1e3:.3f} ms per RHS vs {t_solo * 1e3:.3f} ms solo "
+          f"({t_solo / t_batch:.2f}x)")
+
+    # -- 4. what would this cost on the paper's Haswell? ---------------------
     print("\nmodeled phase times (one socket Xeon E5-2697 v3):")
     for phase, t in sorted(machine.phase_times(setup_log).items()):
         print(f"  setup {phase:<18} {t * 1e3:8.3f} ms")

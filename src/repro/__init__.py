@@ -8,10 +8,21 @@ switchable flag, running on an instrumented simulated-parallel substrate
 
 Quick start::
 
-    from repro import AMGSolver, single_node_config
+    import repro
     from repro.problems import laplace_2d_5pt
 
     A = laplace_2d_5pt(96)
+    result = repro.solve(A, b)              # AMG, Table 3 defaults
+
+    handle = repro.setup(A)                 # reusable hierarchy
+    results = handle.solve_many(B)          # batched (n, k) block of RHS
+
+``repro.solve``/``repro.setup`` also accept ``scipy.sparse`` matrices and
+dense arrays; ``method="fgmres"``/``"cg"`` selects an AMG-preconditioned
+Krylov solve.  The class-based API (below) remains for full control::
+
+    from repro import AMGSolver, single_node_config
+
     solver = AMGSolver(single_node_config())
     solver.setup(A)
     result = solver.solve(b, tol=1e-7)
@@ -36,6 +47,7 @@ Subpackages
 """
 
 from .amg import AMGSolver, SolveResult, build_hierarchy, vcycle
+from .api import SolverHandle, setup, solve, solve_many
 from .config import (
     AMGConfig,
     HYPRE_BASE_FLAGS,
@@ -53,6 +65,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AMGSolver",
     "SolveResult",
+    "SolverHandle",
+    "setup",
+    "solve",
+    "solve_many",
     "build_hierarchy",
     "vcycle",
     "AMGConfig",

@@ -4,7 +4,10 @@ Commands
 --------
 ``solve``
     Generate a problem, run AMG (standalone or FGMRES-preconditioned),
-    print convergence and modeled Haswell times.
+    print convergence and modeled Haswell times.  ``--rhs K`` (K > 1) solves
+    a block of K random right-hand sides through the batched multi-RHS path
+    (one hierarchy, blocked kernels) and reports the modeled solve time
+    per right-hand side.
 ``info``
     Print the hierarchy a configuration produces for a problem.
 ``suite``
@@ -13,6 +16,7 @@ Commands
 Examples::
 
     python -m repro solve --problem lap3d27 --size 16 --scheme ei
+    python -m repro solve --problem lap3d27 --size 16 --rhs 8
     python -m repro solve --problem reservoir --size 24 --baseline
     python -m repro info --problem lap2d --size 64
     python -m repro suite
@@ -82,23 +86,49 @@ def cmd_solve(args) -> int:
     A, b = _build_problem(args.problem, args.size, args.seed)
     cfg = _config(args)
     solver = AMGSolver(cfg)
+    if args.rhs < 1:
+        raise SystemExit("--rhs must be >= 1")
     with collect() as setup_log:
         solver.setup(A)
-    with collect() as solve_log:
-        if args.krylov:
-            res = fgmres(A, b, precondition=solver.precondition, tol=args.tol)
-        else:
-            res = solver.solve(b, tol=args.tol)
-    true_res = np.linalg.norm(b - spmv(A, res.x)) / np.linalg.norm(b)
     machine = HaswellModel(threads=args.threads)
     t_setup = machine.log_time(setup_log)
-    t_solve = machine.log_time(solve_log)
     print(f"problem       : {args.problem}  (n={A.nrows}, nnz={A.nnz})")
     print(f"configuration : {'baseline' if args.baseline else 'optimized'}"
           f"{' + FGMRES' if args.krylov else ''}"
           f", cycle={cfg.cycle_type}, smoother={cfg.smoother}")
     print(f"hierarchy     : {solver.hierarchy.num_levels} levels, "
           f"operator complexity {solver.operator_complexity:.2f}")
+
+    if args.rhs > 1:
+        from .krylov import fgmres_multi
+
+        rng = np.random.default_rng(args.seed)
+        B = np.column_stack([b] + [rng.standard_normal(A.nrows)
+                                   for _ in range(args.rhs - 1)])
+        with collect() as solve_log:
+            if args.krylov:
+                results = fgmres_multi(
+                    A, B, precondition_multi=solver.precondition_multi,
+                    tol=args.tol)
+            else:
+                results = solver.solve_many(B, tol=args.tol)
+        t_solve = machine.log_time(solve_log)
+        iters = [r.iterations for r in results]
+        all_conv = all(r.converged for r in results)
+        print(f"convergence   : k={args.rhs} right-hand sides, "
+              f"{min(iters)}-{max(iters)} iterations, converged={all_conv}")
+        print(f"modeled time  : setup {t_setup * 1e3:.3f} ms, "
+              f"batched solve {t_solve * 1e3:.3f} ms "
+              f"= {t_solve / args.rhs * 1e3:.3f} ms per RHS  (Haswell model)")
+        return 0 if all_conv else 1
+
+    with collect() as solve_log:
+        if args.krylov:
+            res = fgmres(A, b, precondition=solver.precondition, tol=args.tol)
+        else:
+            res = solver.solve(b, tol=args.tol)
+    true_res = np.linalg.norm(b - spmv(A, res.x)) / np.linalg.norm(b)
+    t_solve = machine.log_time(solve_log)
     print(f"convergence   : {res.iterations} iterations, "
           f"converged={res.converged}, true relres={true_res:.2e}")
     print(f"modeled time  : setup {t_setup * 1e3:.3f} ms, "
@@ -154,6 +184,9 @@ def main(argv: list[str] | None = None) -> int:
     p_solve.add_argument("--tol", type=float, default=1e-7)
     p_solve.add_argument("--krylov", action="store_true",
                          help="use AMG as FGMRES preconditioner")
+    p_solve.add_argument("--rhs", type=int, default=1, metavar="K",
+                         help="solve K right-hand sides through the batched "
+                              "multi-RHS path (default 1)")
     p_solve.set_defaults(func=cmd_solve)
 
     p_info = sub.add_parser("info", help="print the AMG hierarchy")

@@ -5,10 +5,11 @@ Setup: strength -> PMIS / aggressive PMIS -> {direct, extended+i, multipass,
 Solve: V-cycles with C-F hybrid Gauss–Seidel smoothing.
 """
 
+from .cache import DEFAULT_CACHE, HierarchyCache, matrix_fingerprint
 from .coarse import CoarseSolver
 from .coarsen_rs import rs_coarsening
 from .interp_classical import classical_interpolation
-from .cycle import cycle, fcycle, vcycle, wcycle
+from .cycle import cycle, cycle_multi, fcycle, vcycle, vcycle_multi, wcycle
 from .fmg import full_multigrid
 from .interp_direct import direct_interpolation
 from .interp_extended import extended_i_interpolation, extended_i_reference
@@ -37,6 +38,9 @@ from .strength import strength_matrix
 from .truncation import truncate_interpolation
 
 __all__ = [
+    "DEFAULT_CACHE",
+    "HierarchyCache",
+    "matrix_fingerprint",
     "CoarseSolver",
     "rs_coarsening",
     "classical_interpolation",
@@ -48,6 +52,8 @@ __all__ = [
     "wcycle",
     "fcycle",
     "cycle",
+    "vcycle_multi",
+    "cycle_multi",
     "full_multigrid",
     "direct_interpolation",
     "extended_i_interpolation",

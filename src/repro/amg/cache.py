@@ -1,0 +1,95 @@
+"""Hierarchy-reuse cache.
+
+AMG setup is the expensive half of the algorithm (Fig. 4: strength,
+coarsening, interpolation, and the Galerkin product dominate until the
+cycle count grows).  Workloads that solve against the *same* matrix many
+times — time stepping with a frozen operator, multiple right-hand sides
+arriving one at a time, parameter sweeps over ``b`` — should pay for setup
+once.  :class:`HierarchyCache` memoizes built hierarchies keyed by
+
+* a **fingerprint** of the matrix (shape plus a SHA-256 over the raw
+  ``indptr`` / ``indices`` / ``data`` buffers, so any structural or
+  numerical change misses), and
+* the :class:`~repro.config.AMGConfig` (a frozen, hashable dataclass —
+  different flag sets build different hierarchies).
+
+Entries are evicted LRU.  Fingerprinting is deliberately **not** counted
+against the performance model: it is an artifact of the simulation (a real
+code would compare pointers or version counters), and keeping it silent
+means a cache hit shows *zero* setup-phase kernel records — which is
+exactly how the tests assert reuse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from ..config import AMGConfig
+from ..sparse.csr import CSRMatrix
+from .setup import Hierarchy, build_hierarchy
+
+__all__ = ["matrix_fingerprint", "HierarchyCache", "DEFAULT_CACHE"]
+
+
+def matrix_fingerprint(A: CSRMatrix) -> str:
+    """SHA-256 fingerprint of a CSR matrix's structure and values."""
+    h = hashlib.sha256()
+    h.update(f"{A.nrows}x{A.ncols}:{A.nnz};".encode())
+    h.update(A.indptr.tobytes())
+    h.update(A.indices.tobytes())
+    h.update(A.data.tobytes())
+    return h.hexdigest()
+
+
+class HierarchyCache:
+    """LRU cache of built AMG hierarchies, keyed by (matrix, config)."""
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple[str, AMGConfig], Hierarchy] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, A: CSRMatrix, config: AMGConfig) -> tuple[str, AMGConfig]:
+        return (matrix_fingerprint(A), config)
+
+    def get(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy | None:
+        """Return the cached hierarchy for (A, config), or None."""
+        key = self.key(A, config)
+        h = self._entries.get(key)
+        if h is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return h
+
+    def put(self, A: CSRMatrix, config: AMGConfig, hierarchy: Hierarchy) -> None:
+        key = self.key(A, config)
+        self._entries[key] = hierarchy
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def get_or_build(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy:
+        """Cached hierarchy for (A, config); builds (and counts) on a miss."""
+        h = self.get(A, config)
+        if h is None:
+            h = build_hierarchy(A, config)
+            self.put(A, config, h)
+        return h
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache used by :mod:`repro.api` unless a private one is given.
+DEFAULT_CACHE = HierarchyCache()

@@ -43,10 +43,13 @@ __all__ = [
     "GSSchedule",
     "build_gs_schedule",
     "gs_sweep",
+    "gs_sweep_multi",
     "gs_sweep_reference",
     "jacobi_sweep",
+    "jacobi_sweep_multi",
     "greedy_coloring",
     "multicolor_gs_sweep",
+    "multicolor_gs_sweep_multi",
     "HybridGSSmoother",
     "block_of_rows",
 ]
@@ -277,6 +280,62 @@ def gs_sweep(
     return x
 
 
+def gs_sweep_multi(
+    X: np.ndarray,
+    B: np.ndarray,
+    sched: GSSchedule,
+    *,
+    optimized: bool = True,
+    zero_guess: bool = False,
+    contiguous_rows: bool = True,
+    kernel: str = "gs",
+) -> np.ndarray:
+    """Blocked hybrid-GS sweep over an ``(n, k)`` iterate block (in place).
+
+    Column *j* is bit-identical to :func:`gs_sweep` on ``(X[:, j], B[:, j])``.
+    The counted traffic streams the matrix (values/indices/row pointer) and
+    executes the classification branches **once** for all *k* columns; the
+    gathered iterate, ``b``, and the written rows are charged per column.
+    """
+    if sched.nrows == 0:
+        return X
+    k = X.shape[1]
+    temp = X.copy()
+    rp, ep = sched.level_row_ptr, sched.e_ptr
+    for lv in range(sched.nlevels):
+        r0, r1 = rp[lv], rp[lv + 1]
+        s = slice(ep[lv], ep[lv + 1])
+        rows = sched.rows[r0:r1]
+        cols = sched.e_cols[s]
+        for j in range(k):
+            src = np.where(sched.e_local[s], X[cols, j], temp[cols, j])
+            acc = B[rows, j] - np.bincount(
+                sched.e_out[s] - r0, weights=sched.e_vals[s] * src, minlength=r1 - r0
+            )
+            X[rows, j] = acc / sched.diag[r0:r1]
+
+    nnz = sched.nnz
+    m = sched.nrows
+    touched_nnz = int(sched.e_lower.sum()) + m if zero_guess else nnz
+    bytes_read = (
+        touched_nnz * (VAL_BYTES + IDX_BYTES)  # matrix stream, once
+        + (m + 1) * PTR_BYTES
+        + k * touched_nnz * VAL_BYTES  # gathered x / temp_x, per column
+        + k * m * VAL_BYTES  # b
+    )
+    bytes_written = k * m * VAL_BYTES
+    if not zero_guess:
+        # temp_x copy of the sweep's input block (Fig. 2 line 1).
+        bytes_read += k * m * VAL_BYTES
+        bytes_written += k * m * VAL_BYTES
+    branches = 0.0 if optimized else float(nnz)
+    if not contiguous_rows:
+        branches += float(m)
+    count(kernel, flops=(2 * touched_nnz + m) * k, bytes_read=bytes_read,
+          bytes_written=bytes_written, branches=branches)
+    return X
+
+
 def gs_sweep_reference(
     A: CSRMatrix,
     x: np.ndarray,
@@ -323,6 +382,26 @@ def jacobi_sweep(
     return x_new
 
 
+def jacobi_sweep_multi(
+    A: CSRMatrix,
+    X: np.ndarray,
+    B: np.ndarray,
+    diag: np.ndarray,
+    *,
+    weight: float = 1.0,
+) -> np.ndarray:
+    """Blocked weighted-Jacobi sweep over ``(n, k)`` (returns the new block)."""
+    from ..sparse.spmv import spmv_multi
+
+    k = X.shape[1]
+    R = B - spmv_multi(A, X, kernel="gs.jacobi_spmv")
+    X_new = X + weight * R / diag[:, None]
+    count("gs.jacobi_update", flops=3 * A.nrows * k,
+          bytes_read=3 * A.nrows * k * VAL_BYTES,
+          bytes_written=A.nrows * k * VAL_BYTES)
+    return X_new
+
+
 def l1_diagonal(A: CSRMatrix) -> np.ndarray:
     """The l1 smoothing diagonal ``d_i = a_ii + sum_{j != i} |a_ij|``.
 
@@ -346,6 +425,21 @@ def l1_jacobi_sweep(
     count("gs.l1jacobi_update", flops=2 * A.nrows,
           bytes_read=3 * A.nrows * VAL_BYTES, bytes_written=A.nrows * VAL_BYTES)
     return x_new
+
+
+def l1_jacobi_sweep_multi(
+    A: CSRMatrix, X: np.ndarray, B: np.ndarray, l1diag: np.ndarray
+) -> np.ndarray:
+    """Blocked l1-Jacobi sweep over ``(n, k)`` (returns the new block)."""
+    from ..sparse.spmv import spmv_multi
+
+    k = X.shape[1]
+    R = B - spmv_multi(A, X, kernel="gs.l1jacobi_spmv")
+    X_new = X + R / l1diag[:, None]
+    count("gs.l1jacobi_update", flops=2 * A.nrows * k,
+          bytes_read=3 * A.nrows * k * VAL_BYTES,
+          bytes_written=A.nrows * k * VAL_BYTES)
+    return X_new
 
 
 def estimate_lambda_max(A: CSRMatrix, diag: np.ndarray, *, iters: int = 12,
@@ -407,6 +501,41 @@ def chebyshev_sweep(
           bytes_read=3 * A.nrows * VAL_BYTES * degree,
           bytes_written=A.nrows * VAL_BYTES * degree)
     return x
+
+
+def chebyshev_sweep_multi(
+    A: CSRMatrix,
+    X: np.ndarray,
+    B: np.ndarray,
+    diag: np.ndarray,
+    lam_max: float,
+    *,
+    degree: int = 3,
+    lam_min_frac: float = 0.3,
+) -> np.ndarray:
+    """Blocked Chebyshev smoothing step over ``(n, k)`` (in place)."""
+    from ..sparse.spmv import spmv_multi
+
+    k = X.shape[1]
+    theta = 0.5 * (1.0 + lam_min_frac) * lam_max
+    delta = 0.5 * (1.0 - lam_min_frac) * lam_max
+    sigma = theta / delta
+    rho = 1.0 / sigma
+    dcol = diag[:, None]
+
+    R = B - spmv_multi(A, X, kernel="gs.cheby_spmv")
+    D = (R / dcol) / theta
+    X += D
+    for _ in range(degree - 1):
+        R = B - spmv_multi(A, X, kernel="gs.cheby_spmv")
+        rho_new = 1.0 / (2.0 * sigma - rho)
+        D = rho_new * rho * D + (2.0 * rho_new / delta) * (R / dcol)
+        X += D
+        rho = rho_new
+    count("gs.cheby_update", flops=6.0 * A.nrows * degree * k,
+          bytes_read=3 * A.nrows * VAL_BYTES * degree * k,
+          bytes_written=A.nrows * VAL_BYTES * degree * k)
+    return X
 
 
 # ---------------------------------------------------------------------------
@@ -486,6 +615,38 @@ def multicolor_gs_sweep(
         bytes_written=A.nrows * VAL_BYTES,
     )
     return x
+
+
+def multicolor_gs_sweep_multi(
+    A: CSRMatrix,
+    X: np.ndarray,
+    B: np.ndarray,
+    color: np.ndarray,
+    diag: np.ndarray,
+    *,
+    forward: bool = True,
+) -> np.ndarray:
+    """Blocked multicolor-GS sweep over ``(n, k)`` (in place)."""
+    k = X.shape[1]
+    ncolors = int(color.max()) + 1
+    order = range(ncolors) if forward else range(ncolors - 1, -1, -1)
+    for c in order:
+        rows = np.flatnonzero(color == c)
+        lr, cols, vals = A.row_slice_arrays(rows)
+        sel = cols != rows[lr]
+        for j in range(k):
+            acc = B[rows, j] - np.bincount(
+                lr[sel], weights=vals[sel] * X[cols[sel], j], minlength=len(rows)
+            )
+            X[rows, j] = acc / diag[rows]
+    count(
+        "gs.multicolor",
+        flops=2 * A.nnz * k,
+        bytes_read=A.nnz * (VAL_BYTES + IDX_BYTES) + ncolors * A.nrows * PTR_BYTES
+        + k * A.nnz * VAL_BYTES,
+        bytes_written=A.nrows * VAL_BYTES * k,
+    )
+    return X
 
 
 # ---------------------------------------------------------------------------
@@ -577,6 +738,15 @@ class HybridGSSmoother:
             zero_guess = False  # only the very first sub-sweep sees zeros
         return x
 
+    def _sweep_groups_multi(self, X, B, group_order, forward, zero_guess):
+        for gi in group_order:
+            sched = self._schedules[(f"g{gi}", forward)]
+            gs_sweep_multi(X, B, sched, optimized=self.optimized,
+                           zero_guess=zero_guess, kernel="gs.hybrid",
+                           contiguous_rows=self.cf_contiguous)
+            zero_guess = False
+        return X
+
     #: Damping for the Jacobi variant (omega = 2/3, the standard choice that
     #: makes Jacobi an actual smoother on Poisson-like operators).
     JACOBI_WEIGHT = 2.0 / 3.0
@@ -608,3 +778,43 @@ class HybridGSSmoother:
         if self.variant == "multicolor":
             return multicolor_gs_sweep(self.A, x, b, self.color, self.diag, forward=False)
         return self._sweep_groups(x, b, range(len(self.groups) - 1, -1, -1), False, False)
+
+    # -- blocked sweeps (multiple RHS) ------------------------------------
+    def presmooth_multi(self, X: np.ndarray, B: np.ndarray, *,
+                        zero_guess: bool = False) -> np.ndarray:
+        """Blocked forward sweep over an ``(n, k)`` iterate block.
+
+        Column *j* reproduces :meth:`presmooth` on ``(X[:, j], B[:, j])``
+        exactly; the counted matrix stream is shared across columns.
+        """
+        if self.variant == "jacobi":
+            X[:] = jacobi_sweep_multi(self.A, X, B, self.diag,
+                                      weight=self.JACOBI_WEIGHT)
+            return X
+        if self.variant == "l1_jacobi":
+            X[:] = l1_jacobi_sweep_multi(self.A, X, B, self.l1diag)
+            return X
+        if self.variant == "chebyshev":
+            return chebyshev_sweep_multi(self.A, X, B, self.diag, self.lam_max)
+        if self.variant == "multicolor":
+            return multicolor_gs_sweep_multi(self.A, X, B, self.color, self.diag,
+                                             forward=True)
+        return self._sweep_groups_multi(X, B, range(len(self.groups)), True,
+                                        zero_guess)
+
+    def postsmooth_multi(self, X: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Blocked backward sweep over an ``(n, k)`` iterate block."""
+        if self.variant == "jacobi":
+            X[:] = jacobi_sweep_multi(self.A, X, B, self.diag,
+                                      weight=self.JACOBI_WEIGHT)
+            return X
+        if self.variant == "l1_jacobi":
+            X[:] = l1_jacobi_sweep_multi(self.A, X, B, self.l1diag)
+            return X
+        if self.variant == "chebyshev":
+            return chebyshev_sweep_multi(self.A, X, B, self.diag, self.lam_max)
+        if self.variant == "multicolor":
+            return multicolor_gs_sweep_multi(self.A, X, B, self.color, self.diag,
+                                             forward=False)
+        return self._sweep_groups_multi(X, B, range(len(self.groups) - 1, -1, -1),
+                                        False, False)

@@ -11,33 +11,18 @@ application) for the Krylov solvers in :mod:`repro.krylov`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..config import AMGConfig
 from ..perf.counters import phase
-from ..sparse.blas1 import axpy, norm2
+from ..results import SolveResult, resolve_maxiter
+from ..sparse.blas1 import axpy, axpy_multi, norm2, norm2_multi
 from ..sparse.csr import CSRMatrix
-from ..sparse.spmv import residual
-from .cycle import cycle
+from ..sparse.spmv import residual, residual_multi
+from .cycle import cycle, cycle_multi
 from .setup import Hierarchy, build_hierarchy
 
-__all__ = ["AMGSolver", "SolveResult"]
-
-
-@dataclass
-class SolveResult:
-    """Outcome of an AMG (or AMG-preconditioned) solve."""
-
-    x: np.ndarray
-    iterations: int
-    residuals: list[float]
-    converged: bool
-
-    @property
-    def final_relres(self) -> float:
-        return self.residuals[-1] / self.residuals[0] if self.residuals else np.inf
+__all__ = ["AMGSolver", "SolveResult", "resolve_maxiter"]
 
 
 class AMGSolver:
@@ -55,8 +40,13 @@ class AMGSolver:
         self.hierarchy: Hierarchy | None = None
 
     # -- setup -------------------------------------------------------------
-    def setup(self, A: CSRMatrix) -> Hierarchy:
-        self.hierarchy = build_hierarchy(A, self.config)
+    def setup(self, A: CSRMatrix, *, cache=None) -> Hierarchy:
+        """Build (or fetch from a :class:`~repro.amg.cache.HierarchyCache`)
+        the hierarchy for *A*."""
+        if cache is not None:
+            self.hierarchy = cache.get_or_build(A, self.config)
+        else:
+            self.hierarchy = build_hierarchy(A, self.config)
         return self.hierarchy
 
     @property
@@ -65,6 +55,7 @@ class AMGSolver:
 
     # -- level-0 ordering helpers -------------------------------------------
     def _to_level0(self, v: np.ndarray) -> np.ndarray:
+        """Permute a vector or (n, k) block into the level-0 ordering."""
         lvl0 = self.hierarchy.levels[0]
         return v[lvl0.new2old] if lvl0.new2old is not None else v
 
@@ -85,21 +76,33 @@ class AMGSolver:
         xp = cycle(self.hierarchy, rp, self.config.cycle_type)
         return self._from_level0(xp) if user_ordering else xp
 
+    def precondition_multi(self, R: np.ndarray, *, user_ordering: bool = True) -> np.ndarray:
+        """One batched V-cycle applied to an ``(n, k)`` residual block."""
+        if self.hierarchy is None:
+            raise RuntimeError("call setup() first")
+        Rp = self._to_level0(R) if user_ordering else R
+        Xp = cycle_multi(self.hierarchy, Rp, self.config.cycle_type)
+        return self._from_level0(Xp) if user_ordering else Xp
+
     # -- standalone solve ----------------------------------------------------
     def solve(
         self,
         b: np.ndarray,
         *,
         tol: float = 1e-7,
-        max_iter: int = 500,
+        maxiter: int | None = None,
+        max_iter: int | None = None,
         x0: np.ndarray | None = None,
         fmg_start: bool = False,
     ) -> SolveResult:
         """Iterate cycles until ``||r|| <= tol * ||b||``.
 
-        ``fmg_start`` seeds the iteration with one full-multigrid pass
-        (nested iteration) instead of a zero guess.
+        ``maxiter`` bounds the cycle count (default 500; the legacy
+        ``max_iter`` spelling is accepted too).  ``fmg_start`` seeds the
+        iteration with one full-multigrid pass (nested iteration) instead of
+        a zero guess.
         """
+        max_iter = resolve_maxiter(maxiter, max_iter, 500)
         if self.hierarchy is None:
             raise RuntimeError("call setup() first")
         h = self.hierarchy
@@ -146,3 +149,91 @@ class AMGSolver:
                 converged = True
                 break
         return SolveResult(self._from_level0(x), len(residuals) - 1, residuals, converged)
+
+    # -- batched standalone solve -------------------------------------------
+    def solve_many(
+        self,
+        B: np.ndarray,
+        *,
+        tol: float = 1e-7,
+        maxiter: int | None = None,
+        max_iter: int | None = None,
+        x0: np.ndarray | None = None,
+    ) -> list[SolveResult]:
+        """Solve ``A x_j = B[:, j]`` for all *k* columns with batched cycles.
+
+        One hierarchy, one batched V-cycle per iteration over the block of
+        not-yet-converged columns: the level matrices, smoother structures,
+        and coarse factor stream once per cycle instead of once per column.
+        Column *j*'s iterates are bit-identical to
+        ``solve(B[:, j], tol=..., maxiter=...)`` — a converged column is
+        frozen (dropped from the active block), exactly as the scalar solve
+        stops iterating it.
+
+        Returns one :class:`SolveResult` per column.
+        """
+        if self.hierarchy is None:
+            raise RuntimeError("call setup() first")
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim != 2:
+            raise ValueError(f"expected a 2-D (n, k) block, got shape {B.shape}")
+        max_iter = resolve_maxiter(maxiter, max_iter, 500)
+        h = self.hierarchy
+        A0 = h.levels[0].A
+        flags = self.config.flags
+        n, k = B.shape
+
+        Bp = self._to_level0(B)
+        if x0 is not None:
+            X = self._to_level0(np.asarray(x0, dtype=np.float64)).copy()
+            if X.shape != (n, k):
+                raise ValueError("x0 must match the shape of B")
+        else:
+            X = np.zeros((n, k))
+
+        def resnorm_multi(Xv, Bv):
+            with phase("SpMV"):
+                if flags.fuse_spmv_dot:
+                    R, nrms = residual_multi(A0, Xv, Bv, fused_norm=True)
+                else:
+                    R = residual_multi(A0, Xv, Bv)
+                    with phase("BLAS1"):
+                        nrms = norm2_multi(R)
+            return R, nrms
+
+        with phase("BLAS1"):
+            bnorms = norm2_multi(Bp)
+        R, r0 = resnorm_multi(X, Bp)
+        ref = np.where(bnorms > 0.0, bnorms, r0)
+
+        residuals: list[list[float]] = [[float(r0[j])] for j in range(k)]
+        iterations = np.zeros(k, dtype=np.int64)
+        converged = (r0 == 0.0) | (r0 <= tol * ref)
+        active = np.flatnonzero(~converged)
+
+        for _ in range(max_iter):
+            if len(active) == 0:
+                break
+            corr = cycle_multi(h, R[:, active], self.config.cycle_type)
+            Xa = X[:, active]  # advanced indexing: a copy of the active block
+            with phase("BLAS1"):
+                axpy_multi(1.0, corr, Xa)
+            X[:, active] = Xa
+            Ra, rn = resnorm_multi(X[:, active], Bp[:, active])
+            R[:, active] = Ra
+            done_local = []
+            for idx, j in enumerate(active):
+                residuals[j].append(float(rn[idx]))
+                iterations[j] += 1
+                if rn[idx] <= tol * ref[j]:
+                    converged[j] = True
+                    done_local.append(idx)
+            if done_local:
+                active = np.delete(active, done_local)
+
+        Xout = self._from_level0(X)
+        return [
+            SolveResult(Xout[:, j].copy(), int(iterations[j]), residuals[j],
+                        bool(converged[j]))
+            for j in range(k)
+        ]

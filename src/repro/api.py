@@ -1,0 +1,227 @@
+"""Top-level solver facade — the one-import entry point.
+
+``repro.api`` hides the setup/solve split, the config factories, and the
+matrix type behind three calls::
+
+    import repro
+
+    result = repro.solve(A, b)                      # AMG, Table 3 defaults
+    result = repro.solve(A, b, method="fgmres")     # AMG-preconditioned FGMRES
+
+    handle = repro.setup(A)                         # pay for setup once
+    r1 = handle.solve(b1)
+    rs = handle.solve_many(B)                       # (n, k) block, batched
+
+Inputs are flexible: ``A`` may be a :class:`repro.sparse.CSRMatrix`, a
+``scipy.sparse`` matrix, or a dense 2-D array.  Repeated ``solve`` calls on
+the same matrix and config reuse the AMG hierarchy through
+:data:`repro.amg.cache.DEFAULT_CACHE`, so only the first call pays the
+setup phase.
+"""
+
+from __future__ import annotations
+
+from importlib import util as _importlib_util
+
+import numpy as np
+
+from .amg.cache import DEFAULT_CACHE, HierarchyCache
+from .amg.solver import AMGSolver
+from .config import AMGConfig, single_node_config
+from .krylov.cg import pcg, pcg_multi
+from .krylov.gmres import fgmres, fgmres_multi
+from .results import SolveResult
+from .sparse.csr import CSRMatrix
+
+__all__ = ["as_csr", "setup", "solve", "solve_many", "SolverHandle"]
+
+_METHODS = ("amg", "fgmres", "cg")
+
+
+def _have_scipy() -> bool:
+    return _importlib_util.find_spec("scipy") is not None
+
+
+def as_csr(A) -> CSRMatrix:
+    """Coerce *A* to the library's :class:`CSRMatrix`.
+
+    Accepts a ``CSRMatrix`` (returned as-is), any ``scipy.sparse`` matrix
+    (via ``.tocsr()``), or a dense 2-D array-like.
+    """
+    if isinstance(A, CSRMatrix):
+        return A
+    if hasattr(A, "tocsr"):
+        # scipy.sparse duck-typing: conversion happens through the object's
+        # own .tocsr(), so it works with whatever scipy built it.
+        try:
+            return CSRMatrix.from_scipy(A)
+        except Exception as exc:
+            raise TypeError(
+                f"failed to convert {type(A).__name__} through .tocsr(): {exc}"
+            ) from exc
+    try:
+        arr = np.asarray(A, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(_as_csr_error(A)) from exc
+    if arr.ndim != 2:
+        raise TypeError(_as_csr_error(A))
+    return CSRMatrix.from_dense(arr)
+
+
+def _as_csr_error(A) -> str:
+    msg = (
+        "A must be a repro.sparse.CSRMatrix, a scipy.sparse matrix, or a "
+        f"dense 2-D array-like; got {type(A).__name__}"
+    )
+    if not _have_scipy():
+        msg += " (note: scipy is not installed, so scipy.sparse inputs are unavailable)"
+    return msg
+
+
+def _as_rhs(b, n: int) -> np.ndarray:
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 1:
+        raise ValueError(
+            f"b must be a 1-D vector of length {n}, got shape {b.shape}; "
+            "use solve_many() for an (n, k) block"
+        )
+    if len(b) != n:
+        raise ValueError(f"b has length {len(b)}, expected {n}")
+    return b
+
+
+def _as_rhs_block(B, n: int) -> np.ndarray:
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValueError(
+            f"B must be a 2-D (n, k) block with n={n}, got shape {B.shape}; "
+            "use solve() for a single vector"
+        )
+    if B.shape[0] != n:
+        raise ValueError(f"B has {B.shape[0]} rows, expected {n}")
+    return B
+
+
+class SolverHandle:
+    """A matrix bound to a ready-to-use AMG hierarchy.
+
+    Created by :func:`setup`; ``solve`` / ``solve_many`` reuse the hierarchy
+    so only the first setup (per matrix and config) is charged.
+    """
+
+    def __init__(
+        self,
+        A,
+        config: AMGConfig | None = None,
+        *,
+        cache: HierarchyCache | None = DEFAULT_CACHE,
+    ) -> None:
+        self.A = as_csr(A)
+        self.config = config if config is not None else single_node_config()
+        self._solver = AMGSolver(self.config)
+        self._solver.setup(self.A, cache=cache)
+
+    @property
+    def hierarchy(self):
+        return self._solver.hierarchy
+
+    @property
+    def amg(self) -> AMGSolver:
+        """The underlying :class:`AMGSolver` (e.g. for ``precondition``)."""
+        return self._solver
+
+    def solve(
+        self,
+        b,
+        *,
+        method: str = "amg",
+        tol: float = 1e-7,
+        maxiter: int | None = None,
+    ) -> SolveResult:
+        """Solve ``A x = b`` with the chosen method (AMG-preconditioned)."""
+        b = _as_rhs(b, self.A.nrows)
+        if method == "amg":
+            return self._solver.solve(b, tol=tol, maxiter=maxiter)
+        if method == "fgmres":
+            return fgmres(self.A, b, precondition=self._solver.precondition,
+                          tol=tol, maxiter=maxiter)
+        if method == "cg":
+            return pcg(self.A, b, precondition=self._solver.precondition,
+                       tol=tol, maxiter=maxiter)
+        raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
+
+    def solve_many(
+        self,
+        B,
+        *,
+        method: str = "amg",
+        tol: float = 1e-7,
+        maxiter: int | None = None,
+    ) -> list[SolveResult]:
+        """Solve ``A X = B`` column-wise with the batched (multi-RHS) path."""
+        B = _as_rhs_block(B, self.A.nrows)
+        if method == "amg":
+            return self._solver.solve_many(B, tol=tol, maxiter=maxiter)
+        if method == "fgmres":
+            return fgmres_multi(
+                self.A, B, precondition_multi=self._solver.precondition_multi,
+                tol=tol, maxiter=maxiter)
+        if method == "cg":
+            return pcg_multi(
+                self.A, B, precondition_multi=self._solver.precondition_multi,
+                tol=tol, maxiter=maxiter)
+        raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
+
+
+def setup(
+    A,
+    config: AMGConfig | None = None,
+    *,
+    cache: HierarchyCache | None = DEFAULT_CACHE,
+) -> SolverHandle:
+    """Build (or fetch from *cache*) the AMG hierarchy for *A*.
+
+    Pass ``cache=None`` to force a fresh, uncached setup.
+    """
+    return SolverHandle(A, config, cache=cache)
+
+
+def solve(
+    A,
+    b,
+    *,
+    method: str = "amg",
+    config: AMGConfig | None = None,
+    tol: float = 1e-7,
+    maxiter: int | None = None,
+    cache: HierarchyCache | None = DEFAULT_CACHE,
+) -> SolveResult:
+    """One-call solve of ``A x = b``.
+
+    ``method`` is ``"amg"`` (standalone V-cycles, the Table 3 solver),
+    ``"fgmres"`` or ``"cg"`` (AMG-preconditioned Krylov).  Repeated calls
+    with the same matrix and config hit the hierarchy cache and skip the
+    setup phase entirely.
+    """
+    return setup(A, config, cache=cache).solve(b, method=method, tol=tol,
+                                               maxiter=maxiter)
+
+
+def solve_many(
+    A,
+    B,
+    *,
+    method: str = "amg",
+    config: AMGConfig | None = None,
+    tol: float = 1e-7,
+    maxiter: int | None = None,
+    cache: HierarchyCache | None = DEFAULT_CACHE,
+) -> list[SolveResult]:
+    """One-call batched solve of ``A X = B`` for an ``(n, k)`` block.
+
+    Every cycle streams the hierarchy once for all *k* right-hand sides
+    (the multi-RHS path); returns one result per column, each bit-identical
+    to the corresponding single-RHS :func:`solve`.
+    """
+    return setup(A, config, cache=cache).solve_many(B, method=method, tol=tol,
+                                                    maxiter=maxiter)

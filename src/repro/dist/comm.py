@@ -178,10 +178,15 @@ class PersistentExchange:
         self.tag = tag
         comm.persistent_created += len(self.pattern)
 
-    def start(self) -> None:
+    def start(self, *, width: int = 1) -> None:
+        """Log one persistent message per neighbor pair.
+
+        ``width > 1`` sends a *k*-column block through the same frozen
+        pattern: still one message per pair, *k* times the bytes.
+        """
         for (src, dst), count in self.pattern.items():
             if src != dst:
                 self.comm.log_message(
-                    src, dst, count * self.bytes_per_elem,
+                    src, dst, count * width * self.bytes_per_elem,
                     persistent=True, tag=self.tag,
                 )

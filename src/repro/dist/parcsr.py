@@ -177,8 +177,12 @@ class ParVector:
         return cls([x[part.lo(p): part.hi(p)].copy() for p in range(part.nranks)], part)
 
     @classmethod
-    def zeros(cls, part: RowPartition) -> "ParVector":
-        return cls([np.zeros(part.size(p)) for p in range(part.nranks)], part)
+    def zeros(cls, part: RowPartition, ncols: int | None = None) -> "ParVector":
+        """All-zero vector; ``ncols`` makes each part an ``(n_p, ncols)``
+        multi-column block (the distributed multi-RHS payload)."""
+        if ncols is None:
+            return cls([np.zeros(part.size(p)) for p in range(part.nranks)], part)
+        return cls([np.zeros((part.size(p), ncols)) for p in range(part.nranks)], part)
 
     def to_global(self) -> np.ndarray:
         return np.concatenate(self.parts) if self.parts else np.empty(0)

@@ -7,12 +7,11 @@ Fig. 7's ``Solve_MPI`` bucket, alongside the halo exchanges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..config import AMGConfig
 from ..perf.counters import VAL_BYTES, count, phase
+from ..results import DistSolveResult, resolve_maxiter
 from .comm import SimComm
 from .parcsr import ParCSRMatrix, ParVector
 from .setup import DistHierarchy, dist_build_hierarchy
@@ -121,18 +120,6 @@ def dist_vcycle(h: DistHierarchy, b: ParVector, level: int = 0) -> ParVector:
 # Solvers
 # ---------------------------------------------------------------------------
 
-@dataclass
-class DistSolveResult:
-    x: ParVector
-    iterations: int
-    residuals: list[float]
-    converged: bool
-
-    @property
-    def final_relres(self) -> float:
-        return self.residuals[-1] / self.residuals[0] if self.residuals else np.inf
-
-
 class DistAMGSolver:
     """Distributed AMG: standalone solver or FGMRES preconditioner."""
 
@@ -148,7 +135,15 @@ class DistAMGSolver:
     def precondition(self, r: ParVector) -> ParVector:
         return dist_vcycle(self.hierarchy, r)
 
-    def solve(self, b: ParVector, *, tol: float = 1e-7, max_iter: int = 300) -> DistSolveResult:
+    def solve(
+        self,
+        b: ParVector,
+        *,
+        tol: float = 1e-7,
+        maxiter: int | None = None,
+        max_iter: int | None = None,
+    ) -> DistSolveResult:
+        max_iter = resolve_maxiter(maxiter, max_iter, 300)
         h = self.hierarchy
         comm = self.comm
         lvl0 = h.levels[0]
@@ -182,11 +177,14 @@ def dist_fgmres(
     precondition=None,
     halo=None,
     tol: float = 1e-7,
-    max_iter: int = 200,
+    maxiter: int | None = None,
+    max_iter: int | None = None,
     restart: int = 50,
 ) -> DistSolveResult:
     """Distributed Flexible GMRES (right-preconditioned, MGS + Givens)."""
     from .halo import build_halo
+
+    max_iter = resolve_maxiter(maxiter, max_iter, 200)
 
     if halo is None:
         halo = build_halo(comm, A, persistent=True)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..sparse.spmv import spmv
+from ..sparse.spmv import spmv, spmv_multi
 from .comm import SimComm
 from .halo import HaloExchange
 from .parcsr import ParCSRMatrix, ParVector
@@ -26,15 +26,26 @@ def dist_spmv(
     *,
     kernel: str = "spmv",
 ) -> ParVector:
+    """``y = A x``; *x* may hold 1-D parts or ``(n_p, k)`` multi-column parts.
+
+    The multi-column path performs one k-wide halo exchange and blocked
+    diag/offd SpMVs (matrix blocks streamed once per k columns).
+    """
     if x.part.n != A.col_part.n:
         raise ValueError("dimension mismatch")
     x_ext = halo(x)
+    multi = x.parts[0].ndim == 2
     out = []
     for p, blk in enumerate(A.blocks):
         with comm.on_rank(p):
-            y = spmv(blk.diag, x.parts[p], kernel=kernel)
-            if blk.offd.nnz:
-                y += spmv(blk.offd, x_ext[p], kernel=kernel + ".offd")
+            if multi:
+                y = spmv_multi(blk.diag, x.parts[p], kernel=kernel)
+                if blk.offd.nnz:
+                    y += spmv_multi(blk.offd, x_ext[p], kernel=kernel + ".offd")
+            else:
+                y = spmv(blk.diag, x.parts[p], kernel=kernel)
+                if blk.offd.nnz:
+                    y += spmv(blk.offd, x_ext[p], kernel=kernel + ".offd")
         out.append(y)
     return ParVector(out, A.row_part)
 

@@ -1,7 +1,19 @@
-"""Krylov solvers: FGMRES (the paper's multi-node outer solver), GMRES, CG."""
+"""Krylov solvers: FGMRES (the paper's multi-node outer solver), GMRES, CG.
+
+The ``*_multi`` variants solve a block of right-hand sides in lockstep with
+blocked kernels (see :mod:`repro.sparse.spmv`).
+"""
 
 from .bicgstab import bicgstab
-from .cg import pcg
-from .gmres import KrylovResult, fgmres, gmres
+from .cg import pcg, pcg_multi
+from .gmres import KrylovResult, fgmres, fgmres_multi, gmres
 
-__all__ = ["bicgstab", "pcg", "KrylovResult", "fgmres", "gmres"]
+__all__ = [
+    "bicgstab",
+    "pcg",
+    "pcg_multi",
+    "KrylovResult",
+    "fgmres",
+    "fgmres_multi",
+    "gmres",
+]

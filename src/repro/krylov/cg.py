@@ -11,12 +11,21 @@ from collections.abc import Callable
 import numpy as np
 
 from ..perf.counters import phase
-from ..sparse.blas1 import axpy, dot, norm2, waxpby
+from ..results import KrylovResult, resolve_maxiter
+from ..sparse.blas1 import (
+    axpy,
+    axpy_multi,
+    dot,
+    dot_multi,
+    norm2,
+    norm2_multi,
+    waxpby,
+    waxpby_multi,
+)
 from ..sparse.csr import CSRMatrix
-from ..sparse.spmv import spmv
-from .gmres import KrylovResult
+from ..sparse.spmv import spmv, spmv_multi
 
-__all__ = ["pcg"]
+__all__ = ["pcg", "pcg_multi"]
 
 
 def pcg(
@@ -26,9 +35,11 @@ def pcg(
     precondition: Callable[[np.ndarray], np.ndarray] | None = None,
     x0: np.ndarray | None = None,
     tol: float = 1e-7,
-    max_iter: int = 1000,
+    maxiter: int | None = None,
+    max_iter: int | None = None,
 ) -> KrylovResult:
     """Preconditioned CG for SPD systems."""
+    max_iter = resolve_maxiter(maxiter, max_iter, 1000)
     b = np.asarray(b, dtype=np.float64)
     n = len(b)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
@@ -63,3 +74,90 @@ def pcg(
             p = waxpby(1.0, z, beta, p)
         rz = rz_new
     return KrylovResult(x, max_iter, residuals, False)
+
+
+def pcg_multi(
+    A: CSRMatrix,
+    B: np.ndarray,
+    *,
+    precondition_multi: Callable[[np.ndarray], np.ndarray] | None = None,
+    precondition: Callable[[np.ndarray], np.ndarray] | None = None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-7,
+    maxiter: int | None = None,
+    max_iter: int | None = None,
+) -> list[KrylovResult]:
+    """Blocked PCG over an ``(n, k)`` block of right-hand sides.
+
+    The *k* CG recurrences run in lockstep with per-column scalars
+    (``alpha``, ``beta``), so every SpMV and preconditioner application is
+    one blocked kernel.  A column that converges is frozen (dropped from the
+    active block), making column *j* bit-identical to
+    ``pcg(A, B[:, j], ...)``.  ``precondition_multi`` takes an
+    ``(n, k_active)`` block (e.g. ``AMGSolver.precondition_multi``); a
+    single-vector ``precondition`` is applied column-wise instead.
+    """
+    from .gmres import _resolve_multi_precondition
+
+    max_iter = resolve_maxiter(maxiter, max_iter, 1000)
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValueError(f"expected a 2-D (n, k) block, got shape {B.shape}")
+    n, k = B.shape
+    if precondition_multi is None and precondition is None:
+        M = lambda Vb: Vb.copy()  # noqa: E731 — matches pcg's identity default
+    else:
+        M = _resolve_multi_precondition(precondition_multi, precondition)
+
+    X = np.zeros((n, k)) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    with phase("SpMV"):
+        R = B - spmv_multi(A, X, kernel="spmv.krylov")
+    Z = M(R)
+    P = Z.copy()
+    with phase("BLAS1"):
+        rz = dot_multi(R, Z)
+        r0 = norm2_multi(R)
+    residuals: list[list[float]] = [[float(r0[c])] for c in range(k)]
+    iterations = np.zeros(k, dtype=np.int64)
+    converged = r0 == 0.0
+    active = np.flatnonzero(~converged)
+
+    for it in range(1, max_iter + 1):
+        if len(active) == 0:
+            break
+        Pa = P[:, active]
+        with phase("SpMV"):
+            APa = spmv_multi(A, Pa, kernel="spmv.krylov")
+        with phase("BLAS1"):
+            alpha = rz[active] / dot_multi(Pa, APa)
+            Xa = X[:, active]
+            axpy_multi(alpha, Pa, Xa)
+            X[:, active] = Xa
+            Ra = R[:, active]
+            axpy_multi(-alpha, APa, Ra)
+            R[:, active] = Ra
+            rn = norm2_multi(Ra)
+        done = []
+        for idx, c in enumerate(active):
+            residuals[c].append(float(rn[idx]))
+            iterations[c] = it
+            if rn[idx] <= tol * r0[c]:
+                converged[c] = True
+                done.append(idx)
+        if done:
+            active = np.delete(active, done)
+        if len(active) == 0:
+            break
+        Za = M(R[:, active])
+        Z[:, active] = Za
+        with phase("BLAS1"):
+            rz_new = dot_multi(R[:, active], Za)
+            beta = rz_new / rz[active]
+            P[:, active] = waxpby_multi(1.0, Za, beta, P[:, active])
+        rz[active] = rz_new
+
+    return [
+        KrylovResult(X[:, c].copy(), int(iterations[c]), residuals[c],
+                     bool(converged[c]))
+        for c in range(k)
+    ]

@@ -1,0 +1,77 @@
+"""Unified solve-result records shared by every solver in the library.
+
+Historically ``AMGSolver``, the Krylov drivers, and ``DistAMGSolver`` each
+carried their own result dataclass with the same four fields.  They are now
+one type — :class:`SolveResult` — with thin subclasses kept so
+``isinstance`` checks and type annotations stay meaningful:
+
+* :class:`SolveResult` — node-level solves (``x`` is a numpy array);
+* :class:`KrylovResult` — alias for Krylov drivers (same fields);
+* :class:`DistSolveResult` — distributed solves (``x`` is a ``ParVector``).
+
+Fields: ``x``, ``iterations``, ``residuals``, ``converged``, plus the
+derived ``final_relres`` property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SolveResult", "KrylovResult", "DistSolveResult", "resolve_maxiter"]
+
+
+def resolve_maxiter(maxiter: int | None, max_iter: int | None, default: int) -> int:
+    """Resolve the ``maxiter`` / legacy ``max_iter`` keyword pair.
+
+    Every solver accepts both spellings (``maxiter`` is the unified API
+    name; ``max_iter`` predates it).  Passing both with different values is
+    an error.
+    """
+    if maxiter is not None and max_iter is not None and maxiter != max_iter:
+        raise TypeError("pass either maxiter or max_iter, not both")
+    if maxiter is not None:
+        return maxiter
+    if max_iter is not None:
+        return max_iter
+    return default
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a linear solve.
+
+    Attributes
+    ----------
+    x:
+        The computed solution (numpy array for node-level solvers,
+        ``ParVector`` for distributed ones).
+    iterations:
+        Iterations (cycles for standalone AMG) performed.
+    residuals:
+        Residual-norm history, starting with the initial residual.
+    converged:
+        Whether the stopping tolerance was met within ``maxiter``.
+    """
+
+    x: Any
+    iterations: int
+    residuals: list[float] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def final_relres(self) -> float:
+        """Final residual norm relative to the initial one."""
+        return self.residuals[-1] / self.residuals[0] if self.residuals else np.inf
+
+
+@dataclass
+class KrylovResult(SolveResult):
+    """Result of a Krylov solve (same fields as :class:`SolveResult`)."""
+
+
+@dataclass
+class DistSolveResult(SolveResult):
+    """Result of a distributed solve; ``x`` is a ``repro.dist.ParVector``."""

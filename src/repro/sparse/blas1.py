@@ -3,6 +3,13 @@
 The solve phase's ``BLAS1`` bucket in Fig. 5 (vector scaling, addition,
 inner products).  Each helper performs the numpy operation and counts the
 streaming traffic of a native implementation.
+
+The ``*_multi`` variants operate on ``(n, k)`` blocks — one fused pass over
+*k* right-hand sides.  BLAS1 traffic is pure vector data, so there is no
+matrix stream to amortize; batching still helps the machine model through
+one kernel record (one launch on GPU models) per block instead of *k*.
+Column *j* of every multi op is bit-identical to the single-vector op on
+column *j*.
 """
 
 from __future__ import annotations
@@ -11,7 +18,11 @@ import numpy as np
 
 from ..perf.counters import VAL_BYTES, count
 
-__all__ = ["dot", "norm2", "axpy", "scale", "waxpby", "vcopy", "vzero"]
+__all__ = [
+    "dot", "norm2", "axpy", "scale", "waxpby", "vcopy", "vzero",
+    "dot_multi", "norm2_multi", "axpy_multi", "scale_multi", "waxpby_multi",
+    "vcopy_multi", "vzero_multi",
+]
 
 
 def dot(x: np.ndarray, y: np.ndarray) -> float:
@@ -58,3 +69,74 @@ def vcopy(x: np.ndarray) -> np.ndarray:
 def vzero(n: int) -> np.ndarray:
     count("blas1.zero", bytes_written=n * VAL_BYTES)
     return np.zeros(n, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Multiple right-hand sides
+# ---------------------------------------------------------------------------
+
+def _nk(X: np.ndarray) -> tuple[int, int]:
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D (n, k) block, got shape {X.shape}")
+    return X.shape[0], X.shape[1]
+
+
+def dot_multi(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Column-wise inner products; returns a length-``k`` array."""
+    n, k = _nk(X)
+    count("blas1.dot", flops=2 * n * k, bytes_read=2 * n * k * VAL_BYTES)
+    out = np.empty(k)
+    for j in range(k):
+        # Contiguous copies so the reduction takes the same code path (and
+        # produces the same bits) as dot() on a 1-D vector.
+        out[j] = float(np.dot(np.ascontiguousarray(X[:, j]),
+                              np.ascontiguousarray(Y[:, j])))
+    return out
+
+
+def norm2_multi(X: np.ndarray) -> np.ndarray:
+    """Column-wise 2-norms; returns a length-``k`` array."""
+    n, k = _nk(X)
+    count("blas1.norm2", flops=2 * n * k, bytes_read=n * k * VAL_BYTES)
+    out = np.empty(k)
+    for j in range(k):
+        xj = np.ascontiguousarray(X[:, j])
+        out[j] = float(np.sqrt(np.dot(xj, xj)))
+    return out
+
+
+def axpy_multi(alpha, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """``Y += alpha * X`` in place; *alpha* is a scalar or per-column array."""
+    n, k = _nk(X)
+    Y += np.asarray(alpha) * X
+    count("blas1.axpy", flops=2 * n * k, bytes_read=2 * n * k * VAL_BYTES,
+          bytes_written=n * k * VAL_BYTES)
+    return Y
+
+
+def waxpby_multi(alpha, X: np.ndarray, beta, Y: np.ndarray) -> np.ndarray:
+    """``W = alpha*X + beta*Y`` (new block); scalars or per-column arrays."""
+    n, k = _nk(X)
+    count("blas1.waxpby", flops=3 * n * k, bytes_read=2 * n * k * VAL_BYTES,
+          bytes_written=n * k * VAL_BYTES)
+    return np.asarray(alpha) * X + np.asarray(beta) * Y
+
+
+def scale_multi(alpha, X: np.ndarray) -> np.ndarray:
+    """``X *= alpha`` in place; *alpha* is a scalar or per-column array."""
+    n, k = _nk(X)
+    X *= np.asarray(alpha)
+    count("blas1.scal", flops=n * k, bytes_read=n * k * VAL_BYTES,
+          bytes_written=n * k * VAL_BYTES)
+    return X
+
+
+def vcopy_multi(X: np.ndarray) -> np.ndarray:
+    n, k = _nk(X)
+    count("blas1.copy", bytes_read=n * k * VAL_BYTES, bytes_written=n * k * VAL_BYTES)
+    return X.copy()
+
+
+def vzero_multi(n: int, k: int) -> np.ndarray:
+    count("blas1.zero", bytes_written=n * k * VAL_BYTES)
+    return np.zeros((n, k), dtype=np.float64)
