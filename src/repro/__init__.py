@@ -38,6 +38,9 @@ Subpackages
 ``repro.dist``
     Simulated distributed-memory layer: ParCSR, halo exchange, renumbering,
     distributed AMG (§4).
+``repro.faults``
+    Fault-injection harness: seeded comm-fault plans, retry/backoff
+    delivery, residual guards (docs/robustness.md).
 ``repro.perf``
     Instrumentation + Haswell/K40c/InfiniBand models (DESIGN.md §2).
 ``repro.problems``
@@ -48,6 +51,7 @@ Subpackages
 
 from .amg import AMGSolver, SolveResult, build_hierarchy, vcycle
 from .api import SolverHandle, setup, solve, solve_many
+from .faults import FaultEvent, FaultPlan, RetryPolicy
 from .config import (
     AMGConfig,
     HYPRE_BASE_FLAGS,
@@ -78,6 +82,9 @@ __all__ = [
     "amgx_config",
     "multi_node_config",
     "single_node_config",
+    "FaultEvent",
+    "FaultPlan",
+    "RetryPolicy",
     "fgmres",
     "gmres",
     "pcg",

@@ -7,7 +7,10 @@ Commands
     print convergence and modeled Haswell times.  ``--rhs K`` (K > 1) solves
     a block of K random right-hand sides through the batched multi-RHS path
     (one hierarchy, blocked kernels) and reports the modeled solve time
-    per right-hand side.
+    per right-hand side.  ``--ranks N`` runs the distributed solver on N
+    simulated ranks; ``--faults PLAN.json`` additionally injects the
+    communication faults described by the plan (see docs/robustness.md)
+    and prints a fault/retry summary.
 ``info``
     Print the hierarchy a configuration produces for a problem.
 ``suite``
@@ -17,6 +20,8 @@ Examples::
 
     python -m repro solve --problem lap3d27 --size 16 --scheme ei
     python -m repro solve --problem lap3d27 --size 16 --rhs 8
+    python -m repro solve --problem lap3d27 --size 12 --ranks 8
+    python -m repro solve --problem lap3d27 --size 12 --ranks 8 --faults plan.json
     python -m repro solve --problem reservoir --size 24 --baseline
     python -m repro info --problem lap2d --size 64
     python -m repro suite
@@ -82,12 +87,73 @@ def _config(args):
     return cfg
 
 
+def _solve_distributed(args, A, b, cfg) -> int:
+    """``--ranks``/``--faults`` path: distributed AMG, optionally faulty."""
+    from .dist import DistAMGSolver, ParCSRMatrix, ParVector, RowPartition, SimComm
+    from .perf import FDRInfinibandModel
+
+    nranks = args.ranks if args.ranks > 0 else 4
+    plan = None
+    if args.faults:
+        from .faults import FaultPlan
+        from .faults.comm import FaultyComm
+
+        plan = FaultPlan.from_json_file(args.faults)
+        comm = FaultyComm(nranks, plan)
+    else:
+        comm = SimComm(nranks)
+
+    part = RowPartition.uniform(A.nrows, nranks)
+    Ad = ParCSRMatrix.from_global(A, part)
+    bd = ParVector.from_global(b, part)
+    solver = DistAMGSolver(comm, cfg)
+    machine = HaswellModel(threads=args.threads)
+    net = FDRInfinibandModel()
+
+    with collect() as setup_log:
+        solver.setup(Ad)
+    t_setup = machine.log_time(setup_log) / nranks
+    t_comm_setup = comm.comm_time(net)
+    comm.clear_logs()
+
+    with collect() as solve_log:
+        res = solver.solve(bd, tol=args.tol)
+    t_solve = machine.log_time(solve_log) / nranks
+    t_comm_solve = comm.comm_time(net)
+
+    x = res.x.to_global()
+    true_res = np.linalg.norm(b - spmv(A, x)) / np.linalg.norm(b)
+    print(f"problem       : {args.problem}  (n={A.nrows}, nnz={A.nnz}, "
+          f"ranks={nranks})")
+    print(f"configuration : {'baseline' if args.baseline else 'optimized'}"
+          f", cycle={cfg.cycle_type}, smoother={cfg.smoother}"
+          f"{', faults=' + args.faults if args.faults else ''}")
+    print(f"hierarchy     : {solver.hierarchy.num_levels} levels")
+    print(f"convergence   : {res.iterations} iterations, "
+          f"converged={res.converged}, degraded={res.degraded}, "
+          f"true relres={true_res:.2e}")
+    print(f"modeled time  : setup {(t_setup + t_comm_setup) * 1e3:.3f} ms, "
+          f"solve {(t_solve + t_comm_solve) * 1e3:.3f} ms "
+          f"(comm {t_comm_solve * 1e3:.3f} ms)  (Haswell + FDR IB model)")
+    if plan is not None:
+        from .perf.report import format_fault_summary
+
+        print(format_fault_summary(res.fault_events,
+                                   title="fault summary"))
+    return 0 if res.converged else 1
+
+
 def cmd_solve(args) -> int:
     A, b = _build_problem(args.problem, args.size, args.seed)
     cfg = _config(args)
-    solver = AMGSolver(cfg)
     if args.rhs < 1:
         raise SystemExit("--rhs must be >= 1")
+    if args.ranks > 0 or args.faults:
+        if args.rhs > 1 or args.krylov:
+            raise SystemExit("--ranks/--faults use the distributed V-cycle "
+                             "solver; combine with neither --rhs nor --krylov")
+        return _solve_distributed(args, A, b, cfg)
+    solver = AMGSolver(cfg)
     with collect() as setup_log:
         solver.setup(A)
     machine = HaswellModel(threads=args.threads)
@@ -187,6 +253,12 @@ def main(argv: list[str] | None = None) -> int:
     p_solve.add_argument("--rhs", type=int, default=1, metavar="K",
                          help="solve K right-hand sides through the batched "
                               "multi-RHS path (default 1)")
+    p_solve.add_argument("--ranks", type=int, default=0, metavar="N",
+                         help="run the distributed solver on N simulated "
+                              "ranks (default: single-node path)")
+    p_solve.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="inject communication faults from a FaultPlan "
+                              "JSON file (implies --ranks, default 4)")
     p_solve.set_defaults(func=cmd_solve)
 
     p_info = sub.add_parser("info", help="print the AMG hierarchy")

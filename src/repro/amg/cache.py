@@ -13,7 +13,11 @@ once.  :class:`HierarchyCache` memoizes built hierarchies keyed by
 * the :class:`~repro.config.AMGConfig` (a frozen, hashable dataclass —
   different flag sets build different hierarchies).
 
-Entries are evicted LRU.  Fingerprinting is deliberately **not** counted
+Entries are evicted LRU: the cache is bounded by ``max_entries`` (the
+legacy ``maxsize`` spelling is accepted), evictions are counted in
+``.evictions`` and logged on the ``repro.amg.cache`` logger so long-running
+sweeps can see hierarchies being dropped.  Fingerprinting is deliberately
+**not** counted
 against the performance model: it is an artifact of the simulation (a real
 code would compare pointers or version counters), and keeping it silent
 means a cache hit shows *zero* setup-phase kernel records — which is
@@ -23,7 +27,10 @@ exactly how the tests assert reuse.
 from __future__ import annotations
 
 import hashlib
+import logging
 from collections import OrderedDict
+
+logger = logging.getLogger("repro.amg.cache")
 
 from ..config import AMGConfig
 from ..sparse.csr import CSRMatrix
@@ -43,15 +50,31 @@ def matrix_fingerprint(A: CSRMatrix) -> str:
 
 
 class HierarchyCache:
-    """LRU cache of built AMG hierarchies, keyed by (matrix, config)."""
+    """Bounded LRU cache of built AMG hierarchies, keyed by (matrix, config).
 
-    def __init__(self, maxsize: int = 8) -> None:
-        if maxsize < 1:
-            raise ValueError("maxsize must be >= 1")
-        self.maxsize = maxsize
+    ``max_entries`` bounds the number of retained hierarchies (``maxsize``
+    is the legacy spelling of the same knob).  Evictions bump
+    ``.evictions`` and emit a log record on ``repro.amg.cache``.
+    """
+
+    def __init__(self, max_entries: int | None = None, *,
+                 maxsize: int | None = None) -> None:
+        if max_entries is None:
+            max_entries = 8 if maxsize is None else maxsize
+        elif maxsize is not None and maxsize != max_entries:
+            raise ValueError("pass max_entries or maxsize, not both")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
         self._entries: OrderedDict[tuple[str, AMGConfig], Hierarchy] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """Legacy alias for :attr:`max_entries`."""
+        return self.max_entries
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -74,8 +97,11 @@ class HierarchyCache:
         key = self.key(A, config)
         self._entries[key] = hierarchy
         self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        while len(self._entries) > self.max_entries:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            logger.info("evicted hierarchy %s (cache bound %d reached)",
+                        evicted_key[0][:12], self.max_entries)
 
     def get_or_build(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy:
         """Cached hierarchy for (A, config); builds (and counts) on a miss."""
@@ -89,6 +115,7 @@ class HierarchyCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 #: Process-wide cache used by :mod:`repro.api` unless a private one is given.

@@ -14,6 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import AMGConfig
+from ..faults.guards import DEFAULT_LIMITS, ResidualGuard
+from ..faults.plan import FaultEvent
 from ..perf.counters import phase
 from ..results import SolveResult, resolve_maxiter
 from ..sparse.blas1 import axpy, axpy_multi, norm2, norm2_multi
@@ -137,8 +139,17 @@ class AMGSolver:
         ref = bnorm if bnorm > 0.0 else r0
         if r0 == 0.0 or r0 <= tol * ref:
             return SolveResult(self._from_level0(x), 0, [r0], True)
+        if not np.isfinite(r0):
+            return SolveResult(
+                self._from_level0(x), 0, [r0], False, degraded=True,
+                degraded_reason="nonfinite initial residual",
+                fault_events=[FaultEvent("nonfinite",
+                                         detail="initial residual")])
         residuals = [r0]
         converged = False
+        events: list[FaultEvent] = []
+        reason = None
+        guard = ResidualGuard(ref)
         for it in range(1, max_iter + 1):
             corr = cycle(h, r, self.config.cycle_type)
             with phase("BLAS1"):
@@ -148,7 +159,14 @@ class AMGSolver:
             if rn <= tol * ref:
                 converged = True
                 break
-        return SolveResult(self._from_level0(x), len(residuals) - 1, residuals, converged)
+            verdict = guard.check(rn)
+            if verdict is not None:
+                events.append(FaultEvent(verdict, detail=f"cycle {it}"))
+                reason = f"{verdict} at cycle {it}"
+                break
+        return SolveResult(self._from_level0(x), len(residuals) - 1, residuals,
+                           converged, degraded=bool(events),
+                           degraded_reason=reason, fault_events=events)
 
     # -- batched standalone solve -------------------------------------------
     def solve_many(
@@ -209,7 +227,16 @@ class AMGSolver:
         residuals: list[list[float]] = [[float(r0[j])] for j in range(k)]
         iterations = np.zeros(k, dtype=np.int64)
         converged = (r0 == 0.0) | (r0 <= tol * ref)
-        active = np.flatnonzero(~converged)
+        failed = np.zeros(k, dtype=bool)
+        col_events: list[list[FaultEvent]] = [[] for _ in range(k)]
+        for j in np.flatnonzero(~np.isfinite(r0)):
+            # A NaN/Inf column is frozen before the first cycle so it can
+            # never poison the blocked kernels its siblings run through.
+            failed[j] = True
+            col_events[j].append(FaultEvent("nonfinite",
+                                            detail="initial residual"))
+        active = np.flatnonzero(~converged & ~failed)
+        div_factor = DEFAULT_LIMITS.divergence_factor
 
         for _ in range(max_iter):
             if len(active) == 0:
@@ -228,12 +255,26 @@ class AMGSolver:
                 if rn[idx] <= tol * ref[j]:
                     converged[j] = True
                     done_local.append(idx)
+                elif not np.isfinite(rn[idx]):
+                    failed[j] = True
+                    col_events[j].append(FaultEvent(
+                        "nonfinite", detail=f"cycle {int(iterations[j])}"))
+                    done_local.append(idx)
+                elif rn[idx] > div_factor * ref[j]:
+                    failed[j] = True
+                    col_events[j].append(FaultEvent(
+                        "diverged", detail=f"cycle {int(iterations[j])}"))
+                    done_local.append(idx)
             if done_local:
                 active = np.delete(active, done_local)
 
         Xout = self._from_level0(X)
         return [
             SolveResult(Xout[:, j].copy(), int(iterations[j]), residuals[j],
-                        bool(converged[j]))
+                        bool(converged[j]), degraded=bool(failed[j]),
+                        degraded_reason=(col_events[j][-1].kind
+                                         if failed[j] and col_events[j]
+                                         else None),
+                        fault_events=list(col_events[j]))
             for j in range(k)
         ]

@@ -28,6 +28,7 @@ import numpy as np
 from .amg.cache import DEFAULT_CACHE, HierarchyCache
 from .amg.solver import AMGSolver
 from .config import AMGConfig, single_node_config
+from .faults.plan import FaultEvent
 from .krylov.cg import pcg, pcg_multi
 from .krylov.gmres import fgmres, fgmres_multi
 from .results import SolveResult
@@ -87,6 +88,13 @@ def _as_rhs(b, n: int) -> np.ndarray:
         )
     if len(b) != n:
         raise ValueError(f"b has length {len(b)}, expected {n}")
+    if not np.isfinite(b).all():
+        bad = int(np.count_nonzero(~np.isfinite(b)))
+        raise ValueError(
+            f"b contains {bad} non-finite (NaN/Inf) entr"
+            f"{'y' if bad == 1 else 'ies'}; clean the right-hand side "
+            "before solving"
+        )
     return b
 
 
@@ -99,7 +107,30 @@ def _as_rhs_block(B, n: int) -> np.ndarray:
         )
     if B.shape[0] != n:
         raise ValueError(f"B has {B.shape[0]} rows, expected {n}")
+    if not np.isfinite(B).all():
+        bad_cols = np.flatnonzero(~np.isfinite(B).all(axis=0))
+        raise ValueError(
+            "B contains non-finite (NaN/Inf) entries in column"
+            f"{'s' if len(bad_cols) != 1 else ''} {bad_cols.tolist()}; "
+            "clean the right-hand sides before solving"
+        )
     return B
+
+
+def _validate_operator(A: CSRMatrix) -> CSRMatrix:
+    """Reject operators the solvers cannot meaningfully run on."""
+    if A.nrows == 0 or A.ncols == 0:
+        raise ValueError(f"A is empty (shape {A.nrows}x{A.ncols}); "
+                         "the system must have at least one unknown")
+    if A.nrows != A.ncols:
+        raise ValueError(f"A must be square, got shape {A.nrows}x{A.ncols}")
+    if A.nnz and not np.isfinite(A.data).all():
+        bad = int(np.count_nonzero(~np.isfinite(A.data)))
+        raise ValueError(
+            f"A contains {bad} non-finite (NaN/Inf) stored entr"
+            f"{'y' if bad == 1 else 'ies'}; clean the operator before setup"
+        )
+    return A
 
 
 class SolverHandle:
@@ -116,7 +147,7 @@ class SolverHandle:
         *,
         cache: HierarchyCache | None = DEFAULT_CACHE,
     ) -> None:
-        self.A = as_csr(A)
+        self.A = _validate_operator(as_csr(A))
         self.config = config if config is not None else single_node_config()
         self._solver = AMGSolver(self.config)
         self._solver.setup(self.A, cache=cache)
@@ -130,6 +161,42 @@ class SolverHandle:
         """The underlying :class:`AMGSolver` (e.g. for ``precondition``)."""
         return self._solver
 
+    # -- graceful-degradation ladder ------------------------------------------
+    def _diag_precondition(self):
+        d = self.A.diagonal().copy()
+        d[d == 0.0] = 1.0
+        return lambda r: r / d
+
+    def _fallback(self, b, primary: SolveResult, *, tol: float,
+                  maxiter: int | None) -> SolveResult:
+        """Last rung of the degradation ladder: diagonal-preconditioned CG.
+
+        Called when the AMG(-preconditioned) solve broke (divergence,
+        non-positive curvature, stagnation).  The fallback drops the AMG
+        preconditioner entirely — a broken hierarchy can't hurt it — and the
+        returned result stays flagged ``degraded`` with the full event trail
+        (primary verdicts, the downgrade marker, fallback events).
+        """
+        events = list(primary.fault_events)
+        events.append(FaultEvent(
+            "degraded_fallback",
+            detail="retrying with diagonal-preconditioned CG"))
+        fb = pcg(self.A, b, precondition=self._diag_precondition(),
+                 tol=tol, maxiter=maxiter)
+        events.extend(fb.fault_events)
+        if not fb.converged:
+            # Fallback did no better; report the primary result, but keep
+            # the ladder's event trail so the attempt is visible.
+            return SolveResult(primary.x, primary.iterations,
+                               primary.residuals, False, degraded=True,
+                               degraded_reason=primary.degraded_reason,
+                               fault_events=events)
+        reason = ((primary.degraded_reason or "solver fault")
+                  + "; recovered by diagonal-CG fallback")
+        return SolveResult(fb.x, primary.iterations + fb.iterations,
+                           fb.residuals, True, degraded=True,
+                           degraded_reason=reason, fault_events=events)
+
     def solve(
         self,
         b,
@@ -137,18 +204,29 @@ class SolverHandle:
         method: str = "amg",
         tol: float = 1e-7,
         maxiter: int | None = None,
+        fallback: bool = True,
     ) -> SolveResult:
-        """Solve ``A x = b`` with the chosen method (AMG-preconditioned)."""
+        """Solve ``A x = b`` with the chosen method (AMG-preconditioned).
+
+        If the solve *breaks* (NaN/Inf, divergence, CG breakdown,
+        stagnation) and ``fallback`` is on, the facade walks down the
+        degradation ladder — one retry with plain diagonal-preconditioned
+        CG — and flags the result ``degraded`` either way.
+        """
         b = _as_rhs(b, self.A.nrows)
         if method == "amg":
-            return self._solver.solve(b, tol=tol, maxiter=maxiter)
-        if method == "fgmres":
-            return fgmres(self.A, b, precondition=self._solver.precondition,
-                          tol=tol, maxiter=maxiter)
-        if method == "cg":
-            return pcg(self.A, b, precondition=self._solver.precondition,
-                       tol=tol, maxiter=maxiter)
-        raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
+            res = self._solver.solve(b, tol=tol, maxiter=maxiter)
+        elif method == "fgmres":
+            res = fgmres(self.A, b, precondition=self._solver.precondition,
+                         tol=tol, maxiter=maxiter)
+        elif method == "cg":
+            res = pcg(self.A, b, precondition=self._solver.precondition,
+                      tol=tol, maxiter=maxiter)
+        else:
+            raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
+        if fallback and res.degraded and not res.converged:
+            res = self._fallback(b, res, tol=tol, maxiter=maxiter)
+        return res
 
     def solve_many(
         self,
@@ -157,20 +235,34 @@ class SolverHandle:
         method: str = "amg",
         tol: float = 1e-7,
         maxiter: int | None = None,
+        fallback: bool = True,
     ) -> list[SolveResult]:
-        """Solve ``A X = B`` column-wise with the batched (multi-RHS) path."""
+        """Solve ``A X = B`` column-wise with the batched (multi-RHS) path.
+
+        Broken columns are frozen by the blocked solvers without touching
+        their siblings; with ``fallback`` on, each broken column is then
+        retried individually through the degradation ladder.
+        """
         B = _as_rhs_block(B, self.A.nrows)
         if method == "amg":
-            return self._solver.solve_many(B, tol=tol, maxiter=maxiter)
-        if method == "fgmres":
-            return fgmres_multi(
+            results = self._solver.solve_many(B, tol=tol, maxiter=maxiter)
+        elif method == "fgmres":
+            results = fgmres_multi(
                 self.A, B, precondition_multi=self._solver.precondition_multi,
                 tol=tol, maxiter=maxiter)
-        if method == "cg":
-            return pcg_multi(
+        elif method == "cg":
+            results = pcg_multi(
                 self.A, B, precondition_multi=self._solver.precondition_multi,
                 tol=tol, maxiter=maxiter)
-        raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
+        else:
+            raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
+        if fallback:
+            results = [
+                self._fallback(B[:, j], r, tol=tol, maxiter=maxiter)
+                if r.degraded and not r.converged else r
+                for j, r in enumerate(results)
+            ]
+        return results
 
 
 def setup(

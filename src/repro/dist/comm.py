@@ -18,6 +18,14 @@ neighbor-exchange pattern once; every subsequent ``start()`` logs its
 messages with the ``persistent`` flag so the network model can drop the
 per-exchange setup cost, reproducing the 1.7–1.8x halo speedup the paper
 measures.
+
+Fault injection: :class:`repro.faults.comm.FaultyComm` subclasses this
+communicator and adds a ``reliable_send`` protocol (sequence-numbered acks,
+bounded retries).  Consumers that want resilient delivery — the halo
+exchange, and through it ``dist_spmv`` and the smoothers — check
+``supports_fault_injection`` / ``reliable_send`` and fall back to the plain
+logging path on a vanilla ``SimComm``, which therefore stays bit-identical
+(and modeled-time-identical) to the pre-fault-harness behavior.
 """
 
 from __future__ import annotations
@@ -51,6 +59,11 @@ class _LoggedMessage:
 
 class SimComm:
     """A simulated communicator over ``nranks`` ranks."""
+
+    #: True on communicators whose deliveries can fail and be retried
+    #: (:class:`repro.faults.comm.FaultyComm`); solvers use it to decide
+    #: whether checkpoint/restart bookkeeping is worth doing.
+    supports_fault_injection = False
 
     def __init__(self, nranks: int) -> None:
         if nranks < 1:

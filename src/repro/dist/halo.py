@@ -6,6 +6,13 @@ arrays: rank *p* must receive the vector entries at global indices
 that appear in other ranks' colmaps.  ``persistent=True`` freezes the
 pattern into a :class:`repro.dist.comm.PersistentExchange` (§4.4); otherwise
 every exchange logs the non-persistent per-message setup cost.
+
+On a fault-injecting communicator (one exposing ``reliable_send``, i.e.
+:class:`repro.faults.comm.FaultyComm`) every halo message instead goes
+through the reliable protocol: sequence-numbered, acked, retransmitted with
+exponential backoff when the fault plan drops or corrupts it, and raising
+:class:`repro.faults.comm.CommFault` when the retry budget is exhausted.
+On a plain ``SimComm`` this module's behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -59,7 +66,13 @@ class HaloExchange:
         """
         multi = x.parts[0].ndim == 2
         width = x.parts[0].shape[1] if multi else 1
-        if self._persistent_req is not None:
+        reliable = getattr(self.comm, "reliable_send", None)
+        if reliable is not None:
+            for (src, dst), n in self.pattern.items():
+                if src != dst:
+                    reliable(src, dst, n * width * VAL_BYTES, tag="halo",
+                             persistent=self.persistent)
+        elif self._persistent_req is not None:
             self._persistent_req.start(width=width)
         else:
             for (src, dst), n in self.pattern.items():

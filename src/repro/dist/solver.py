@@ -3,6 +3,15 @@
 Vector primitives (``par_dot`` etc.) count local BLAS1 work per rank and
 log one allreduce per global reduction — the solve-phase collectives of
 Fig. 7's ``Solve_MPI`` bucket, alongside the halo exchanges.
+
+Resilience: on a fault-injecting communicator
+(:class:`repro.faults.comm.FaultyComm`) ``DistAMGSolver.solve`` keeps
+periodic in-memory checkpoints of the iterate; a delivery that exhausts its
+retries (a transient rank failure, a badly lossy link) rolls the solve back
+to the last checkpoint instead of aborting, and the redone iterations plus
+retry traffic surface in the modeled times and ``fault_events``.  Every
+solver here also runs a :class:`~repro.faults.guards.ResidualGuard`, so
+NaN/Inf or exploding residuals terminate the loop with a recorded verdict.
 """
 
 from __future__ import annotations
@@ -10,6 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import AMGConfig
+from ..faults.guards import ResidualGuard
+from ..faults.plan import FaultEvent
 from ..perf.counters import VAL_BYTES, count, phase
 from ..results import DistSolveResult, resolve_maxiter
 from .comm import SimComm
@@ -142,31 +153,97 @@ class DistAMGSolver:
         tol: float = 1e-7,
         maxiter: int | None = None,
         max_iter: int | None = None,
+        checkpoint_every: int = 5,
+        max_restarts: int = 32,
     ) -> DistSolveResult:
+        """Iterate V-cycles until ``||r|| <= tol * ||b||``.
+
+        On a fault-injecting communicator the iterate is checkpointed every
+        ``checkpoint_every`` iterations; a :class:`CommFault` (exhausted
+        retries, transient rank failure) rolls back to the last checkpoint
+        and continues, up to ``max_restarts`` times.  Every injected fault,
+        retry, restart, and guard verdict lands in the result's
+        ``fault_events``.
+        """
+        from ..faults.comm import CommFault
+
         max_iter = resolve_maxiter(maxiter, max_iter, 300)
         h = self.hierarchy
         comm = self.comm
         lvl0 = h.levels[0]
+        fused = self.config.flags.fuse_spmv_dot
+        faulty = comm.supports_fault_injection
+        events_start = len(comm.events) if faulty else 0
+        solver_events: list[FaultEvent] = []
+
+        def result(x, it, residuals, converged, *, degraded=False, reason=None):
+            comm_events = list(comm.events[events_start:]) if faulty else []
+            return DistSolveResult(
+                x, it, residuals, converged, degraded=degraded,
+                degraded_reason=reason,
+                fault_events=comm_events + solver_events,
+            )
+
         x = ParVector.zeros(b.part)
-        bnorm = par_norm2(comm, b)
-        r, r0 = dist_residual_norm(
-            comm, lvl0.A, x, b, lvl0.halo, fused=self.config.flags.fuse_spmv_dot
-        )
+        restarts = 0
+
+        # Initial residual — itself communication, so under the same guard.
+        while True:
+            try:
+                bnorm = par_norm2(comm, b)
+                r, r0 = dist_residual_norm(comm, lvl0.A, x, b, lvl0.halo,
+                                           fused=fused)
+                break
+            except CommFault as exc:
+                restarts += 1
+                solver_events.append(FaultEvent(
+                    "checkpoint_restart", detail=str(exc), attempt=restarts))
+                if restarts > max_restarts:
+                    return result(x, 0, [], False, degraded=True,
+                                  reason=f"comm fault persisted: {exc}")
+
         ref = bnorm if bnorm > 0.0 else r0
         residuals = [r0]
         if r0 == 0.0:
-            return DistSolveResult(x, 0, residuals, True)
-        for it in range(1, max_iter + 1):
-            corr = dist_vcycle(h, r)
-            with phase("BLAS1"):
-                par_axpy(comm, 1.0, corr, x)
-            r, rn = dist_residual_norm(
-                comm, lvl0.A, x, b, lvl0.halo, fused=self.config.flags.fuse_spmv_dot
-            )
+            return result(x, 0, residuals, True)
+        guard = ResidualGuard(ref)
+
+        ckpt_it, ckpt_x, ckpt_res = 0, x.copy(), list(residuals)
+        it = 0
+        while it < max_iter:
+            try:
+                if r is None:  # re-derive the residual after a rollback
+                    r, _ = dist_residual_norm(comm, lvl0.A, x, b, lvl0.halo,
+                                              fused=fused)
+                corr = dist_vcycle(h, r)
+                with phase("BLAS1"):
+                    par_axpy(comm, 1.0, corr, x)
+                r, rn = dist_residual_norm(comm, lvl0.A, x, b, lvl0.halo,
+                                           fused=fused)
+            except CommFault as exc:
+                restarts += 1
+                solver_events.append(FaultEvent(
+                    "checkpoint_restart", detail=str(exc), attempt=restarts))
+                if restarts > max_restarts:
+                    return result(x, it, residuals, False, degraded=True,
+                                  reason=f"comm fault persisted: {exc}")
+                it = ckpt_it
+                x = ckpt_x.copy()
+                residuals = list(ckpt_res)
+                r = None
+                continue
+            it += 1
             residuals.append(rn)
             if rn <= tol * ref:
-                return DistSolveResult(x, it, residuals, True)
-        return DistSolveResult(x, max_iter, residuals, False)
+                return result(x, it, residuals, True)
+            verdict = guard.check(rn)
+            if verdict is not None:
+                solver_events.append(FaultEvent(verdict, detail=f"iter {it}"))
+                return result(x, it, residuals, False, degraded=True,
+                              reason=f"{verdict} at iteration {it}")
+            if faulty and checkpoint_every > 0 and it % checkpoint_every == 0:
+                ckpt_it, ckpt_x, ckpt_res = it, x.copy(), list(residuals)
+        return result(x, max_iter, residuals, False)
 
 
 def dist_fgmres(
@@ -181,7 +258,14 @@ def dist_fgmres(
     max_iter: int | None = None,
     restart: int = 50,
 ) -> DistSolveResult:
-    """Distributed Flexible GMRES (right-preconditioned, MGS + Givens)."""
+    """Distributed Flexible GMRES (right-preconditioned, MGS + Givens).
+
+    Guarded: a NaN/Inf residual terminates the iteration with a recorded
+    verdict, and on a fault-injecting communicator an unrecoverable
+    :class:`~repro.faults.comm.CommFault` returns the best iterate so far
+    (``degraded=True``) instead of propagating.
+    """
+    from ..faults.comm import CommFault
     from .halo import build_halo
 
     max_iter = resolve_maxiter(maxiter, max_iter, 200)
@@ -190,67 +274,105 @@ def dist_fgmres(
         halo = build_halo(comm, A, persistent=True)
     M = precondition if precondition is not None else (lambda v: v.copy())
 
+    faulty = comm.supports_fault_injection
+    events_start = len(comm.events) if faulty else 0
+    solver_events: list[FaultEvent] = []
+
+    def result(x, it, residuals, converged, *, degraded=False, reason=None):
+        comm_events = list(comm.events[events_start:]) if faulty else []
+        return DistSolveResult(x, it, residuals, converged, degraded=degraded,
+                               degraded_reason=reason,
+                               fault_events=comm_events + solver_events)
+
     x = ParVector.zeros(b.part)
-    r = b.copy()
-    beta = par_norm2(comm, r)
+    try:
+        r = b.copy()
+        beta = par_norm2(comm, r)
+    except CommFault as exc:
+        solver_events.append(FaultEvent("comm_abort", detail=str(exc)))
+        return result(x, 0, [], False, degraded=True, reason=str(exc))
     r0 = beta
     residuals = [beta]
     if beta == 0.0:
-        return DistSolveResult(x, 0, residuals, True)
+        return result(x, 0, residuals, True)
+    if not np.isfinite(beta):
+        solver_events.append(FaultEvent("nonfinite", detail="initial residual"))
+        return result(x, 0, residuals, False, degraded=True,
+                      reason="nonfinite initial residual")
+    guard = ResidualGuard(r0, stagnation=False)
 
     total_it = 0
     while total_it < max_iter:
         m = min(restart, max_iter - total_it)
-        V = [ParVector([p / beta for p in r.parts], b.part)]
-        Z: list[ParVector] = []
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
-        g[0] = beta
-        j_done = 0
-        converged = False
-        for j in range(m):
-            z = M(V[j])
-            Z.append(z)
-            with phase("SpMV"):
-                w = dist_spmv(comm, A, z, halo, kernel="spmv.krylov")
+        try:
+            V = [ParVector([p / beta for p in r.parts], b.part)]
+            Z: list[ParVector] = []
+            H = np.zeros((m + 1, m))
+            cs = np.zeros(m)
+            sn = np.zeros(m)
+            g = np.zeros(m + 1)
+            g[0] = beta
+            j_done = 0
+            converged = False
+            broken = None
+            for j in range(m):
+                z = M(V[j])
+                Z.append(z)
+                with phase("SpMV"):
+                    w = dist_spmv(comm, A, z, halo, kernel="spmv.krylov")
+                with phase("BLAS1"):
+                    for i in range(j + 1):
+                        H[i, j] = par_dot(comm, w, V[i])
+                        par_axpy(comm, -H[i, j], V[i], w)
+                    H[j + 1, j] = par_norm2(comm, w)
+                if H[j + 1, j] != 0.0:
+                    V.append(ParVector([p / H[j + 1, j] for p in w.parts], b.part))
+                else:
+                    V.append(w)
+                for i in range(j):
+                    t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                    H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                    H[i, j] = t
+                denom = np.hypot(H[j, j], H[j + 1, j])
+                cs[j] = H[j, j] / denom if denom else 1.0
+                sn[j] = H[j + 1, j] / denom if denom else 0.0
+                H[j, j] = cs[j] * H[j, j] + sn[j] * H[j + 1, j]
+                H[j + 1, j] = 0.0
+                g[j + 1] = -sn[j] * g[j]
+                g[j] = cs[j] * g[j]
+                res = abs(g[j + 1])
+                residuals.append(res)
+                total_it += 1
+                verdict = guard.check(res)
+                if verdict is not None:
+                    # NaN/Inf infected the Hessenberg: the triangular solve
+                    # would poison x, so keep the previous restart's iterate.
+                    broken = verdict
+                    break
+                j_done = j + 1
+                if res <= tol * r0:
+                    converged = True
+                    break
+            if broken is not None:
+                solver_events.append(FaultEvent(
+                    broken, detail=f"iteration {total_it}"))
+                return result(x, total_it, residuals, False, degraded=True,
+                              reason=f"{broken} at iteration {total_it}")
+            y = np.zeros(j_done)
+            for i in range(j_done - 1, -1, -1):
+                y[i] = (g[i] - H[i, i + 1: j_done] @ y[i + 1: j_done]) / H[i, i]
             with phase("BLAS1"):
-                for i in range(j + 1):
-                    H[i, j] = par_dot(comm, w, V[i])
-                    par_axpy(comm, -H[i, j], V[i], w)
-                H[j + 1, j] = par_norm2(comm, w)
-            if H[j + 1, j] != 0.0:
-                V.append(ParVector([p / H[j + 1, j] for p in w.parts], b.part))
-            else:
-                V.append(w)
-            for i in range(j):
-                t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
-                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
-                H[i, j] = t
-            denom = np.hypot(H[j, j], H[j + 1, j])
-            cs[j] = H[j, j] / denom if denom else 1.0
-            sn[j] = H[j + 1, j] / denom if denom else 0.0
-            H[j, j] = cs[j] * H[j, j] + sn[j] * H[j + 1, j]
-            H[j + 1, j] = 0.0
-            g[j + 1] = -sn[j] * g[j]
-            g[j] = cs[j] * g[j]
-            residuals.append(abs(g[j + 1]))
-            total_it += 1
-            j_done = j + 1
-            if abs(g[j + 1]) <= tol * r0:
-                converged = True
-                break
-        y = np.zeros(j_done)
-        for i in range(j_done - 1, -1, -1):
-            y[i] = (g[i] - H[i, i + 1: j_done] @ y[i + 1: j_done]) / H[i, i]
-        with phase("BLAS1"):
-            for i in range(j_done):
-                par_axpy(comm, y[i], Z[i], x)
-        with phase("SpMV"):
-            Ax = dist_spmv(comm, A, x, halo, kernel="spmv.krylov")
-        r = ParVector([b.parts[p] - Ax.parts[p] for p in range(comm.nranks)], b.part)
-        beta = par_norm2(comm, r)
+                for i in range(j_done):
+                    par_axpy(comm, y[i], Z[i], x)
+            with phase("SpMV"):
+                Ax = dist_spmv(comm, A, x, halo, kernel="spmv.krylov")
+            r = ParVector([b.parts[p] - Ax.parts[p] for p in range(comm.nranks)],
+                          b.part)
+            beta = par_norm2(comm, r)
+        except CommFault as exc:
+            solver_events.append(FaultEvent("comm_abort", detail=str(exc)))
+            return result(x, total_it, residuals, False, degraded=True,
+                          reason=str(exc))
         if converged or total_it >= max_iter:
-            return DistSolveResult(x, total_it, residuals, converged)
-    return DistSolveResult(x, total_it, residuals, False)
+            return result(x, total_it, residuals, converged)
+    return result(x, total_it, residuals, False)

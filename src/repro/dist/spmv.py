@@ -4,6 +4,15 @@
 exchange, multiplies its ``diag`` block by the local part (this computation
 overlaps the exchange in the modeled implementation) and its ``offd`` block
 by the gathered buffer.
+
+Resilience: the halo exchange is the only communication here, so on a
+fault-injecting communicator (:class:`repro.faults.comm.FaultyComm`) every
+``dist_spmv`` inherits the sequence-numbered ack / retry / backoff protocol
+of :mod:`repro.dist.halo` and may raise
+:class:`repro.faults.comm.CommFault`; callers that want checkpointed
+recovery catch it (see ``DistAMGSolver.solve``).  ``dist_residual_norm``
+additionally performs one allreduce, which a ``FaultyComm`` gates on
+rank-failure windows.
 """
 
 from __future__ import annotations

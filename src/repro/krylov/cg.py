@@ -2,6 +2,14 @@
 
 Another Krylov baseline (§1 cites CG's all-reduce-bound scaling); also used
 in the examples to show AMG as a generic preconditioner for SPD systems.
+
+Guardrails: both drivers detect NaN/Inf residuals, divergence, and the CG
+breakdown ``p'Ap <= 0`` (non-positive curvature — the matrix or the
+preconditioner is not SPD) and terminate with the verdict recorded in
+``KrylovResult.fault_events`` instead of iterating on garbage.  In the
+blocked driver each right-hand-side column is guarded independently: a
+broken column is frozen out of the active block without poisoning its
+siblings.
 """
 
 from __future__ import annotations
@@ -10,6 +18,8 @@ from collections.abc import Callable
 
 import numpy as np
 
+from ..faults.guards import ResidualGuard
+from ..faults.plan import FaultEvent
 from ..perf.counters import phase
 from ..results import KrylovResult, resolve_maxiter
 from ..sparse.blas1 import (
@@ -55,18 +65,38 @@ def pcg(
     residuals = [r0]
     if r0 == 0.0:
         return KrylovResult(x, 0, residuals, True)
+    if not np.isfinite(r0):
+        return KrylovResult(x, 0, residuals, False, degraded=True,
+                            degraded_reason="nonfinite initial residual",
+                            fault_events=[FaultEvent(
+                                "nonfinite", detail="initial residual")])
+    guard = ResidualGuard(r0, stagnation=False)
 
     for it in range(1, max_iter + 1):
         with phase("SpMV"):
             Ap = spmv(A, p, kernel="spmv.krylov")
         with phase("BLAS1"):
-            alpha = rz / dot(p, Ap)
+            pAp = dot(p, Ap)
+            if pAp <= 0.0 or not np.isfinite(pAp):
+                return KrylovResult(
+                    x, it - 1, residuals, False, degraded=True,
+                    degraded_reason="CG breakdown (non-positive curvature)",
+                    fault_events=[FaultEvent(
+                        "breakdown",
+                        detail=f"p'Ap={pAp:g} at iteration {it}")])
+            alpha = rz / pAp
             axpy(alpha, p, x)
             axpy(-alpha, Ap, r)
             rn = norm2(r)
         residuals.append(rn)
         if rn <= tol * r0:
             return KrylovResult(x, it, residuals, True)
+        verdict = guard.check(rn)
+        if verdict is not None:
+            return KrylovResult(
+                x, it, residuals, False, degraded=True,
+                degraded_reason=f"{verdict} at iteration {it}",
+                fault_events=[FaultEvent(verdict, detail=f"iter {it}")])
         z = M(r)
         with phase("BLAS1"):
             rz_new = dot(r, z)
@@ -93,10 +123,14 @@ def pcg_multi(
     (``alpha``, ``beta``), so every SpMV and preconditioner application is
     one blocked kernel.  A column that converges is frozen (dropped from the
     active block), making column *j* bit-identical to
-    ``pcg(A, B[:, j], ...)``.  ``precondition_multi`` takes an
+    ``pcg(A, B[:, j], ...)``.  A column that *breaks* — NaN/Inf residual,
+    divergence, non-positive curvature — is likewise frozen and flagged
+    (``converged=False``, the verdict in its ``fault_events``) without
+    touching its siblings.  ``precondition_multi`` takes an
     ``(n, k_active)`` block (e.g. ``AMGSolver.precondition_multi``); a
     single-vector ``precondition`` is applied column-wise instead.
     """
+    from ..faults.guards import DEFAULT_LIMITS
     from .gmres import _resolve_multi_precondition
 
     max_iter = resolve_maxiter(maxiter, max_iter, 1000)
@@ -120,7 +154,14 @@ def pcg_multi(
     residuals: list[list[float]] = [[float(r0[c])] for c in range(k)]
     iterations = np.zeros(k, dtype=np.int64)
     converged = r0 == 0.0
-    active = np.flatnonzero(~converged)
+    failed = np.zeros(k, dtype=bool)
+    col_events: list[list[FaultEvent]] = [[] for _ in range(k)]
+    for c in np.flatnonzero(~np.isfinite(r0)):
+        failed[c] = True
+        col_events[c].append(FaultEvent("nonfinite",
+                                        detail="initial residual"))
+    active = np.flatnonzero(~converged & ~failed)
+    div_factor = DEFAULT_LIMITS.divergence_factor
 
     for it in range(1, max_iter + 1):
         if len(active) == 0:
@@ -129,7 +170,24 @@ def pcg_multi(
         with phase("SpMV"):
             APa = spmv_multi(A, Pa, kernel="spmv.krylov")
         with phase("BLAS1"):
-            alpha = rz[active] / dot_multi(Pa, APa)
+            curv = dot_multi(Pa, APa)
+        bad = np.flatnonzero((curv <= 0.0) | ~np.isfinite(curv))
+        if len(bad):
+            for idx in bad:
+                c = active[idx]
+                failed[c] = True
+                col_events[c].append(FaultEvent(
+                    "breakdown",
+                    detail=f"p'Ap={curv[idx]:g} at iteration {it}"))
+            keep = np.setdiff1d(np.arange(len(active)), bad)
+            active = active[keep]
+            if len(active) == 0:
+                break
+            Pa = Pa[:, keep]
+            APa = APa[:, keep]
+            curv = curv[keep]
+        with phase("BLAS1"):
+            alpha = rz[active] / curv
             Xa = X[:, active]
             axpy_multi(alpha, Pa, Xa)
             X[:, active] = Xa
@@ -137,15 +195,25 @@ def pcg_multi(
             axpy_multi(-alpha, APa, Ra)
             R[:, active] = Ra
             rn = norm2_multi(Ra)
-        done = []
+        drop = []
         for idx, c in enumerate(active):
             residuals[c].append(float(rn[idx]))
             iterations[c] = it
             if rn[idx] <= tol * r0[c]:
                 converged[c] = True
-                done.append(idx)
-        if done:
-            active = np.delete(active, done)
+                drop.append(idx)
+            elif not np.isfinite(rn[idx]):
+                failed[c] = True
+                col_events[c].append(FaultEvent(
+                    "nonfinite", detail=f"iteration {it}"))
+                drop.append(idx)
+            elif rn[idx] > div_factor * r0[c]:
+                failed[c] = True
+                col_events[c].append(FaultEvent(
+                    "diverged", detail=f"iteration {it}"))
+                drop.append(idx)
+        if drop:
+            active = np.delete(active, drop)
         if len(active) == 0:
             break
         Za = M(R[:, active])
@@ -158,6 +226,9 @@ def pcg_multi(
 
     return [
         KrylovResult(X[:, c].copy(), int(iterations[c]), residuals[c],
-                     bool(converged[c]))
+                     bool(converged[c]), degraded=bool(failed[c]),
+                     degraded_reason=(col_events[c][-1].kind
+                                      if failed[c] and col_events[c] else None),
+                     fault_events=list(col_events[c]))
         for c in range(k)
     ]

@@ -16,6 +16,8 @@ from collections.abc import Callable
 
 import numpy as np
 
+from ..faults.guards import ResidualGuard
+from ..faults.plan import FaultEvent
 from ..perf.counters import count, phase
 from ..results import KrylovResult, resolve_maxiter
 from ..sparse.blas1 import axpy, dot, norm2
@@ -82,6 +84,12 @@ def fgmres(
     residuals = [beta]
     if beta == 0.0:
         return KrylovResult(x, 0, residuals, True)
+    if not np.isfinite(beta):
+        return KrylovResult(x, 0, residuals, False, degraded=True,
+                            degraded_reason="nonfinite initial residual",
+                            fault_events=[FaultEvent(
+                                "nonfinite", detail="initial residual")])
+    guard = ResidualGuard(r0, stagnation=False)
 
     total_it = 0
     while total_it < max_iter:
@@ -109,6 +117,15 @@ def fgmres(
             count("krylov.givens", flops=20.0, phase="Solve_etc")
             residuals.append(res)
             total_it += 1
+            verdict = guard.check(res)
+            if verdict is not None:
+                # A poisoned Hessenberg would poison x through the
+                # triangular solve; keep the previous restart's iterate.
+                return KrylovResult(
+                    x, total_it, residuals, False, degraded=True,
+                    degraded_reason=f"{verdict} at iteration {total_it}",
+                    fault_events=[FaultEvent(
+                        verdict, detail=f"iteration {total_it}")])
             j_done = j + 1
             if res <= tol * r0:
                 converged = True
@@ -191,6 +208,12 @@ def fgmres_multi(
     is bit-identical to ``fgmres(A, B[:, j], ...)``.  Converged columns are
     dropped from the block at restart boundaries.
 
+    A column whose residual goes NaN/Inf is *frozen the same way* but
+    flagged instead of converged: its solution update is skipped (the
+    poisoned Hessenberg would poison ``x``), the verdict lands in its
+    ``fault_events``, and — because every blocked kernel is column-wise —
+    its siblings are unaffected.
+
     ``precondition_multi`` takes and returns an ``(n, k_active)`` block
     (e.g. ``AMGSolver.precondition_multi``); alternatively a single-vector
     ``precondition`` is applied column-wise.
@@ -213,7 +236,13 @@ def fgmres_multi(
     residuals: list[list[float]] = [[float(beta[c])] for c in range(k)]
     iterations = np.zeros(k, dtype=np.int64)
     converged = beta == 0.0
-    active = np.flatnonzero(~converged)
+    failed = np.zeros(k, dtype=bool)
+    col_events: list[list[FaultEvent]] = [[] for _ in range(k)]
+    for c in np.flatnonzero(~np.isfinite(beta)):
+        failed[c] = True
+        col_events[c].append(FaultEvent("nonfinite",
+                                        detail="initial residual"))
+    active = np.flatnonzero(~converged & ~failed)
 
     total_it = 0
     while total_it < max_iter and len(active):
@@ -228,6 +257,7 @@ def fgmres_multi(
         g[0] = beta[active]
         j_done = np.zeros(ka, dtype=np.int64)
         conv_local = np.zeros(ka, dtype=bool)
+        fail_local = np.zeros(ka, dtype=bool)
         for j in range(m):
             Zj = M(V[j])
             Z.append(Zj)
@@ -265,20 +295,30 @@ def fgmres_multi(
             res = np.abs(g[j + 1])
             total_it += 1
             for idx in range(ka):
-                if conv_local[idx]:
+                if conv_local[idx] or fail_local[idx]:
                     continue
                 c = active[idx]
                 residuals[c].append(float(res[idx]))
                 iterations[c] += 1
+                if not np.isfinite(res[idx]):
+                    fail_local[idx] = True
+                    failed[c] = True
+                    col_events[c].append(FaultEvent(
+                        "nonfinite", detail=f"iteration {int(iterations[c])}"))
+                    continue
                 j_done[idx] = j + 1
                 if res[idx] <= tol * r0[c]:
                     conv_local[idx] = True
-            if conv_local.all():
+            if (conv_local | fail_local).all():
                 break
         # Per-column triangular solve and solution update (same work as the
         # scalar restart boundary — the batched savings are in the loop above).
+        # Failed columns are skipped: their Hessenberg prefix is poisoned, so
+        # their x keeps the last healthy restart's value.
         with phase("BLAS1"):
             for idx in range(ka):
+                if fail_local[idx]:
+                    continue
                 jd = int(j_done[idx])
                 Hc, gc = H[:, :, idx], g[:, idx]
                 y = np.zeros(jd)
@@ -293,10 +333,13 @@ def fgmres_multi(
         with phase("BLAS1"):
             beta[active] = norm2_multi(Rnew)
         converged[active[conv_local]] = True
-        active = active[~conv_local]
+        active = active[~conv_local & ~fail_local]
 
     return [
         KrylovResult(X[:, c].copy(), int(iterations[c]), residuals[c],
-                     bool(converged[c]))
+                     bool(converged[c]), degraded=bool(failed[c]),
+                     degraded_reason=(col_events[c][-1].kind
+                                      if failed[c] and col_events[c] else None),
+                     fault_events=list(col_events[c]))
         for c in range(k)
     ]

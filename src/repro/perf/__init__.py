@@ -21,7 +21,12 @@ from .counters import (
 )
 from .machine import HaswellModel, K40cModel, MachineModel
 from .network import FDRInfinibandModel, MessageEvent, NetworkModel
-from .report import format_breakdown, format_table, geomean
+from .report import (
+    format_breakdown,
+    format_fault_summary,
+    format_table,
+    geomean,
+)
 from .trace import comm_to_trace, log_to_trace, write_trace
 
 __all__ = [
@@ -42,6 +47,7 @@ __all__ = [
     "FDRInfinibandModel",
     "MessageEvent",
     "format_breakdown",
+    "format_fault_summary",
     "format_table",
     "geomean",
     "comm_to_trace",

@@ -114,6 +114,17 @@ class NetworkModel:
             per_rank[m.dst] += t
         return max(per_rank) if per_rank else 0.0
 
+    def retry_penalty(self, timeout: float, attempt: int, backoff: float) -> float:
+        """Sender-side seconds lost to one failed delivery attempt.
+
+        The reliable protocol of :class:`repro.faults.comm.FaultyComm`
+        waits out the (exponentially backed-off) ack timeout before
+        retransmitting; the retransmission and its ack are logged as
+        ordinary messages, so this charges only the stall.  One wire
+        latency is added for the ack that never arrived.
+        """
+        return timeout * (backoff ** attempt) + self.alpha
+
     def allreduce_time(self, nranks: int, nbytes: float = 8.0) -> float:
         if nranks <= 1:
             return 0.0

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_breakdown", "geomean"]
+__all__ = ["format_table", "format_breakdown", "format_fault_summary",
+           "geomean"]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -72,3 +73,21 @@ def format_breakdown(
         f"{k}={phase_times.get(k, 0.0) / scale:.3f}" for k in keys if k in phase_times
     ]
     return f"{label:<16s} total={total / scale:.3f}  " + " ".join(parts)
+
+
+def format_fault_summary(events: Iterable[object], *,
+                         title: str | None = "fault summary") -> str:
+    """Histogram of :class:`~repro.faults.plan.FaultEvent` kinds as a table.
+
+    Accepts any iterable of objects with a ``kind`` attribute (the
+    ``fault_events`` list of a result, or ``FaultyComm.events``); an empty
+    iterable renders a one-line "no faults" note so callers need not guard.
+    """
+    counts: dict[str, int] = {}
+    for ev in events:
+        kind = getattr(ev, "kind", str(ev))
+        counts[kind] = counts.get(kind, 0) + 1
+    if not counts:
+        return (f"{title}: " if title else "") + "no fault events recorded"
+    rows = [(k, counts[k]) for k in sorted(counts)]
+    return format_table(["event", "count"], rows, title=title)

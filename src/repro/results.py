@@ -54,12 +54,29 @@ class SolveResult:
         Residual-norm history, starting with the initial residual.
     converged:
         Whether the stopping tolerance was met within ``maxiter``.
+    degraded:
+        True when the result was produced through the graceful-degradation
+        ladder (e.g. AMG-preconditioned Krylov broke down and the facade
+        fell back to diagonal-preconditioned CG), or when a distributed
+        solve had to give up after exhausting its restart budget.
+    degraded_reason:
+        Short human-readable cause of the downgrade (``None`` if not
+        degraded).
+    fault_events:
+        Every fault observed while producing this result: injected
+        communication faults and retries (:class:`repro.faults.FaultEvent`
+        records from a :class:`~repro.faults.comm.FaultyComm`) plus
+        solver-level guard verdicts, breakdowns, checkpoint restarts, and
+        downgrade records.  Empty for a clean solve.
     """
 
     x: Any
     iterations: int
     residuals: list[float] = field(default_factory=list)
     converged: bool = False
+    degraded: bool = False
+    degraded_reason: str | None = None
+    fault_events: list[Any] = field(default_factory=list)
 
     @property
     def final_relres(self) -> float:

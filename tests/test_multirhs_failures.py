@@ -1,0 +1,111 @@
+"""Per-column failure isolation in the blocked multi-RHS drivers.
+
+A broken right-hand side (NaN entries, CG breakdown) must be frozen out of
+the active block exactly like a converged one: flagged on its own result,
+invisible to its siblings — whose iterates stay bit-identical to solo
+solves.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AMGSolver, single_node_config
+from repro.krylov.cg import pcg, pcg_multi
+from repro.krylov.gmres import fgmres, fgmres_multi
+from repro.problems import laplace_2d_5pt
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def A():
+    return laplace_2d_5pt(12)
+
+
+@pytest.fixture(scope="module")
+def B(A):
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((A.nrows, 3))
+
+
+def _with_nan_column(B, col=1):
+    Bad = B.copy()
+    Bad[0, col] = np.nan
+    return Bad
+
+
+class TestPCGMulti:
+    def test_nan_column_frozen_siblings_identical(self, A, B):
+        Bad = _with_nan_column(B)
+        results = pcg_multi(A, Bad, tol=1e-9)
+        assert not results[1].converged and results[1].degraded
+        assert results[1].degraded_reason == "nonfinite"
+        assert [e.kind for e in results[1].fault_events] == ["nonfinite"]
+        assert results[1].iterations == 0
+        for c in (0, 2):
+            solo = pcg(A, B[:, c], tol=1e-9)
+            assert results[c].converged and not results[c].degraded
+            np.testing.assert_array_equal(results[c].x, solo.x)
+            assert results[c].residuals == solo.residuals
+
+    def test_breakdown_column_flagged(self):
+        # Indefinite operator: CG's curvature p'Ap goes non-positive.
+        A = CSRMatrix.from_dense(np.diag([1.0, 1.0, -1.0, 1.0]))
+        B = np.eye(4)[:, 2:4] * 1.0
+        results = pcg_multi(A, B, tol=1e-12)
+        kinds = [e.kind for r in results for e in r.fault_events]
+        assert "breakdown" in kinds
+        assert any(r.degraded for r in results)
+        # The driver terminated cleanly: every column has a result.
+        assert len(results) == 2
+
+    def test_breakdown_matches_scalar_driver(self):
+        A = CSRMatrix.from_dense(np.diag([1.0, -2.0, 3.0]))
+        b = np.array([0.5, 1.0, 0.25])
+        solo = pcg(A, b, tol=1e-12)
+        multi = pcg_multi(A, b[:, None], tol=1e-12)[0]
+        assert solo.degraded == multi.degraded
+        assert solo.converged == multi.converged
+        np.testing.assert_array_equal(solo.x, multi.x)
+
+
+class TestFGMRESMulti:
+    def test_nan_column_frozen_siblings_identical(self, A, B):
+        Bad = _with_nan_column(B)
+        results = fgmres_multi(A, Bad, tol=1e-9)
+        assert not results[1].converged and results[1].degraded
+        assert results[1].degraded_reason == "nonfinite"
+        for c in (0, 2):
+            solo = fgmres(A, B[:, c], tol=1e-9)
+            assert results[c].converged and not results[c].degraded
+            assert results[c].iterations == solo.iterations
+            # Unpreconditioned blocked FGMRES reassociates its reductions,
+            # so equality is to rounding, not bitwise (the preconditioned
+            # driver is bitwise — see test_multirhs.py).
+            np.testing.assert_allclose(results[c].x, solo.x, rtol=1e-12)
+
+    def test_all_nan_block_terminates(self, A):
+        Bad = np.full((A.nrows, 2), np.nan)
+        results = fgmres_multi(A, Bad, tol=1e-9, maxiter=10)
+        assert all(r.degraded and not r.converged for r in results)
+
+
+class TestSolveMany:
+    def test_nan_column_frozen_siblings_identical(self, A, B):
+        s = AMGSolver(single_node_config(nthreads=2))
+        s.setup(A)
+        Bad = _with_nan_column(B)
+        results = s.solve_many(Bad, tol=1e-9)
+        assert not results[1].converged and results[1].degraded
+        assert results[1].degraded_reason == "nonfinite"
+        assert results[1].iterations == 0
+        for c in (0, 2):
+            solo = s.solve(B[:, c], tol=1e-9)
+            assert results[c].converged and not results[c].degraded
+            np.testing.assert_array_equal(results[c].x, solo.x)
+            assert results[c].residuals == solo.residuals
+
+    def test_facade_rejects_nan_block_before_solving(self, A, B):
+        import repro
+
+        with pytest.raises(ValueError, match="column"):
+            repro.solve_many(A, _with_nan_column(B))

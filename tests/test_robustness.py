@@ -157,3 +157,167 @@ class TestSolverRobustness:
         res = s.solve(np.full(A.nrows, np.nan), max_iter=2)
         # Must terminate (not hang/crash); convergence is impossible.
         assert not res.converged or np.isnan(res.residuals[-1])
+        assert res.degraded
+        assert any(e.kind == "nonfinite" for e in res.fault_events)
+
+
+class TestFacadeValidation:
+    """repro.api rejects garbage inputs with precise ValueErrors."""
+
+    def test_nan_in_matrix_rejected(self):
+        import repro
+
+        A = laplace_2d_5pt(6)
+        A.data[0] = np.nan  # poison one stored entry
+        with pytest.raises(ValueError, match="non-finite"):
+            repro.setup(A, cache=None)
+
+    def test_empty_matrix_rejected(self):
+        import repro
+
+        with pytest.raises(ValueError, match="empty"):
+            repro.setup(np.zeros((0, 0)), cache=None)
+
+    def test_non_square_matrix_rejected(self):
+        import repro
+
+        with pytest.raises(ValueError, match="square"):
+            repro.setup(np.ones((4, 3)), cache=None)
+
+    def test_nan_rhs_rejected(self):
+        import repro
+
+        A = laplace_2d_5pt(6)
+        b = np.ones(A.nrows)
+        b[0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            repro.solve(A, b)
+
+    def test_rhs_length_mismatch(self):
+        import repro
+
+        A = laplace_2d_5pt(6)
+        with pytest.raises(ValueError, match="length"):
+            repro.solve(A, np.ones(A.nrows + 1))
+
+    def test_block_shape_mismatch(self):
+        import repro
+
+        A = laplace_2d_5pt(6)
+        with pytest.raises(ValueError, match="rows"):
+            repro.solve_many(A, np.ones((A.nrows + 2, 2)))
+
+
+class TestResidualGuard:
+    def test_clean_history_passes(self):
+        from repro.faults import ResidualGuard
+
+        g = ResidualGuard(1.0)
+        assert all(g.check(1.0 * 0.5 ** i) is None for i in range(1, 20))
+
+    def test_nonfinite_detected(self):
+        from repro.faults import ResidualGuard
+
+        g = ResidualGuard(1.0)
+        assert g.check(np.nan) == "nonfinite"
+        assert ResidualGuard(1.0).check(np.inf) == "nonfinite"
+
+    def test_divergence_detected(self):
+        from repro.faults import ResidualGuard
+
+        g = ResidualGuard(1.0)
+        assert g.check(2.0) is None
+        assert g.check(1e9) == "diverged"
+
+    def test_stagnation_detected_only_when_enabled(self):
+        from repro.faults import GuardLimits, ResidualGuard
+
+        limits = GuardLimits(stagnation_window=5)
+        g = ResidualGuard(1.0, limits=limits)
+        verdicts = [g.check(1.0) for _ in range(10)]
+        assert "stagnated" in verdicts
+        g2 = ResidualGuard(1.0, limits=limits, stagnation=False)
+        assert all(g2.check(1.0) is None for _ in range(10))
+
+
+class TestDegradationLadder:
+    def test_fallback_recovers_from_broken_primary(self):
+        import repro
+        from repro.faults import FaultEvent
+        from repro.results import SolveResult
+
+        A = laplace_2d_5pt(10)
+        b = np.ones(A.nrows)
+        handle = repro.setup(A, cache=None)
+        primary = SolveResult(np.zeros(A.nrows), 5, [1.0], False,
+                              degraded=True,
+                              degraded_reason="diverged at cycle 5",
+                              fault_events=[FaultEvent("diverged")])
+        rec = handle._fallback(b, primary, tol=1e-8, maxiter=None)
+        assert rec.converged and rec.degraded
+        assert "recovered by diagonal-CG fallback" in rec.degraded_reason
+        kinds = [e.kind for e in rec.fault_events]
+        assert kinds[:2] == ["diverged", "degraded_fallback"]
+        err = np.linalg.norm(b - spmv(A, rec.x)) / np.linalg.norm(b)
+        assert err < 1e-6
+
+    def test_both_rungs_break_stays_degraded(self):
+        import repro
+        from repro.sparse import CSRMatrix as CSR
+
+        # Indefinite: AMG-preconditioned CG and diagonal CG both break down.
+        A = CSR.from_dense(np.diag([1.0, -2.0, 3.0, -4.0]))
+        b = np.array([0.0, 1.0, 0.0, 0.0])
+        res = repro.solve(A, b, method="cg")
+        assert not res.converged and res.degraded
+        kinds = [e.kind for e in res.fault_events]
+        assert "degraded_fallback" in kinds
+        assert kinds.count("breakdown") == 2
+
+    def test_fallback_off_returns_raw_result(self):
+        import repro
+        from repro.sparse import CSRMatrix as CSR
+
+        A = CSR.from_dense(np.diag([1.0, -2.0, 3.0, -4.0]))
+        b = np.array([0.0, 1.0, 0.0, 0.0])
+        res = repro.setup(A, cache=None).solve(b, method="cg", fallback=False)
+        assert res.degraded
+        assert all(e.kind != "degraded_fallback" for e in res.fault_events)
+
+
+class TestHierarchyCacheBound:
+    def test_max_entries_enforced_and_counted(self):
+        from repro.amg.cache import HierarchyCache
+
+        cache = HierarchyCache(max_entries=2)
+        cfg = single_node_config(nthreads=2)
+        mats = [laplace_2d_5pt(sz) for sz in (6, 7, 8)]
+        for A in mats:
+            cache.get_or_build(A, cfg)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # The oldest entry (size 6) was evicted; rebuilding it misses.
+        assert cache.get(mats[0], cfg) is None
+        assert cache.get(mats[2], cfg) is not None
+
+    def test_eviction_logged(self, caplog):
+        import logging
+
+        from repro.amg.cache import HierarchyCache
+
+        cache = HierarchyCache(max_entries=1)
+        cfg = single_node_config(nthreads=2)
+        with caplog.at_level(logging.INFO, logger="repro.amg.cache"):
+            cache.get_or_build(laplace_2d_5pt(6), cfg)
+            cache.get_or_build(laplace_2d_5pt(7), cfg)
+        assert any("evicted hierarchy" in r.message for r in caplog.records)
+
+    def test_maxsize_spelling_still_works(self):
+        from repro.amg.cache import HierarchyCache
+
+        cache = HierarchyCache(maxsize=3)
+        assert cache.max_entries == 3 and cache.maxsize == 3
+        with pytest.raises(ValueError):
+            HierarchyCache(max_entries=0)
+        with pytest.raises(ValueError):
+            HierarchyCache(max_entries=2, maxsize=3)
