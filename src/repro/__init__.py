@@ -41,6 +41,9 @@ Subpackages
 ``repro.faults``
     Fault-injection harness: seeded comm-fault plans, retry/backoff
     delivery, residual guards (docs/robustness.md).
+``repro.analysis``
+    Invariant sanitizers (``REPRO_CHECK`` / ``--check``), comm-trace
+    replay, and the repo-convention AST lint (docs/analysis.md).
 ``repro.perf``
     Instrumentation + Haswell/K40c/InfiniBand models (DESIGN.md §2).
 ``repro.problems``
@@ -50,6 +53,7 @@ Subpackages
 """
 
 from .amg import AMGSolver, SolveResult, build_hierarchy, vcycle
+from .analysis import InvariantViolation, get_check_level, set_check_level
 from .api import SolverHandle, setup, solve, solve_many
 from .faults import FaultEvent, FaultPlan, RetryPolicy
 from .config import (
@@ -85,6 +89,9 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "RetryPolicy",
+    "InvariantViolation",
+    "get_check_level",
+    "set_check_level",
     "fgmres",
     "gmres",
     "pcg",

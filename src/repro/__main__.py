@@ -238,6 +238,10 @@ def _common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--threads", type=int, default=14)
     p.add_argument("--theta", type=float, default=0.25,
                    help="strength threshold")
+    p.add_argument("--check", default=None, choices=["off", "cheap", "full"],
+                   help="run the repro.analysis invariant sanitizers at this "
+                        "level (overrides the REPRO_CHECK environment "
+                        "variable; default: off)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -269,6 +273,10 @@ def main(argv: list[str] | None = None) -> int:
     p_suite.set_defaults(func=cmd_suite)
 
     args = parser.parse_args(argv)
+    if getattr(args, "check", None):
+        from .analysis import set_check_level
+
+        set_check_level(args.check)
     return args.func(args)
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis import check_csr, check_hierarchy, checking
 from ..config import AMGConfig
 from ..perf.counters import phase
 from ..sparse.csr import CSRMatrix
@@ -179,6 +180,8 @@ def build_hierarchy(A0: CSRMatrix, config: AMGConfig | None = None) -> Hierarchy
                     parallel=flags.parallel_setup_kernels,
                 )
                 cf_stage1 = None
+            if checking():
+                check_csr(S, name=f"S[{l}]", level=l)
 
         nc = int((cf > 0).sum())
         if nc == 0 or nc == A.nrows:
@@ -224,10 +227,14 @@ def build_hierarchy(A0: CSRMatrix, config: AMGConfig | None = None) -> Hierarchy
 
         with phase("Interp"):
             P = _build_interp(A, S, cf, cf_stage1, config, l)
+            if checking():
+                check_csr(P, name=f"P[{l}]", level=l)
         lvl.P = P
 
         with phase("RAP"):
             A_next = _galerkin(A, P, cf, config)
+            if checking():
+                check_csr(A_next, name=f"A[{l + 1}]", level=l + 1)
 
         levels.append(Level(A=A_next))
         if A_next.nrows <= config.coarse_size:
@@ -267,4 +274,9 @@ def build_hierarchy(A0: CSRMatrix, config: AMGConfig | None = None) -> Hierarchy
             nthreads=config.nthreads,
         )
 
-    return Hierarchy(levels=levels, coarse_solver=coarse, config=config)
+    hierarchy = Hierarchy(levels=levels, coarse_solver=coarse, config=config)
+    if checking():
+        # Cross-level invariants: CF bookkeeping, P = [I; P_F], R == P^T,
+        # Galerkin probe (the last three only under --check full).
+        check_hierarchy(hierarchy)
+    return hierarchy

@@ -1,0 +1,63 @@
+"""Static and runtime analysis: invariant sanitizers, comm-trace replay,
+and the repo-convention AST lint.
+
+The paper's optimizations lean on silent structural invariants — CF-sorted
+rows after reordering, the ``P = [I; P_F]`` identity block, ``R = P^T``
+kept from setup, diag/offd ``colmap`` consistency, frozen persistent-
+exchange topologies.  This package makes them checkable:
+
+* :func:`check_csr` / :func:`check_parcsr` / :func:`check_hierarchy` /
+  :func:`check_dist_hierarchy` — data-structure sanitizers, raising a
+  structured :class:`InvariantViolation` (phase/level/rank context).
+* :func:`check_comm_trace` / :func:`scan_comm_trace` — post-hoc replay of
+  a communicator's message log: unreceived sends, receives without sends,
+  rank-divergent collective orders (deadlocks in a real MPI run), and
+  persistent-exchange topology drift.
+* :mod:`repro.analysis.lint` — the convention-enforcing AST lint, also
+  runnable as ``python tools/lint_repro.py src``.
+
+Everything is gated by the ``REPRO_CHECK`` level (``off``/``cheap``/
+``full``; environment variable, :func:`set_check_level`, CLI ``--check``,
+or the facade's ``check=`` keyword) and charges **zero** kernel records at
+any level — see :mod:`repro.analysis.errors`.
+"""
+
+from .comm_trace import (
+    CommTrace,
+    TraceMessage,
+    check_comm_trace,
+    persistent_patterns_of,
+    scan_comm_trace,
+)
+from .errors import (
+    CHECK_LEVELS,
+    InvariantViolation,
+    check_scope,
+    checking,
+    get_check_level,
+    set_check_level,
+)
+from .sanitizers import (
+    check_csr,
+    check_dist_hierarchy,
+    check_hierarchy,
+    check_parcsr,
+)
+
+__all__ = [
+    "CHECK_LEVELS",
+    "InvariantViolation",
+    "check_scope",
+    "checking",
+    "get_check_level",
+    "set_check_level",
+    "check_csr",
+    "check_parcsr",
+    "check_hierarchy",
+    "check_dist_hierarchy",
+    "CommTrace",
+    "TraceMessage",
+    "persistent_patterns_of",
+    "scan_comm_trace",
+    "check_comm_trace",
+]

@@ -1,0 +1,263 @@
+"""Post-hoc communication-trace replay: deadlock & mismatch detection.
+
+A :class:`CommTrace` is a neutral snapshot of everything a
+:class:`~repro.dist.comm.SimComm` (or fault-injecting
+:class:`~repro.faults.comm.FaultyComm`) logged: the point-to-point message
+stream, the per-rank collective sequences, and whether the trace was
+produced under the ack/retry reliable protocol.  :func:`scan_comm_trace`
+replays it and reports:
+
+``comm.rank_range`` / ``comm.self_message``
+    Messages addressed outside ``[0, nranks)`` or from a rank to itself
+    (the simulator never logs loopback traffic, so one in the trace means
+    a pattern was built against the wrong partition).
+``comm.unreceived_send``
+    On a reliable trace: an initial send that was never acknowledged by
+    its receiver — in a real MPI run, a send with no matching receive.
+``comm.recv_without_send``
+    An acknowledgement for a message that was never sent — a receive
+    posted against a phantom send.
+``comm.collective_order``
+    Rank collective sequences that differ (kind or count).  In a real MPI
+    run two ranks entering different collectives — or one rank skipping
+    one — deadlocks the job; in the simulator it shows up only in the log,
+    which is exactly why the replay exists.
+``comm.persistent_drift``
+    Persistent-exchange traffic whose per-round (src, dst) sequence does
+    not match any frozen pattern registered for its tag (§4.4 persistent
+    requests must never change topology after creation).
+
+:func:`check_comm_trace` raises a structured
+:class:`~repro.analysis.errors.InvariantViolation` for the first finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import InvariantViolation
+
+__all__ = [
+    "TraceMessage",
+    "CommTrace",
+    "persistent_patterns_of",
+    "scan_comm_trace",
+    "check_comm_trace",
+]
+
+#: Tag suffixes appended by the reliable protocol
+#: (:meth:`repro.faults.comm.FaultyComm.reliable_send`).
+ACK_SUFFIX = ".ack"
+RETRY_SUFFIX = ".retry"
+
+
+@dataclass(frozen=True)
+class TraceMessage:
+    """One logged point-to-point message."""
+
+    src: int
+    dst: int
+    nbytes: float
+    tag: str = ""
+    persistent: bool = False
+    phase: str = ""
+
+
+@dataclass
+class CommTrace:
+    """Neutral snapshot of a communicator's logged traffic.
+
+    ``collectives`` holds one ordered list of collective kinds per rank;
+    a :class:`~repro.dist.comm.SimComm` executes collectives process-wide,
+    so :meth:`from_comm` replicates its log onto every rank — synthesized
+    traces (tests, external tooling) may diverge per rank.
+    """
+
+    nranks: int
+    messages: list[TraceMessage] = field(default_factory=list)
+    collectives: list[list[str]] = field(default_factory=list)
+    #: Whether the trace was produced under the ack/retry protocol
+    #: (enables send/ack matching).
+    reliable: bool = False
+
+    @classmethod
+    def from_comm(cls, comm) -> "CommTrace":
+        msgs = [
+            TraceMessage(m.event.src, m.event.dst, m.event.nbytes,
+                         m.event.tag, m.event.persistent, m.phase)
+            for m in comm.messages
+        ]
+        kinds = [c.kind for c in comm.collectives]
+        return cls(
+            nranks=comm.nranks,
+            messages=msgs,
+            collectives=[list(kinds) for _ in range(comm.nranks)],
+            reliable=bool(getattr(comm, "supports_fault_injection", False)),
+        )
+
+
+def _base_tag(tag: str) -> str | None:
+    """Strip protocol suffixes; None means the message is an ack."""
+    if tag.endswith(ACK_SUFFIX):
+        return None
+    if tag.endswith(RETRY_SUFFIX):
+        return tag[: -len(RETRY_SUFFIX)]
+    return tag
+
+
+def _finding(invariant: str, detail: str, **kw) -> InvariantViolation:
+    return InvariantViolation(invariant, detail, **kw)
+
+
+def persistent_patterns_of(comm) -> dict[str, list[list[tuple[int, int]]]]:
+    """The frozen pair sequences of every persistent exchange registered on
+    *comm*, grouped by tag — ready to pass as ``persistent_patterns``."""
+    patterns: dict[str, list[list[tuple[int, int]]]] = {}
+    for req in getattr(comm, "persistent_requests", ()):
+        patterns.setdefault(req.tag, []).append(
+            [(int(s), int(d)) for (s, d) in req.pattern]
+        )
+    return patterns
+
+
+def scan_comm_trace(
+    trace,
+    *,
+    persistent_patterns: dict[str, list[list[tuple[int, int]]]] | None = None,
+    max_findings: int = 64,
+) -> list[InvariantViolation]:
+    """Replay *trace* (a :class:`CommTrace` or a communicator) and return
+    every violation found, unraised.
+
+    ``persistent_patterns`` maps a tag to the list of frozen
+    ``(src, dst)`` pair sequences registered for it (one per
+    :class:`~repro.dist.comm.PersistentExchange`); when given, every
+    contiguous round of persistent traffic under that tag must replay one
+    of them exactly.
+    """
+    if not isinstance(trace, CommTrace):
+        trace = CommTrace.from_comm(trace)
+    findings: list[InvariantViolation] = []
+
+    def add(v: InvariantViolation) -> bool:
+        findings.append(v)
+        return len(findings) >= max_findings
+
+    # -- rank sanity --------------------------------------------------------
+    n = trace.nranks
+    for m in trace.messages:
+        if not (0 <= m.src < n and 0 <= m.dst < n):
+            if add(_finding(
+                "comm.rank_range",
+                f"message {m.src}->{m.dst} (tag={m.tag!r}) is outside the "
+                f"rank range [0, {n})")):
+                return findings
+        elif m.src == m.dst:
+            if add(_finding(
+                "comm.self_message",
+                f"rank {m.src} sent itself a message (tag={m.tag!r}); "
+                f"local data must not go through the wire",
+                rank=m.src)):
+                return findings
+
+    # -- reliable-protocol send/ack matching --------------------------------
+    # Only tags that demonstrably ran the ack/retry protocol are matched:
+    # a FaultyComm also carries plain logged traffic (setup-time exchanges,
+    # coarse-grid gathers) that is never acknowledged by design.
+    if trace.reliable:
+        sends: dict[tuple[int, int, str], int] = {}
+        acks: dict[tuple[int, int, str], int] = {}
+        protocol_tags: set[str] = set()
+        for m in trace.messages:
+            base = _base_tag(m.tag)
+            if base is None:
+                base = m.tag[: -len(ACK_SUFFIX)]
+                protocol_tags.add(base)
+                key = (m.dst, m.src, base)
+                acks[key] = acks.get(key, 0) + 1
+            elif base != m.tag:  # a retry marks its base tag as protocol-run
+                protocol_tags.add(base)
+            else:  # initial attempt (retries re-send the same seq)
+                key = (m.src, m.dst, base)
+                sends[key] = sends.get(key, 0) + 1
+        for key in sorted(k for k in set(sends) | set(acks)
+                          if k[2] in protocol_tags):
+            s, a = sends.get(key, 0), acks.get(key, 0)
+            src, dst, tag = key
+            if a < s:
+                if add(_finding(
+                    "comm.unreceived_send",
+                    f"{s - a} of {s} message(s) {src}->{dst} (tag={tag!r}) "
+                    f"were never acknowledged by the receiver",
+                    rank=src)):
+                    return findings
+            elif a > s:
+                if add(_finding(
+                    "comm.recv_without_send",
+                    f"rank {dst} acknowledged {a} message(s) {src}->{dst} "
+                    f"(tag={tag!r}) but only {s} were sent",
+                    rank=dst)):
+                    return findings
+
+    # -- collective-order divergence ----------------------------------------
+    seqs = trace.collectives
+    if seqs:
+        ref = seqs[0]
+        for p, seq in enumerate(seqs[1:], start=1):
+            if seq == ref:
+                continue
+            k = next(
+                (i for i, (x, y) in enumerate(zip(ref, seq)) if x != y),
+                min(len(ref), len(seq)),
+            )
+            a = ref[k] if k < len(ref) else "<none>"
+            b = seq[k] if k < len(seq) else "<none>"
+            if add(_finding(
+                "comm.collective_order",
+                f"rank {p} diverges from rank 0 at collective #{k}: "
+                f"rank 0 enters {a!r}, rank {p} enters {b!r} — this "
+                f"deadlocks a real MPI run",
+                rank=p)):
+                return findings
+
+    # -- persistent-pattern drift -------------------------------------------
+    if persistent_patterns:
+        for tag, patterns in persistent_patterns.items():
+            stream = [
+                (m.src, m.dst)
+                for m in trace.messages
+                if m.persistent and m.tag == tag
+            ]
+            ordered = [
+                [(int(s), int(d)) for (s, d) in pat if s != d]
+                for pat in patterns
+            ]
+            i = 0
+            while i < len(stream):
+                for pat in ordered:
+                    if pat and stream[i: i + len(pat)] == pat:
+                        i += len(pat)
+                        break
+                else:
+                    if add(_finding(
+                        "comm.persistent_drift",
+                        f"persistent traffic (tag={tag!r}) at message #{i} "
+                        f"({stream[i][0]}->{stream[i][1]}) does not replay "
+                        f"any frozen exchange pattern; persistent requests "
+                        f"must keep their creation-time topology")):
+                        return findings
+                    i += 1
+    return findings
+
+
+def check_comm_trace(
+    trace,
+    *,
+    persistent_patterns: dict[str, list[list[tuple[int, int]]]] | None = None,
+) -> None:
+    """Replay *trace* and raise the first violation found (if any)."""
+    findings = scan_comm_trace(
+        trace, persistent_patterns=persistent_patterns, max_findings=1
+    )
+    if findings:
+        raise findings[0]

@@ -1,0 +1,137 @@
+"""Structured invariant-violation error and the ``REPRO_CHECK`` level gate.
+
+The checking layer has three levels, selected by the ``REPRO_CHECK``
+environment variable (read once at import) or at runtime through
+:func:`set_check_level` / the CLI ``--check`` flag / the ``check=`` keyword
+of the :mod:`repro.api` facade:
+
+``off``
+    No checks run.  The phase-boundary hooks compiled into the solvers
+    reduce to one integer comparison each, so the solve path is
+    bit-identical (and modeled-time-identical) to an unchecked build.
+``cheap``
+    O(n) structural checks: indptr shapes/monotonicity, index ranges,
+    colmap ordering, CF-splitting bookkeeping.
+``full``
+    Everything: sortedness/duplicate scans, finiteness sweeps, the
+    ``P = [I; P_F]`` identity-block check, ``R == P^T`` probes, the
+    Galerkin RAP probe-vector test, and comm-trace replay after
+    distributed solves.
+
+Checkers never call the instrumented kernels: a violation report costs no
+:class:`~repro.perf.counters.KernelRecord`, so modeled times are unaffected
+at every level.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from ..perf.counters import current_phase
+
+__all__ = [
+    "InvariantViolation",
+    "CHECK_LEVELS",
+    "get_check_level",
+    "set_check_level",
+    "checking",
+    "check_scope",
+]
+
+#: Recognized ``REPRO_CHECK`` values, in increasing strictness.
+CHECK_LEVELS = ("off", "cheap", "full")
+
+_LEVEL_IDS = {name: i for i, name in enumerate(CHECK_LEVELS)}
+
+
+def _parse_level(name: str) -> int:
+    try:
+        return _LEVEL_IDS[name.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown check level {name!r}; choose from {CHECK_LEVELS}"
+        ) from None
+
+
+#: Current level id (0=off, 1=cheap, 2=full); module-global so the hot-path
+#: gate is a single integer comparison.
+_LEVEL = _parse_level(os.environ.get("REPRO_CHECK", "off"))
+
+
+def get_check_level() -> str:
+    """The active check level name (``"off"``/``"cheap"``/``"full"``)."""
+    return CHECK_LEVELS[_LEVEL]
+
+
+def set_check_level(level: str) -> str:
+    """Set the active check level; returns the previous level name."""
+    global _LEVEL
+    prev = CHECK_LEVELS[_LEVEL]
+    _LEVEL = _parse_level(level)
+    return prev
+
+
+def checking(level: str = "cheap") -> bool:
+    """True when checks of *level* (or stricter) are enabled."""
+    return _LEVEL >= _LEVEL_IDS[level]
+
+
+@contextmanager
+def check_scope(level: str | None):
+    """Temporarily run under *level* (``None`` leaves the level untouched)."""
+    if level is None:
+        yield
+        return
+    prev = set_check_level(level)
+    try:
+        yield
+    finally:
+        set_check_level(prev)
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the solver's data or traffic was broken.
+
+    Attributes
+    ----------
+    invariant:
+        Dotted rule id, e.g. ``"csr.indices_sorted"`` or
+        ``"comm.collective_order"`` — tests key on it to assert that a
+        seeded corruption is caught by exactly the intended checker.
+    detail:
+        Human-readable description of what was found.
+    phase:
+        The perf phase active when the violation was detected (Fig. 5/7
+        bucket), captured automatically.
+    level:
+        Multigrid level, when applicable.
+    rank:
+        Simulated rank, when applicable.
+    context:
+        Free-form origin marker (object name, file path, ...).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        level: int | None = None,
+        rank: int | None = None,
+        context: str = "",
+    ) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.phase = current_phase()
+        self.level = level
+        self.rank = rank
+        self.context = context
+        where = [f"phase={self.phase}"]
+        if level is not None:
+            where.append(f"level={level}")
+        if rank is not None:
+            where.append(f"rank={rank}")
+        if context:
+            where.append(f"context={context}")
+        super().__init__(f"[{invariant}] {detail} ({', '.join(where)})")

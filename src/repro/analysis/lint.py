@@ -1,0 +1,466 @@
+"""Convention-enforcing AST lint for the repro source tree.
+
+Run as ``python tools/lint_repro.py src`` (CI does) or programmatically via
+:func:`run_lint`.  The rules encode repo conventions that plain style
+linters cannot see:
+
+``kernel-counts``
+    Every public module-level function in a *kernel module* (the
+    instrumented compute kernels of ``sparse``/``amg``/``dist``) must
+    charge the performance model — call
+    :func:`repro.perf.counters.count` directly or (transitively) call
+    another kernel that does.  An uncharged kernel silently corrupts the
+    modeled times the whole reproduction is built on.
+``no-scipy``
+    No ``scipy`` imports under ``src/``: the library is from-scratch by
+    design; scipy is a test oracle only.
+``seeded-random``
+    No unseeded randomness: ``np.random.default_rng()`` without a seed and
+    every legacy ``np.random.*`` global-state call are flagged.
+    Reproducibility (PMIS tie-breaking, fault plans) depends on explicit
+    seeds everywhere.
+``no-bare-except``
+    No bare ``except:`` handlers (they swallow ``KeyboardInterrupt`` and
+    mask :class:`~repro.analysis.errors.InvariantViolation`).
+``no-borrowed-mutation``
+    No in-place mutation of the ``data``/``indices``/``indptr`` arrays of
+    a CSR matrix received as a function parameter: CSR constructors share
+    (borrow) array references, so mutating a borrowed array corrupts the
+    lender.  Kernels must copy first (``indptr.copy()``) or build fresh
+    arrays.
+
+Waivers live in a JSON file (default ``tools/lint_waivers.json``) mapping
+rule id to a list of ``fnmatch`` patterns over ``path`` or
+``path::symbol``; every waiver entry must justify itself with a comment
+key (``"# why"``-style keys are ignored by the loader).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["LintFinding", "run_lint", "main", "RULES"]
+
+RULES = (
+    "kernel-counts",
+    "no-scipy",
+    "seeded-random",
+    "no-bare-except",
+    "no-borrowed-mutation",
+)
+
+#: Modules whose public module-level functions are instrumented kernels
+#: (matched as path suffixes, POSIX separators).
+KERNEL_MODULES = (
+    "repro/sparse/spmv.py",
+    "repro/sparse/spgemm.py",
+    "repro/sparse/transpose.py",
+    "repro/sparse/triple_product.py",
+    "repro/sparse/blas1.py",
+    "repro/sparse/reorder.py",
+    "repro/sparse/accumulator.py",
+    "repro/amg/strength.py",
+    "repro/amg/pmis.py",
+    "repro/amg/coarsen_rs.py",
+    "repro/amg/truncation.py",
+    "repro/amg/interp_classical.py",
+    "repro/amg/interp_direct.py",
+    "repro/amg/interp_extended.py",
+    "repro/amg/interp_multipass.py",
+    "repro/amg/interp_twostage.py",
+    "repro/dist/spmv.py",
+    "repro/dist/spgemm.py",
+    "repro/dist/transpose.py",
+    "repro/dist/strength.py",
+    "repro/dist/renumber.py",
+    "repro/dist/rowgather.py",
+    "repro/dist/pmis.py",
+    "repro/dist/interp.py",
+)
+
+#: Legacy ``np.random`` attributes that use unseeded module-global state.
+_LEGACY_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "seed", "normal", "standard_normal",
+    "uniform", "poisson", "exponential", "binomial", "bytes",
+}
+
+#: ndarray methods that mutate in place.
+_MUTATING_METHODS = {"sort", "fill", "partition", "put", "resize", "setfield"}
+
+_CSR_ARRAYS = {"data", "indices", "indptr"}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    def format(self) -> str:
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}: {self.rule}{sym}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Per-file AST walks
+# ---------------------------------------------------------------------------
+
+def _call_target_names(node: ast.Call) -> str | None:
+    """The called name: ``f(...)`` -> ``f``, ``m.f(...)`` -> ``f``."""
+    f = node.func
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return None
+
+
+def _np_random_attr(node: ast.AST) -> str | None:
+    """``np.random.X`` / ``numpy.random.X`` attribute name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "random"
+        and isinstance(node.value.value, ast.Name)
+        and node.value.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+def _scan_simple_rules(tree: ast.Module, path: str) -> list[LintFinding]:
+    """no-scipy, seeded-random, no-bare-except, no-borrowed-mutation."""
+    findings: list[LintFinding] = []
+    scopes: list[str] = []
+    func_params: list[set[str]] = []
+
+    def symbol() -> str:
+        return ".".join(scopes)
+
+    def visit(node: ast.AST) -> None:
+        entered = False
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            scopes.append(node.name)
+            entered = True
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                a = node.args
+                names = {
+                    p.arg
+                    for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)
+                } - {"self", "cls"}
+                func_params.append(names)
+
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            mods = (
+                [n.name for n in node.names]
+                if isinstance(node, ast.Import)
+                else [node.module or ""]
+            )
+            for mod in mods:
+                if mod == "scipy" or mod.startswith("scipy."):
+                    findings.append(LintFinding(
+                        "no-scipy", path, node.lineno, symbol(),
+                        f"import of {mod!r}: scipy is a test oracle, not a "
+                        f"library dependency"))
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(LintFinding(
+                "no-bare-except", path, node.lineno, symbol(),
+                "bare 'except:' swallows KeyboardInterrupt and masks "
+                "invariant violations; name the exception types"))
+        elif isinstance(node, ast.Call):
+            attr = _np_random_attr(node.func)
+            if attr == "default_rng" and not node.args and not node.keywords:
+                findings.append(LintFinding(
+                    "seeded-random", path, node.lineno, symbol(),
+                    "np.random.default_rng() without a seed breaks "
+                    "reproducibility; pass an explicit seed"))
+            elif attr == "RandomState" and not node.args and not node.keywords:
+                findings.append(LintFinding(
+                    "seeded-random", path, node.lineno, symbol(),
+                    "np.random.RandomState() without a seed breaks "
+                    "reproducibility; pass an explicit seed"))
+            elif attr in _LEGACY_RANDOM:
+                findings.append(LintFinding(
+                    "seeded-random", path, node.lineno, symbol(),
+                    f"np.random.{attr} uses unseeded module-global state; "
+                    f"use a seeded np.random.default_rng(seed)"))
+        if func_params:
+            _scan_borrowed_mutation(node, path, symbol(), func_params[-1],
+                                    findings)
+
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+        if entered:
+            scopes.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func_params.pop()
+
+    visit(tree)
+    return findings
+
+
+def _param_csr_array(node: ast.AST, params: set[str]) -> str | None:
+    """``<param>.data`` / ``.indices`` / ``.indptr`` access, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in _CSR_ARRAYS
+        and isinstance(node.value, ast.Name)
+        and node.value.id in params
+    ):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _scan_borrowed_mutation(
+    node: ast.AST, path: str, symbol: str, params: set[str],
+    findings: list[LintFinding],
+) -> None:
+    targets: list[ast.AST] = []
+    why = ""
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+        why = "assignment"
+    elif isinstance(node, (ast.AugAssign,)):
+        targets = [node.target]
+        why = "in-place update"
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATING_METHODS:
+            targets = [node.func.value]
+            why = f".{node.func.attr}() call"
+    for t in targets:
+        # x.data[...] = / x.data.sort(): unwrap one subscript layer.
+        inner = t.value if isinstance(t, ast.Subscript) else t
+        name = _param_csr_array(inner, params)
+        if name is None and isinstance(t, ast.Attribute):
+            name = _param_csr_array(t, params)
+        if name is not None:
+            findings.append(LintFinding(
+                "no-borrowed-mutation", path, node.lineno, symbol,
+                f"{why} mutates {name}, a CSR array borrowed through a "
+                f"parameter; CSR constructors share array references, so "
+                f"copy before mutating"))
+
+
+# ---------------------------------------------------------------------------
+# kernel-counts (cross-module charge analysis)
+# ---------------------------------------------------------------------------
+
+def _module_key(path: Path) -> str:
+    """Stable module id: POSIX path suffix starting at ``repro/``."""
+    parts = path.as_posix().split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    return path.as_posix()
+
+
+def _resolve_relative(key: str, level: int, module: str | None) -> str | None:
+    """Resolve ``from .foo import f`` inside module *key* to a module id."""
+    pkg = key.rsplit("/", 1)[0].split("/")  # package dirs of this module
+    if level > len(pkg):
+        return None
+    base = pkg[: len(pkg) - (level - 1)]
+    if module:
+        base = base + module.split(".")
+    return "/".join(base) + ".py"
+
+
+class _ModuleInfo:
+    def __init__(self, key: str, tree: ast.Module) -> None:
+        self.key = key
+        #: public module-level functions: name -> lineno
+        self.public: dict[str, int] = {}
+        #: every module-level function name -> called names (local view)
+        self.calls: dict[str, set[str]] = {}
+        #: functions that call ``count(...)`` (or ``...counters.count``).
+        self.direct: set[str] = set()
+        #: imported name -> (module id, original name)
+        self.imports: dict[str, tuple[str, str]] = {}
+
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom) and node.level > 0:
+                target = _resolve_relative(key, node.level, node.module)
+                if target is None:
+                    continue
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = (
+                        target, alias.name
+                    )
+            elif isinstance(node, ast.FunctionDef):
+                if not node.name.startswith("_"):
+                    self.public[node.name] = node.lineno
+                called = set()
+                charges = False
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call):
+                        name = _call_target_names(sub)
+                        if name == "count":
+                            charges = True
+                        elif name is not None:
+                            called.add(name)
+                self.calls[node.name] = called
+                if charges:
+                    self.direct.add(node.name)
+
+
+def _scan_kernel_counts(
+    modules: dict[str, tuple[ast.Module, str]]
+) -> list[LintFinding]:
+    infos = {
+        key: _ModuleInfo(key, tree) for key, (tree, _path) in modules.items()
+    }
+    kernel_keys = {
+        key for key in infos
+        if any(key.endswith(suffix) for suffix in KERNEL_MODULES)
+    }
+    # Fixpoint: (module, func) charges if it calls count() directly or calls
+    # a charging function (same module, or imported from another module).
+    charging: set[tuple[str, str]] = {
+        (key, fn) for key, info in infos.items() for fn in info.direct
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, info in infos.items():
+            for fn, called in info.calls.items():
+                if (key, fn) in charging:
+                    continue
+                for name in called:
+                    if (key, name) in charging:
+                        charging.add((key, fn))
+                        changed = True
+                        break
+                    target = info.imports.get(name)
+                    if target is not None and target in charging:
+                        charging.add((key, fn))
+                        changed = True
+                        break
+    findings = []
+    for key in sorted(kernel_keys):
+        info = infos[key]
+        path = modules[key][1]
+        for fn, lineno in sorted(info.public.items(), key=lambda kv: kv[1]):
+            if (key, fn) not in charging:
+                findings.append(LintFinding(
+                    "kernel-counts", path, lineno, fn,
+                    f"public kernel {fn}() never charges "
+                    f"perf.counters.count(), directly or through another "
+                    f"kernel; uncharged kernels corrupt the modeled times"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def _load_waivers(path: Path | None) -> dict[str, list[str]]:
+    if path is None or not path.exists():
+        return {}
+    with open(path) as f:
+        raw = json.load(f)
+    return {
+        rule: [p for p in pats]
+        for rule, pats in raw.items()
+        if not rule.startswith("#")
+    }
+
+
+def _waived(finding: LintFinding, waivers: dict[str, list[str]]) -> bool:
+    pats = waivers.get(finding.rule, ())
+    path = Path(finding.path).as_posix()
+    qualified = f"{path}::{finding.symbol}" if finding.symbol else path
+    # A relative waiver pattern also matches as a path suffix, so waivers
+    # written repo-relative keep working when lint is invoked with
+    # absolute paths (CI, tests).
+    return any(
+        fnmatch.fnmatch(path, pat)
+        or fnmatch.fnmatch(qualified, pat)
+        or (not pat.startswith(("/", "*"))
+            and (fnmatch.fnmatch(path, "*/" + pat)
+                 or fnmatch.fnmatch(qualified, "*/" + pat)))
+        for pat in pats
+    )
+
+
+def run_lint(
+    paths: list[str | Path],
+    *,
+    waivers: dict[str, list[str]] | None = None,
+    rules: set[str] | None = None,
+) -> list[LintFinding]:
+    """Lint every ``.py`` file under *paths*; returns unwaived findings."""
+    waivers = waivers or {}
+    active = set(rules) if rules is not None else set(RULES)
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+
+    findings: list[LintFinding] = []
+    modules: dict[str, tuple[ast.Module, str]] = {}
+    for path in files:
+        if "__pycache__" in path.parts:
+            continue
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:
+            findings.append(LintFinding(
+                "syntax", str(path), exc.lineno or 0, "",
+                f"failed to parse: {exc.msg}"))
+            continue
+        modules[_module_key(path)] = (tree, str(path))
+        simple = _scan_simple_rules(tree, str(path))
+        findings.extend(f for f in simple if f.rule in active)
+    if "kernel-counts" in active:
+        findings.extend(_scan_kernel_counts(modules))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return [f for f in findings if not _waived(f, waivers)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="Repo-convention AST lint (see repro.analysis.lint).",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--waivers", default=None,
+        help="JSON waiver file (default: tools/lint_waivers.json if present)")
+    parser.add_argument(
+        "--rule", action="append", default=None, choices=RULES,
+        help="run only this rule (repeatable)")
+    args = parser.parse_args(argv)
+
+    waiver_path = (
+        Path(args.waivers)
+        if args.waivers is not None
+        else Path("tools/lint_waivers.json")
+    )
+    waivers = _load_waivers(waiver_path)
+    findings = run_lint(
+        args.paths,
+        waivers=waivers,
+        rules=set(args.rule) if args.rule else None,
+    )
+    for f in findings:
+        print(f.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

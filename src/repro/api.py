@@ -27,6 +27,7 @@ import numpy as np
 
 from .amg.cache import DEFAULT_CACHE, HierarchyCache
 from .amg.solver import AMGSolver
+from .analysis import check_csr, check_scope, checking
 from .config import AMGConfig, single_node_config
 from .faults.plan import FaultEvent
 from .krylov.cg import pcg, pcg_multi
@@ -146,11 +147,19 @@ class SolverHandle:
         config: AMGConfig | None = None,
         *,
         cache: HierarchyCache | None = DEFAULT_CACHE,
+        check: str | None = None,
     ) -> None:
-        self.A = _validate_operator(as_csr(A))
-        self.config = config if config is not None else single_node_config()
-        self._solver = AMGSolver(self.config)
-        self._solver.setup(self.A, cache=cache)
+        #: Check level (``"off"``/``"cheap"``/``"full"``) this handle runs
+        #: its setup and solves under; ``None`` inherits the process level
+        #: (``REPRO_CHECK`` / :func:`repro.analysis.set_check_level`).
+        self.check = check
+        with check_scope(check):
+            self.A = _validate_operator(as_csr(A))
+            if checking():
+                check_csr(self.A, name="A", context="api.setup")
+            self.config = config if config is not None else single_node_config()
+            self._solver = AMGSolver(self.config)
+            self._solver.setup(self.A, cache=cache)
 
     @property
     def hierarchy(self):
@@ -214,18 +223,20 @@ class SolverHandle:
         CG — and flags the result ``degraded`` either way.
         """
         b = _as_rhs(b, self.A.nrows)
-        if method == "amg":
-            res = self._solver.solve(b, tol=tol, maxiter=maxiter)
-        elif method == "fgmres":
-            res = fgmres(self.A, b, precondition=self._solver.precondition,
-                         tol=tol, maxiter=maxiter)
-        elif method == "cg":
-            res = pcg(self.A, b, precondition=self._solver.precondition,
-                      tol=tol, maxiter=maxiter)
-        else:
-            raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
-        if fallback and res.degraded and not res.converged:
-            res = self._fallback(b, res, tol=tol, maxiter=maxiter)
+        with check_scope(self.check):
+            if method == "amg":
+                res = self._solver.solve(b, tol=tol, maxiter=maxiter)
+            elif method == "fgmres":
+                res = fgmres(self.A, b, precondition=self._solver.precondition,
+                             tol=tol, maxiter=maxiter)
+            elif method == "cg":
+                res = pcg(self.A, b, precondition=self._solver.precondition,
+                          tol=tol, maxiter=maxiter)
+            else:
+                raise ValueError(
+                    f"unknown method {method!r}; choose from {_METHODS}")
+            if fallback and res.degraded and not res.converged:
+                res = self._fallback(b, res, tol=tol, maxiter=maxiter)
         return res
 
     def solve_many(
@@ -244,24 +255,28 @@ class SolverHandle:
         retried individually through the degradation ladder.
         """
         B = _as_rhs_block(B, self.A.nrows)
-        if method == "amg":
-            results = self._solver.solve_many(B, tol=tol, maxiter=maxiter)
-        elif method == "fgmres":
-            results = fgmres_multi(
-                self.A, B, precondition_multi=self._solver.precondition_multi,
-                tol=tol, maxiter=maxiter)
-        elif method == "cg":
-            results = pcg_multi(
-                self.A, B, precondition_multi=self._solver.precondition_multi,
-                tol=tol, maxiter=maxiter)
-        else:
-            raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
-        if fallback:
-            results = [
-                self._fallback(B[:, j], r, tol=tol, maxiter=maxiter)
-                if r.degraded and not r.converged else r
-                for j, r in enumerate(results)
-            ]
+        with check_scope(self.check):
+            if method == "amg":
+                results = self._solver.solve_many(B, tol=tol, maxiter=maxiter)
+            elif method == "fgmres":
+                results = fgmres_multi(
+                    self.A, B,
+                    precondition_multi=self._solver.precondition_multi,
+                    tol=tol, maxiter=maxiter)
+            elif method == "cg":
+                results = pcg_multi(
+                    self.A, B,
+                    precondition_multi=self._solver.precondition_multi,
+                    tol=tol, maxiter=maxiter)
+            else:
+                raise ValueError(
+                    f"unknown method {method!r}; choose from {_METHODS}")
+            if fallback:
+                results = [
+                    self._fallback(B[:, j], r, tol=tol, maxiter=maxiter)
+                    if r.degraded and not r.converged else r
+                    for j, r in enumerate(results)
+                ]
         return results
 
 
@@ -270,12 +285,16 @@ def setup(
     config: AMGConfig | None = None,
     *,
     cache: HierarchyCache | None = DEFAULT_CACHE,
+    check: str | None = None,
 ) -> SolverHandle:
     """Build (or fetch from *cache*) the AMG hierarchy for *A*.
 
-    Pass ``cache=None`` to force a fresh, uncached setup.
+    Pass ``cache=None`` to force a fresh, uncached setup.  ``check`` runs
+    the setup (and this handle's solves) under a
+    :mod:`repro.analysis` sanitizer level (``"off"``/``"cheap"``/
+    ``"full"``); ``None`` inherits ``REPRO_CHECK``.
     """
-    return SolverHandle(A, config, cache=cache)
+    return SolverHandle(A, config, cache=cache, check=check)
 
 
 def solve(
@@ -287,16 +306,18 @@ def solve(
     tol: float = 1e-7,
     maxiter: int | None = None,
     cache: HierarchyCache | None = DEFAULT_CACHE,
+    check: str | None = None,
 ) -> SolveResult:
     """One-call solve of ``A x = b``.
 
     ``method`` is ``"amg"`` (standalone V-cycles, the Table 3 solver),
     ``"fgmres"`` or ``"cg"`` (AMG-preconditioned Krylov).  Repeated calls
     with the same matrix and config hit the hierarchy cache and skip the
-    setup phase entirely.
+    setup phase entirely.  ``check`` selects the :mod:`repro.analysis`
+    sanitizer level for this call.
     """
-    return setup(A, config, cache=cache).solve(b, method=method, tol=tol,
-                                               maxiter=maxiter)
+    return setup(A, config, cache=cache, check=check).solve(
+        b, method=method, tol=tol, maxiter=maxiter)
 
 
 def solve_many(
@@ -308,12 +329,14 @@ def solve_many(
     tol: float = 1e-7,
     maxiter: int | None = None,
     cache: HierarchyCache | None = DEFAULT_CACHE,
+    check: str | None = None,
 ) -> list[SolveResult]:
     """One-call batched solve of ``A X = B`` for an ``(n, k)`` block.
 
     Every cycle streams the hierarchy once for all *k* right-hand sides
     (the multi-RHS path); returns one result per column, each bit-identical
-    to the corresponding single-RHS :func:`solve`.
+    to the corresponding single-RHS :func:`solve`.  ``check`` selects the
+    :mod:`repro.analysis` sanitizer level for this call.
     """
-    return setup(A, config, cache=cache).solve_many(B, method=method, tol=tol,
-                                                    maxiter=maxiter)
+    return setup(A, config, cache=cache, check=check).solve_many(
+        B, method=method, tol=tol, maxiter=maxiter)

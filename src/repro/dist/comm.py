@@ -73,6 +73,10 @@ class SimComm:
         self.messages: list[_LoggedMessage] = []
         self.collectives: list[CollectiveEvent] = []
         self.persistent_created = 0
+        #: Every :class:`PersistentExchange` frozen against this communicator
+        #: (in creation order) — the registry the comm-trace replay checks
+        #: persistent traffic against (``comm.persistent_drift``).
+        self.persistent_requests: list[PersistentExchange] = []
 
     # -- per-rank compute attribution -----------------------------------
     @contextmanager
@@ -190,6 +194,7 @@ class PersistentExchange:
         self.bytes_per_elem = bytes_per_elem
         self.tag = tag
         comm.persistent_created += len(self.pattern)
+        comm.persistent_requests.append(self)
 
     def start(self, *, width: int = 1) -> None:
         """Log one persistent message per neighbor pair.

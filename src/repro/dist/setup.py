@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis import check_dist_hierarchy, check_parcsr, checking
 from ..config import AMGConfig
 from ..perf.counters import VAL_BYTES, count, phase
 from .comm import SimComm
@@ -137,6 +138,8 @@ def dist_build_hierarchy(
             else:
                 cf = dist_pmis(comm, S, seed=config.seed + l, measures=measures)
                 cf1 = None
+            if checking():
+                check_parcsr(S, name=f"S[{l}]", level=l)
         nc = int(comm.allreduce([float((c > 0).sum()) for c in cf],
                                 kind="setup.nc"))
         if nc == 0 or nc == A.shape[0]:
@@ -175,6 +178,8 @@ def dist_build_hierarchy(
                     parallel_renumber=flags.parallel_renumber,
                     nthreads=config.nthreads,
                 )
+            if checking():
+                check_parcsr(P, name=f"P[{l}]", level=l)
         lvl.P = P
 
         with phase("RAP"):
@@ -184,6 +189,8 @@ def dist_build_hierarchy(
                 spgemm_method="one_pass" if flags.spgemm_one_pass else "two_pass",
                 nthreads=config.nthreads,
             )
+            if checking():
+                check_parcsr(Ac, name=f"A[{l + 1}]", level=l + 1)
         if flags.keep_transpose:
             lvl.R = R
         levels.append(DistLevel(A=Ac))
@@ -214,4 +221,9 @@ def dist_build_hierarchy(
             dense_threshold=config.dense_coarse_threshold,
             nthreads=config.nthreads,
         )
-    return DistHierarchy(comm, levels, coarse, config)
+    hierarchy = DistHierarchy(comm, levels, coarse, config)
+    if checking():
+        # Per-level ParCSR + frozen-halo consistency, inter-level partition
+        # plumbing; full adds per-block sortedness/finiteness sweeps.
+        check_dist_hierarchy(hierarchy)
+    return hierarchy

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis import check_comm_trace, checking, persistent_patterns_of
 from ..config import AMGConfig
 from ..faults.guards import ResidualGuard
 from ..faults.plan import FaultEvent
@@ -178,6 +179,12 @@ class DistAMGSolver:
 
         def result(x, it, residuals, converged, *, degraded=False, reason=None):
             comm_events = list(comm.events[events_start:]) if faulty else []
+            if checking("full") and not (faulty and comm.events):
+                # Replay the message log (send/ack matching only applies on
+                # a fault-free trace: injected drops legitimately unbalance
+                # it) and pin persistent traffic to the frozen patterns.
+                check_comm_trace(
+                    comm, persistent_patterns=persistent_patterns_of(comm))
             return DistSolveResult(
                 x, it, residuals, converged, degraded=degraded,
                 degraded_reason=reason,

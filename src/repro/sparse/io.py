@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..analysis import InvariantViolation, check_csr
 from .csr import CSRMatrix
 
 __all__ = [
@@ -21,6 +22,16 @@ __all__ = [
     "save_npz",
     "load_npz",
 ]
+
+
+def _checked(A: CSRMatrix, path) -> CSRMatrix:
+    """Full CSR validation of a freshly loaded matrix.
+
+    Files come from outside the library, so loaders always validate —
+    regardless of the ``REPRO_CHECK`` level — and reject malformed input
+    with a structured :class:`InvariantViolation` naming the file.
+    """
+    return check_csr(A, name=Path(path).name, context=str(path), full=True)
 
 
 def _open_maybe_gz(path, mode: str):
@@ -51,6 +62,11 @@ def load_matrix_market(path) -> CSRMatrix:
         while line.startswith("%"):
             line = f.readline()
         nrows, ncols, nnz = (int(x) for x in line.split())
+        if nrows < 0 or ncols < 0 or nnz < 0:
+            raise InvariantViolation(
+                "io.size_line",
+                f"size line declares ({nrows}, {ncols}) with {nnz} entries",
+                context=str(path))
 
         if nnz == 0:
             return CSRMatrix.zeros((nrows, ncols))
@@ -61,6 +77,17 @@ def load_matrix_market(path) -> CSRMatrix:
     cols = data[:, 1].astype(np.int64) - 1
     vals = data[:, 2] if data.shape[1] > 2 else np.ones(len(rows))
 
+    if (rows < 0).any() or (rows >= nrows).any() \
+            or (cols < 0).any() or (cols >= ncols).any():
+        k = int(np.argmax((rows < 0) | (rows >= nrows)
+                          | (cols < 0) | (cols >= ncols)))
+        raise InvariantViolation(
+            "io.entry_range",
+            f"entry #{k + 1} addresses ({int(rows[k]) + 1}, "
+            f"{int(cols[k]) + 1}) outside the declared "
+            f"{nrows}x{ncols} shape",
+            context=str(path))
+
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols
         sign = -1.0 if symmetry == "skew-symmetric" else 1.0
@@ -68,7 +95,13 @@ def load_matrix_market(path) -> CSRMatrix:
         cols_all = np.concatenate([cols, data[:, 0].astype(np.int64)[off] - 1])
         vals = np.concatenate([vals, sign * vals[off]])
         cols = cols_all
-    return CSRMatrix.from_coo((nrows, ncols), rows, cols, vals)
+    try:
+        A = CSRMatrix.from_coo((nrows, ncols), rows, cols, vals)
+    except (ValueError, IndexError) as exc:
+        raise InvariantViolation(
+            "io.malformed", f"CSR assembly failed: {exc}", context=str(path)
+        ) from exc
+    return _checked(A, path)
 
 
 def save_matrix_market(path, A: CSRMatrix, *, comment: str = "") -> None:
@@ -97,6 +130,12 @@ def save_npz(path, A: CSRMatrix) -> None:
 
 def load_npz(path) -> CSRMatrix:
     with np.load(path) as z:
-        return CSRMatrix(
-            tuple(z["shape"]), z["indptr"], z["indices"], z["data"]
-        )
+        try:
+            A = CSRMatrix(
+                tuple(z["shape"]), z["indptr"], z["indices"], z["data"]
+            )
+        except (KeyError, ValueError, IndexError) as exc:
+            raise InvariantViolation(
+                "io.malformed", f"CSR assembly failed: {exc}",
+                context=str(path)) from exc
+    return _checked(A, path)

@@ -1,0 +1,766 @@
+"""repro.analysis: sanitizers, comm-trace replay, lint, and their wiring.
+
+The contract under test (docs/analysis.md):
+
+* every seeded corruption is caught by **exactly** the intended invariant id;
+* a clean solve passes every check at every level;
+* ``REPRO_CHECK=off`` adds zero kernel records and is bit-identical to an
+  unchecked build, and ``full`` changes modeled counters not at all;
+* the io loaders reject malformed files with a structured error;
+* the AST lint flags each convention violation and the repo itself lints
+  clean under the checked-in waiver file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import (
+    CHECK_LEVELS,
+    CommTrace,
+    InvariantViolation,
+    TraceMessage,
+    check_comm_trace,
+    check_csr,
+    check_dist_hierarchy,
+    check_hierarchy,
+    check_parcsr,
+    check_scope,
+    checking,
+    get_check_level,
+    persistent_patterns_of,
+    scan_comm_trace,
+    set_check_level,
+)
+from repro.analysis.lint import LintFinding, _load_waivers, run_lint
+from repro.analysis.lint import main as lint_main
+from repro.config import multi_node_config, single_node_config
+from repro.dist import (
+    DistAMGSolver,
+    ParCSRMatrix,
+    ParVector,
+    RowPartition,
+    SimComm,
+    build_halo,
+)
+from repro.perf import collect
+from repro.problems import laplace_2d_5pt, laplace_3d_7pt
+from repro.sparse.io import load_matrix_market, load_npz, save_npz
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _restore_check_level():
+    prev = get_check_level()
+    yield
+    set_check_level(prev)
+
+
+def _violation(invariant: str, fn, *args, **kw) -> InvariantViolation:
+    """Run *fn* and assert it raises exactly the expected invariant."""
+    with pytest.raises(InvariantViolation) as exc:
+        fn(*args, **kw)
+    assert exc.value.invariant == invariant, str(exc.value)
+    return exc.value
+
+
+# ---------------------------------------------------------------------------
+# Level gate
+# ---------------------------------------------------------------------------
+
+class TestCheckLevels:
+    def test_levels_and_ordering(self):
+        assert CHECK_LEVELS == ("off", "cheap", "full")
+        set_check_level("off")
+        assert not checking("cheap") and not checking("full")
+        set_check_level("cheap")
+        assert checking("cheap") and not checking("full")
+        set_check_level("full")
+        assert checking("cheap") and checking("full")
+
+    def test_set_returns_previous(self):
+        set_check_level("off")
+        assert set_check_level("full") == "off"
+        assert get_check_level() == "full"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown check level"):
+            set_check_level("paranoid")
+
+    def test_check_scope_restores(self):
+        set_check_level("off")
+        with check_scope("full"):
+            assert get_check_level() == "full"
+        assert get_check_level() == "off"
+        with check_scope(None):  # None leaves the level untouched
+            assert get_check_level() == "off"
+
+    def test_check_scope_restores_on_error(self):
+        set_check_level("cheap")
+        with pytest.raises(RuntimeError):
+            with check_scope("full"):
+                raise RuntimeError("boom")
+        assert get_check_level() == "cheap"
+
+
+# ---------------------------------------------------------------------------
+# check_csr: one seeded corruption per invariant
+# ---------------------------------------------------------------------------
+
+def _csr(n=12):
+    return laplace_2d_5pt(n)
+
+
+class TestCheckCSR:
+    def test_clean_matrix_passes(self):
+        A = _csr()
+        assert check_csr(A, full=True) is A
+
+    def test_indptr_shape(self):
+        A = _csr()
+        bad = SimpleNamespace(shape=A.shape, indptr=A.indptr[:-1],
+                              indices=A.indices, data=A.data)
+        _violation("csr.indptr_shape", check_csr, bad)
+
+    def test_indptr_start(self):
+        A = _csr()
+        indptr = A.indptr.copy()
+        indptr[0] = 1
+        bad = SimpleNamespace(shape=A.shape, indptr=indptr,
+                              indices=A.indices, data=A.data)
+        _violation("csr.indptr_start", check_csr, bad)
+
+    def test_indptr_monotone(self):
+        A = _csr()
+        A.indptr[3] = A.indptr[4] + 2
+        _violation("csr.indptr_monotone", check_csr, A)
+
+    def test_nnz_consistent(self):
+        A = _csr()
+        bad = SimpleNamespace(shape=A.shape, indptr=A.indptr,
+                              indices=A.indices[:-1], data=A.data)
+        _violation("csr.nnz_consistent", check_csr, bad)
+
+    def test_indices_range(self):
+        A = _csr()
+        A.indices[5] = A.ncols + 3
+        _violation("csr.indices_range", check_csr, A)
+        A = _csr()
+        A.indices[0] = -1
+        _violation("csr.indices_range", check_csr, A)
+
+    def test_indices_sorted_full_only(self):
+        A = _csr()
+        row = 4  # swap two entries inside one row
+        s = A.indptr[row]
+        A.indices[s], A.indices[s + 1] = A.indices[s + 1], A.indices[s]
+        assert check_csr(A, full=False) is A  # cheap does not scan order
+        v = _violation("csr.indices_sorted", check_csr, A, full=True)
+        assert "unsorted" in v.detail
+
+    def test_duplicate_indices_full_only(self):
+        A = _csr()
+        s = A.indptr[2]
+        A.indices[s + 1] = A.indices[s]
+        v = _violation("csr.indices_sorted", check_csr, A, full=True)
+        assert "duplicate" in v.detail
+
+    def test_values_finite_full_only(self):
+        A = _csr()
+        A.data[7] = np.nan
+        assert check_csr(A, full=False) is A
+        _violation("csr.values_finite", check_csr, A, full=True)
+
+    def test_full_follows_active_level(self):
+        A = _csr()
+        A.data[0] = np.inf
+        set_check_level("cheap")
+        assert check_csr(A) is A
+        set_check_level("full")
+        _violation("csr.values_finite", check_csr, A)
+
+    def test_violation_carries_context(self):
+        A = _csr()
+        A.data[0] = np.nan
+        v = _violation("csr.values_finite", check_csr, A,
+                       full=True, name="P[2]", level=2, rank=1)
+        assert v.level == 2 and v.rank == 1 and "P[2]" in str(v)
+
+
+# ---------------------------------------------------------------------------
+# check_parcsr
+# ---------------------------------------------------------------------------
+
+def _parcsr(n=10, nranks=4):
+    A = laplace_2d_5pt(n)
+    part = RowPartition.uniform(A.nrows, nranks)
+    return ParCSRMatrix.from_global(A, part)
+
+
+class TestCheckParCSR:
+    def test_clean_passes_with_halo(self):
+        A = _parcsr()
+        halo = build_halo(SimComm(4), A, persistent=False)
+        assert check_parcsr(A, halo=halo, full=True) is A
+
+    def test_colmap_sorted(self):
+        A = _parcsr()
+        blk = next(b for b in A.blocks if len(b.colmap) >= 2)
+        blk.colmap[0], blk.colmap[1] = blk.colmap[1], blk.colmap[0]
+        _violation("parcsr.colmap_sorted", check_parcsr, A)
+
+    def test_colmap_range(self):
+        A = _parcsr()
+        blk = next(b for b in A.blocks if len(b.colmap))
+        blk.colmap[-1] = A.col_part.n + 5
+        _violation("parcsr.colmap_range", check_parcsr, A)
+
+    def test_colmap_owned(self):
+        A = _parcsr()
+        lo = A.col_part.lo(0)
+        blk = A.blocks[0]
+        # Rank 0's own first column snuck into its offd colmap.
+        blk.colmap[0] = lo
+        _violation("parcsr.colmap_owned", check_parcsr, A)
+
+    def test_offd_width(self):
+        A = _parcsr()
+        blk = next(b for b in A.blocks if len(b.colmap))
+        blk.colmap = blk.colmap[:-1]
+        _violation("parcsr.offd_width", check_parcsr, A)
+
+    def test_block_count(self):
+        A = _parcsr()
+        bad = SimpleNamespace(blocks=A.blocks[:-1], row_part=A.row_part,
+                              col_part=A.col_part)
+        _violation("parcsr.block_count", check_parcsr, bad)
+
+    def test_halo_pattern_drift(self):
+        A = _parcsr()
+        halo = build_halo(SimComm(4), A, persistent=False)
+        key = next(iter(halo.pattern))
+        halo.pattern[key] += 1  # pattern no longer matches colmap ownership
+        v = _violation("parcsr.halo_pattern", check_parcsr, A, halo=halo)
+        assert "wrong sizes" in v.detail
+
+    def test_full_reaches_blocks(self):
+        A = _parcsr()
+        blk = next(b for b in A.blocks if b.diag.nnz)
+        blk.diag.data[0] = np.nan
+        assert check_parcsr(A, full=False) is A
+        _violation("csr.values_finite", check_parcsr, A, full=True)
+
+
+# ---------------------------------------------------------------------------
+# check_hierarchy
+# ---------------------------------------------------------------------------
+
+def _hierarchy(optimized=True, **flag_overrides):
+    cfg = single_node_config(optimized=optimized)
+    if flag_overrides:
+        cfg = replace(cfg, flags=replace(cfg.flags, **flag_overrides))
+    return repro.build_hierarchy(laplace_2d_5pt(16), cfg)
+
+
+class TestCheckHierarchy:
+    def test_clean_passes(self):
+        h = _hierarchy()
+        assert h.num_levels >= 2
+        assert check_hierarchy(h, full=True) is h
+
+    def test_clean_baseline_passes(self):
+        assert check_hierarchy(_hierarchy(optimized=False), full=True)
+
+    def test_cf_count(self):
+        h = _hierarchy()
+        h.levels[0].n_coarse += 1
+        _violation("hierarchy.cf_count", check_hierarchy, h, full=False)
+
+    def test_cf_partitioned(self):
+        h = _hierarchy()  # cf_reorder on: C points must come first
+        lvl = h.levels[0]
+        lvl.cf_marker[lvl.n_coarse] = 1       # a C point in the F region
+        h.levels[1].A = SimpleNamespace(       # silence coarse_size instead
+            shape=(lvl.n_coarse + 0, lvl.n_coarse),)
+        _violation("hierarchy.cf_count", check_hierarchy, h, full=False)
+
+    def test_cf_partitioned_marker_order(self):
+        h = _hierarchy()
+        lvl = h.levels[0]
+        nc = lvl.n_coarse
+        # Swap a C and an F marker (count preserved, order broken).
+        lvl.cf_marker[0], lvl.cf_marker[nc] = lvl.cf_marker[nc], lvl.cf_marker[0]
+        _violation("hierarchy.cf_partitioned", check_hierarchy, h, full=False)
+
+    def test_p_identity_block(self):
+        h = _hierarchy()
+        h.levels[0].P.data[0] = 2.0  # coarse row of P must be exactly 1.0
+        _violation("hierarchy.p_identity_block", check_hierarchy, h, full=True)
+
+    def test_p_fine_block(self):
+        h = _hierarchy()
+        h.levels[0].P_F.data[0] += 0.5
+        _violation("hierarchy.p_fine_block", check_hierarchy, h, full=True)
+
+    def test_galerkin(self):
+        h = _hierarchy()
+        h.levels[1].A.data[0] += 1.0
+        _violation("hierarchy.galerkin", check_hierarchy, h, full=True)
+
+    def test_r_is_pt(self):
+        # keep_transpose stores R at setup only when cf_reorder is off.
+        h = _hierarchy(optimized=False, keep_transpose=True)
+        lvl = next(l for l in h.levels if l.R is not None)
+        assert check_hierarchy(h, full=True) is h
+        lvl.R.data[0] += 1.0
+        _violation("hierarchy.r_is_pt", check_hierarchy, h, full=True)
+
+    def test_p_shape(self):
+        h = _hierarchy()
+        h.levels[0].n_coarse -= 1
+        h.levels[0].cf_marker[0] = -1  # keep cf_count consistent
+        _violation("hierarchy.p_shape", check_hierarchy, h, full=False)
+
+
+# ---------------------------------------------------------------------------
+# check_dist_hierarchy
+# ---------------------------------------------------------------------------
+
+def _dist_hierarchy(nranks=4):
+    A = laplace_3d_7pt(6)
+    comm = SimComm(nranks)
+    part = RowPartition.uniform(A.nrows, nranks)
+    solver = DistAMGSolver(comm, multi_node_config("ei"))
+    h = solver.setup(ParCSRMatrix.from_global(A, part))
+    return comm, solver, h, part
+
+
+class TestCheckDistHierarchy:
+    def test_clean_passes(self):
+        _, _, h, _ = _dist_hierarchy()
+        assert h.num_levels >= 2
+        assert check_dist_hierarchy(h, full=True) is h
+
+    def test_corrupt_colmap_caught(self):
+        _, _, h, _ = _dist_hierarchy()
+        blk = next(b for lvl in h.levels for b in lvl.A.blocks
+                   if len(b.colmap) >= 2)
+        blk.colmap[:2] = blk.colmap[1::-1]
+        _violation("parcsr.colmap_sorted", check_dist_hierarchy, h)
+
+    def test_halo_drift_caught(self):
+        _, _, h, _ = _dist_hierarchy()
+        halo = h.levels[0].halo
+        key = next(iter(halo.pattern))
+        del halo.pattern[key]
+        v = _violation("parcsr.halo_pattern", check_dist_hierarchy, h)
+        assert "missing pairs" in v.detail
+
+
+# ---------------------------------------------------------------------------
+# Comm-trace replay
+# ---------------------------------------------------------------------------
+
+def _msg(src, dst, tag, *, persistent=False, nbytes=64.0):
+    return TraceMessage(src, dst, nbytes, tag, persistent, "Solve_MPI")
+
+
+class TestCommTrace:
+    def test_clean_synthetic_trace(self):
+        trace = CommTrace(
+            nranks=2,
+            messages=[_msg(0, 1, "halo"), _msg(1, 0, "halo.ack"),
+                      _msg(1, 0, "halo"), _msg(0, 1, "halo.ack")],
+            collectives=[["allreduce"], ["allreduce"]],
+            reliable=True,
+        )
+        assert scan_comm_trace(trace) == []
+
+    def test_unreceived_send(self):
+        # Two sends 0->1, one ack: one delivery was never received.
+        trace = CommTrace(
+            nranks=2,
+            messages=[_msg(0, 1, "halo"), _msg(1, 0, "halo.ack"),
+                      _msg(0, 1, "halo")],
+            reliable=True,
+        )
+        v = _violation("comm.unreceived_send", check_comm_trace, trace)
+        assert v.rank == 0 and "1 of 2" in v.detail
+
+    def test_recv_without_send(self):
+        trace = CommTrace(
+            nranks=2,
+            messages=[_msg(1, 0, "halo.ack")],  # phantom acknowledgement
+            reliable=True,
+        )
+        v = _violation("comm.recv_without_send", check_comm_trace, trace)
+        assert v.rank == 1
+
+    def test_retry_marks_protocol_tag(self):
+        # A retried, never-acked send is flagged even without any ack.
+        trace = CommTrace(
+            nranks=2,
+            messages=[_msg(0, 1, "halo"), _msg(0, 1, "halo.retry")],
+            reliable=True,
+        )
+        _violation("comm.unreceived_send", check_comm_trace, trace)
+
+    def test_plain_traffic_not_matched(self):
+        # Unacked tags that never ran the protocol (setup-time exchanges,
+        # coarse gathers) are not sends awaiting receives.
+        trace = CommTrace(
+            nranks=2,
+            messages=[_msg(0, 1, "coarse.gather"), _msg(1, 0, "setup")],
+            reliable=True,
+        )
+        assert scan_comm_trace(trace) == []
+
+    def test_unreliable_trace_skips_matching(self):
+        trace = CommTrace(nranks=2, messages=[_msg(0, 1, "halo")],
+                          reliable=False)
+        assert scan_comm_trace(trace) == []
+
+    def test_collective_order_divergence(self):
+        trace = CommTrace(
+            nranks=3,
+            collectives=[["allreduce", "scan"], ["allreduce", "scan"],
+                         ["scan", "allreduce"]],
+        )
+        v = _violation("comm.collective_order", check_comm_trace, trace)
+        assert v.rank == 2 and "deadlock" in v.detail
+
+    def test_collective_count_divergence(self):
+        trace = CommTrace(nranks=2,
+                          collectives=[["allreduce", "allreduce"],
+                                       ["allreduce"]])
+        _violation("comm.collective_order", check_comm_trace, trace)
+
+    def test_self_message(self):
+        trace = CommTrace(nranks=2, messages=[_msg(1, 1, "halo")])
+        _violation("comm.self_message", check_comm_trace, trace)
+
+    def test_rank_range(self):
+        trace = CommTrace(nranks=2, messages=[_msg(0, 5, "halo")])
+        _violation("comm.rank_range", check_comm_trace, trace)
+
+    def test_persistent_drift(self):
+        trace = CommTrace(
+            nranks=3,
+            messages=[_msg(0, 1, "halo", persistent=True),
+                      _msg(2, 0, "halo", persistent=True)],
+        )
+        patterns = {"halo": [[(0, 1)]]}  # (2, 0) was never frozen
+        v = _violation("comm.persistent_drift", check_comm_trace, trace,
+                       persistent_patterns=patterns)
+        assert "2->0" in v.detail
+
+    def test_persistent_rounds_replay(self):
+        pat = [(0, 1), (1, 0)]
+        trace = CommTrace(
+            nranks=2,
+            messages=[_msg(s, d, "halo", persistent=True)
+                      for s, d in pat * 3],
+        )
+        assert scan_comm_trace(trace,
+                               persistent_patterns={"halo": [pat]}) == []
+
+    def test_max_findings_cap(self):
+        trace = CommTrace(nranks=2,
+                          messages=[_msg(0, 0, "t") for _ in range(10)])
+        assert len(scan_comm_trace(trace, max_findings=3)) == 3
+
+    def test_real_solve_trace_is_clean(self):
+        comm, solver, h, part = _dist_hierarchy()
+        b = np.random.default_rng(3).standard_normal(part.n)
+        res = solver.solve(ParVector.from_global(b, part), tol=1e-7)
+        assert res.converged
+        patterns = persistent_patterns_of(comm)
+        assert patterns  # persistent halos were frozen at setup
+        assert scan_comm_trace(CommTrace.from_comm(comm),
+                               persistent_patterns=patterns) == []
+
+    def test_from_comm_replicates_collectives(self):
+        comm, _, _, _ = _dist_hierarchy()
+        trace = CommTrace.from_comm(comm)
+        assert trace.nranks == comm.nranks
+        assert len(trace.collectives) == comm.nranks
+        assert trace.collectives[0] == trace.collectives[-1]
+        assert not trace.reliable  # plain SimComm
+
+
+# ---------------------------------------------------------------------------
+# Wiring: hooks, facade, CLI, overhead
+# ---------------------------------------------------------------------------
+
+class TestWiring:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # NaN propagation
+    def test_setup_hook_catches_corrupt_operator(self):
+        A = laplace_2d_5pt(12)
+        A.data[3] = np.nan
+        set_check_level("full")
+        with pytest.raises(InvariantViolation):
+            repro.build_hierarchy(A, single_node_config())
+
+    def test_api_check_keyword(self):
+        A = laplace_2d_5pt(12)
+        b = np.ones(A.nrows)
+        res = repro.solve(A, b, check="full", cache=None)
+        assert res.converged
+        # Structural corruption: caught by check_csr at the facade (the
+        # facade's own value screen only covers non-finite entries).
+        A.indptr[3] = A.indptr[4] + 2
+        with pytest.raises(InvariantViolation):
+            repro.setup(A, cache=None, check="cheap")
+
+    def test_api_check_does_not_leak(self):
+        set_check_level("off")
+        A = laplace_2d_5pt(8)
+        repro.solve(A, np.ones(A.nrows), check="full", cache=None)
+        assert get_check_level() == "off"
+
+    def test_invariant_violation_reexported(self):
+        assert repro.InvariantViolation is InvariantViolation
+        assert isinstance(InvariantViolation("x", "y"), AssertionError)
+
+    def test_dist_solve_full_check_passes(self):
+        comm, solver, h, part = _dist_hierarchy()
+        set_check_level("full")
+        b = np.random.default_rng(1).standard_normal(part.n)
+        res = solver.solve(ParVector.from_global(b, part), tol=1e-7)
+        assert res.converged
+
+    def test_cli_check_flag(self):
+        from repro.__main__ import main
+        assert main(["solve", "--problem", "lap2d", "--size", "8",
+                     "--threads", "2", "--check", "full"]) == 0
+
+    def test_off_level_adds_no_records_and_is_bit_identical(self):
+        A = laplace_2d_5pt(16)
+        b = np.random.default_rng(5).standard_normal(A.nrows)
+
+        def run(level):
+            set_check_level(level)
+            with collect() as log:
+                res = repro.solve(A, b, cache=None)
+            return res, [vars(r) for r in log.records]
+
+        res_off, rec_off = run("off")
+        res_full, rec_full = run("full")
+        assert np.array_equal(res_off.x, res_full.x)
+        assert res_off.iterations == res_full.iterations
+        # Checking charges zero KernelRecords: the modeled times are
+        # untouched at every level, so off needs no separate baseline.
+        assert rec_off == rec_full
+
+    def test_phase_context_captured(self):
+        from repro.perf.counters import phase
+        with phase("RAP"):
+            v = InvariantViolation("x.y", "detail")
+        assert v.phase == "RAP" and "phase=RAP" in str(v)
+
+
+# ---------------------------------------------------------------------------
+# io loaders
+# ---------------------------------------------------------------------------
+
+class TestIOValidation:
+    def test_good_roundtrip_still_works(self, tmp_path):
+        A = laplace_2d_5pt(6)
+        save_npz(tmp_path / "a.npz", A)
+        B = load_npz(tmp_path / "a.npz")
+        assert np.array_equal(A.data, B.data)
+
+    def test_mtx_entry_out_of_range(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 2\n1 1 1.0\n3 1 2.0\n")
+        v = _violation("io.entry_range", load_matrix_market, p)
+        assert str(p) in v.context
+
+    def test_mtx_negative_size_line(self, tmp_path):
+        p = tmp_path / "neg.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n"
+                     "-1 2 1\n1 1 1.0\n")
+        _violation("io.size_line", load_matrix_market, p)
+
+    def test_mtx_nonfinite_value(self, tmp_path):
+        p = tmp_path / "nan.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 2\n1 1 nan\n2 2 1.0\n")
+        _violation("csr.values_finite", load_matrix_market, p)
+
+    def test_npz_truncated_arrays(self, tmp_path):
+        A = laplace_2d_5pt(4)
+        p = tmp_path / "trunc.npz"
+        np.savez(p, shape=np.array(A.shape, dtype=np.int64),
+                 indptr=A.indptr, indices=A.indices[:-2], data=A.data)
+        with pytest.raises(InvariantViolation) as exc:
+            load_npz(p)
+        assert exc.value.invariant in ("io.malformed", "csr.nnz_consistent")
+
+    def test_npz_bad_column_index(self, tmp_path):
+        A = laplace_2d_5pt(4)
+        indices = A.indices.copy()
+        indices[0] = A.ncols + 7
+        p = tmp_path / "col.npz"
+        np.savez(p, shape=np.array(A.shape, dtype=np.int64),
+                 indptr=A.indptr, indices=indices, data=A.data)
+        with pytest.raises(InvariantViolation) as exc:
+            load_npz(p)
+        assert exc.value.invariant in ("io.malformed", "csr.indices_range")
+
+    def test_loaders_validate_even_when_checks_off(self, tmp_path):
+        set_check_level("off")
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n1 9 1.0\n")
+        _violation("io.entry_range", load_matrix_market, p)
+
+
+# ---------------------------------------------------------------------------
+# AST lint
+# ---------------------------------------------------------------------------
+
+def _lint_file(tmp_path, source, name="mod.py", **kw):
+    p = tmp_path / name
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(source)
+    return run_lint([p], **kw)
+
+
+class TestLint:
+    def test_no_scipy(self, tmp_path):
+        out = _lint_file(tmp_path, "import scipy\n")
+        assert [f.rule for f in out] == ["no-scipy"]
+        out = _lint_file(tmp_path, "from scipy.sparse import csr_matrix\n")
+        assert [f.rule for f in out] == ["no-scipy"]
+
+    def test_no_bare_except(self, tmp_path):
+        out = _lint_file(tmp_path,
+                         "def f():\n"
+                         "    try:\n"
+                         "        g()\n"
+                         "    except:\n"
+                         "        pass\n")
+        assert [f.rule for f in out] == ["no-bare-except"]
+        assert out[0].symbol == "f" and out[0].line == 4
+
+    def test_named_except_ok(self, tmp_path):
+        src = "def f():\n    try:\n        g()\n    except ValueError:\n        pass\n"
+        assert _lint_file(tmp_path, src) == []
+
+    def test_seeded_random(self, tmp_path):
+        out = _lint_file(tmp_path,
+                         "import numpy as np\n"
+                         "r = np.random.default_rng()\n"
+                         "x = np.random.rand(3)\n"
+                         "ok = np.random.default_rng(42)\n")
+        assert [f.rule for f in out] == ["seeded-random", "seeded-random"]
+        assert {f.line for f in out} == {2, 3}
+
+    def test_borrowed_mutation(self, tmp_path):
+        out = _lint_file(tmp_path,
+                         "def scale(A, alpha):\n"
+                         "    A.data[:] = A.data * alpha\n"
+                         "    A.indices.sort()\n"
+                         "    A.indptr += 1\n"
+                         "    return A\n")
+        assert [f.rule for f in out] == ["no-borrowed-mutation"] * 3
+
+    def test_local_mutation_ok(self, tmp_path):
+        src = ("def scale(A, alpha):\n"
+               "    data = A.data.copy()\n"
+               "    data *= alpha\n"
+               "    B = make(A.shape, A.indptr, A.indices, data)\n"
+               "    B.data[:] = 0.0\n"   # B is local, not a parameter
+               "    return B\n")
+        assert _lint_file(tmp_path, src) == []
+
+    def test_kernel_counts_flags_uncharged(self, tmp_path):
+        out = _lint_file(tmp_path,
+                         "def spmv(A, x):\n    return A @ x\n",
+                         name="repro/sparse/spmv.py",
+                         rules={"kernel-counts"})
+        assert [(f.rule, f.symbol) for f in out] == [("kernel-counts", "spmv")]
+
+    def test_kernel_counts_direct_charge_ok(self, tmp_path):
+        src = ("from ..perf.counters import count\n"
+               "def spmv(A, x):\n"
+               "    count('spmv', flops=1.0)\n"
+               "    return A @ x\n")
+        assert _lint_file(tmp_path, src, name="repro/sparse/spmv.py",
+                          rules={"kernel-counts"}) == []
+
+    def test_kernel_counts_transitive_cross_module(self, tmp_path):
+        (tmp_path / "repro/sparse").mkdir(parents=True)
+        (tmp_path / "repro/sparse/blas1.py").write_text(
+            "from ..perf.counters import count\n"
+            "def axpy(x, y):\n"
+            "    count('axpy', flops=2.0)\n")
+        (tmp_path / "repro/sparse/spmv.py").write_text(
+            "from .blas1 import axpy\n"
+            "def spmv(A, x):\n"
+            "    axpy(x, x)\n")
+        assert run_lint([tmp_path], rules={"kernel-counts"}) == []
+
+    def test_kernel_counts_ignores_private_and_nonkernel(self, tmp_path):
+        (tmp_path / "repro/sparse").mkdir(parents=True)
+        (tmp_path / "repro/sparse/spmv.py").write_text(
+            "def _helper(A):\n    return A\n")
+        (tmp_path / "repro/sparse/util.py").write_text(
+            "def anything(A):\n    return A\n")
+        assert run_lint([tmp_path], rules={"kernel-counts"}) == []
+
+    def test_waivers(self, tmp_path):
+        out = _lint_file(tmp_path, "import scipy\n",
+                         waivers={"no-scipy": ["*/mod.py"]})
+        assert out == []
+        out = _lint_file(tmp_path,
+                         "def f(A):\n    A.data += 1\n",
+                         waivers={"no-borrowed-mutation": ["*/mod.py::f"]})
+        assert out == []
+        # A waiver for one rule does not silence another.
+        out = _lint_file(tmp_path, "import scipy\n",
+                         waivers={"no-bare-except": ["*/mod.py"]})
+        assert [f.rule for f in out] == ["no-scipy"]
+
+    def test_syntax_error_reported(self, tmp_path):
+        out = _lint_file(tmp_path, "def broken(:\n")
+        assert [f.rule for f in out] == ["syntax"]
+
+    def test_finding_format(self):
+        f = LintFinding("no-scipy", "a/b.py", 3, "f", "msg")
+        assert f.format() == "a/b.py:3: no-scipy [f]: msg"
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import scipy\n")
+        assert lint_main([str(bad)]) == 1
+        assert "no-scipy" in capsys.readouterr().out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert lint_main([str(good)]) == 0
+
+    def test_repo_lints_clean_under_checked_in_waivers(self):
+        waivers = _load_waivers(REPO / "tools" / "lint_waivers.json")
+        assert waivers, "waiver file missing or empty"
+        findings = run_lint([REPO / "src"], waivers=waivers)
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_repo_waivers_are_all_used(self):
+        # Every waiver pattern must still match a real finding; stale
+        # waivers hide future regressions.
+        from repro.analysis.lint import _waived
+        waivers = _load_waivers(REPO / "tools" / "lint_waivers.json")
+        raw = run_lint([REPO / "src"])
+        for rule, pats in waivers.items():
+            for pat in pats:
+                hit = any(_waived(f, {rule: [pat]}) for f in raw)
+                assert hit, f"stale waiver {rule}: {pat}"

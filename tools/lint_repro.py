@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Thin CLI wrapper for the repo-convention AST lint.
+
+Usage (from the repository root)::
+
+    python tools/lint_repro.py src
+
+The implementation lives in :mod:`repro.analysis.lint` so the checks are
+importable from library code and tests; this wrapper only makes the tool
+runnable without installing the package or exporting PYTHONPATH.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
