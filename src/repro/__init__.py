@@ -44,6 +44,9 @@ Subpackages
 ``repro.analysis``
     Invariant sanitizers (``REPRO_CHECK`` / ``--check``), comm-trace
     replay, and the repo-convention AST lint (docs/analysis.md).
+``repro.serve``
+    Batching solve service: admission control, micro-batch coalescing on
+    the hierarchy fingerprint, service metrics (docs/serving.md).
 ``repro.perf``
     Instrumentation + Haswell/K40c/InfiniBand models (DESIGN.md §2).
 ``repro.problems``
@@ -54,7 +57,9 @@ Subpackages
 
 from .amg import AMGSolver, SolveResult, build_hierarchy, vcycle
 from .analysis import InvariantViolation, get_check_level, set_check_level
-from .api import SolverHandle, setup, solve, solve_many
+from .api import SolverHandle, fingerprint, setup, solve, solve_many
+from .results import ServiceResult
+from .serve import ServiceConfig, SolveService
 from .faults import FaultEvent, FaultPlan, RetryPolicy
 from .config import (
     AMGConfig,
@@ -74,6 +79,10 @@ __all__ = [
     "AMGSolver",
     "SolveResult",
     "SolverHandle",
+    "ServiceConfig",
+    "ServiceResult",
+    "SolveService",
+    "fingerprint",
     "setup",
     "solve",
     "solve_many",

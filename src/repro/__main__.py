@@ -15,6 +15,12 @@ Commands
     Print the hierarchy a configuration produces for a problem.
 ``suite``
     List the Table 2 surrogate suite.
+``serve-bench``
+    Replay a seeded workload (a named preset or a WorkloadSpec JSON file)
+    through the batching solve service (see docs/serving.md) and print the
+    combined service/kernel metrics report.  ``--json PATH`` additionally
+    writes the deterministic metrics snapshot (bit-identical across runs
+    of the same workload and seed; CI diffs it).
 
 Examples::
 
@@ -25,6 +31,8 @@ Examples::
     python -m repro solve --problem reservoir --size 24 --baseline
     python -m repro info --problem lap2d --size 64
     python -m repro suite
+    python -m repro serve-bench --workload tiny --seed 0
+    python -m repro serve-bench --workload W.json --k 8 --json metrics.json
 """
 
 from __future__ import annotations
@@ -215,6 +223,44 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from pathlib import Path
+
+    from .perf.report import format_service_report
+    from .serve import ServiceConfig, SolveService, build, named_workload
+    from .serve.workload import WorkloadSpec
+
+    if Path(args.workload).suffix == ".json":
+        spec = WorkloadSpec.from_json_file(args.workload)
+        if args.seed is not None:
+            from dataclasses import asdict
+
+            spec = WorkloadSpec.from_dict({**asdict(spec), "seed": args.seed})
+    else:
+        spec = named_workload(args.workload, seed=args.seed)
+
+    service = SolveService(ServiceConfig(
+        max_queue=args.queue, max_batch=args.k, max_wait=args.max_wait,
+        threads=args.threads))
+    results = service.run_workload(build(spec))
+    snapshot = service.metrics_snapshot()
+
+    print(f"workload      : {args.workload}  (seed={spec.seed}, "
+          f"{spec.requests} requests, rate="
+          f"{spec.rate if spec.rate is not None else 'closed'})")
+    print(f"service       : k={args.k}, queue={args.queue}, "
+          f"max_wait={args.max_wait:g}s")
+    print(format_service_report(snapshot))
+    if args.json:
+        Path(args.json).write_text(service.metrics_json() + "\n")
+        print(f"metrics JSON  : wrote {args.json}")
+    ok = all(r is not None and r.status in ("completed", "rejected",
+                                            "timeout", "cancelled")
+             for r in results)
+    completed = [r for r in results if r.status == "completed"]
+    return 0 if ok and all(r.converged or r.degraded for r in completed) else 1
+
+
 def cmd_suite(_args) -> int:
     print(f"{'name':<16} {'paper rows':>11} {'nnz/row':>8} {'str_thr':>8}")
     for m in TABLE2_SUITE:
@@ -271,6 +317,27 @@ def main(argv: list[str] | None = None) -> int:
 
     p_suite = sub.add_parser("suite", help="list the Table 2 suite")
     p_suite.set_defaults(func=cmd_suite)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="replay a seeded workload through the batching solve service")
+    p_serve.add_argument("--workload", default="tiny",
+                         help="named preset (tiny/small/mixed) or a "
+                              "WorkloadSpec JSON file path")
+    p_serve.add_argument("--seed", type=int, default=None,
+                         help="override the workload seed")
+    p_serve.add_argument("--k", type=int, default=8, metavar="K",
+                         help="micro-batch cap (default 8)")
+    p_serve.add_argument("--queue", type=int, default=64,
+                         help="admission queue capacity (default 64)")
+    p_serve.add_argument("--max-wait", type=float, default=1e-3,
+                         help="micro-batch deadline in modeled seconds "
+                              "(default 1e-3)")
+    p_serve.add_argument("--threads", type=int, default=14)
+    p_serve.add_argument("--json", default=None, metavar="PATH",
+                         help="write the deterministic metrics snapshot "
+                              "JSON here")
+    p_serve.set_defaults(func=cmd_serve_bench)
 
     args = parser.parse_args(argv)
     if getattr(args, "check", None):

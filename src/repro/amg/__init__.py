@@ -5,7 +5,7 @@ Setup: strength -> PMIS / aggressive PMIS -> {direct, extended+i, multipass,
 Solve: V-cycles with C-F hybrid Gauss–Seidel smoothing.
 """
 
-from .cache import DEFAULT_CACHE, HierarchyCache, matrix_fingerprint
+from .cache import DEFAULT_CACHE, HierarchyCache, fingerprint, matrix_fingerprint
 from .coarse import CoarseSolver
 from .coarsen_rs import rs_coarsening
 from .interp_classical import classical_interpolation
@@ -40,6 +40,7 @@ from .truncation import truncate_interpolation
 __all__ = [
     "DEFAULT_CACHE",
     "HierarchyCache",
+    "fingerprint",
     "matrix_fingerprint",
     "CoarseSolver",
     "rs_coarsening",

@@ -1,4 +1,4 @@
-"""Hierarchy-reuse cache.
+"""Hierarchy-reuse cache and the (matrix, config) fingerprint.
 
 AMG setup is the expensive half of the algorithm (Fig. 4: strength,
 coarsening, interpolation, and the Galerkin product dominate until the
@@ -6,21 +6,30 @@ cycle count grows).  Workloads that solve against the *same* matrix many
 times — time stepping with a frozen operator, multiple right-hand sides
 arriving one at a time, parameter sweeps over ``b`` — should pay for setup
 once.  :class:`HierarchyCache` memoizes built hierarchies keyed by
+:func:`fingerprint`, which combines
 
-* a **fingerprint** of the matrix (shape plus a SHA-256 over the raw
+* a **matrix fingerprint** (shape plus a SHA-256 over the raw
   ``indptr`` / ``indices`` / ``data`` buffers, so any structural or
   numerical change misses), and
-* the :class:`~repro.config.AMGConfig` (a frozen, hashable dataclass —
-  different flag sets build different hierarchies).
+* a digest of the :class:`~repro.config.AMGConfig` (a frozen dataclass
+  with a deterministic ``repr`` — different flag sets build different
+  hierarchies).
+
+The same fingerprint is the *coalescing key* of the solve service
+(:mod:`repro.serve`): requests whose operators share a fingerprint can be
+batched through one hierarchy.  :func:`repro.api.fingerprint` is the
+public spelling (it additionally coerces scipy/dense inputs).
 
 Entries are evicted LRU: the cache is bounded by ``max_entries`` (the
 legacy ``maxsize`` spelling is accepted), evictions are counted in
 ``.evictions`` and logged on the ``repro.amg.cache`` logger so long-running
-sweeps can see hierarchies being dropped.  Fingerprinting is deliberately
-**not** counted
-against the performance model: it is an artifact of the simulation (a real
-code would compare pointers or version counters), and keeping it silent
-means a cache hit shows *zero* setup-phase kernel records — which is
+sweeps can see hierarchies being dropped.  All bookkeeping (entry map,
+hit/miss/eviction counters) is guarded by one lock, so a cache shared by
+the service worker and submitting threads stays consistent and the
+eviction counter stays exact.  Fingerprinting is deliberately **not**
+counted against the performance model: it is an artifact of the simulation
+(a real code would compare pointers or version counters), and keeping it
+silent means a cache hit shows *zero* setup-phase kernel records — which is
 exactly how the tests assert reuse.
 """
 
@@ -28,6 +37,8 @@ from __future__ import annotations
 
 import hashlib
 import logging
+import threading
+
 from collections import OrderedDict
 
 logger = logging.getLogger("repro.amg.cache")
@@ -36,7 +47,8 @@ from ..config import AMGConfig
 from ..sparse.csr import CSRMatrix
 from .setup import Hierarchy, build_hierarchy
 
-__all__ = ["matrix_fingerprint", "HierarchyCache", "DEFAULT_CACHE"]
+__all__ = ["matrix_fingerprint", "fingerprint", "HierarchyCache",
+           "DEFAULT_CACHE"]
 
 
 def matrix_fingerprint(A: CSRMatrix) -> str:
@@ -49,12 +61,37 @@ def matrix_fingerprint(A: CSRMatrix) -> str:
     return h.hexdigest()
 
 
+def fingerprint(A: CSRMatrix, config: AMGConfig | None = None) -> str:
+    """Stable identity of a (matrix, config) pair.
+
+    This is the *one* keying function in the library: the hierarchy cache
+    keys entries with it and the solve service coalesces requests on it.
+    With ``config=None`` it degenerates to the matrix fingerprint alone.
+    ``AMGConfig`` is a frozen dataclass whose ``repr`` lists every field
+    (including the optimization flags), so the digest changes whenever any
+    hierarchy-shaping parameter does.
+    """
+    mfp = matrix_fingerprint(A)
+    if config is None:
+        return mfp
+    cfg = hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+    return f"{mfp}:{cfg}"
+
+
 class HierarchyCache:
     """Bounded LRU cache of built AMG hierarchies, keyed by (matrix, config).
 
     ``max_entries`` bounds the number of retained hierarchies (``maxsize``
     is the legacy spelling of the same knob).  Evictions bump
     ``.evictions`` and emit a log record on ``repro.amg.cache``.
+
+    The cache is safe for concurrent use: a single internal lock guards the
+    entry map and every counter, so ``get``/``put``/``get_or_build`` may be
+    called from multiple threads (the solve service shares one cache
+    between its worker and submitters).  ``get_or_build`` builds *outside*
+    the lock — two threads missing on the same key may both build, but the
+    second ``put`` just replaces the first entry without distorting the
+    eviction count.
     """
 
     def __init__(self, max_entries: int | None = None, *,
@@ -66,7 +103,8 @@ class HierarchyCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: OrderedDict[tuple[str, AMGConfig], Hierarchy] = OrderedDict()
+        self._entries: OrderedDict[str, Hierarchy] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -77,45 +115,62 @@ class HierarchyCache:
         return self.max_entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
-    def key(self, A: CSRMatrix, config: AMGConfig) -> tuple[str, AMGConfig]:
-        return (matrix_fingerprint(A), config)
+    def key(self, A: CSRMatrix, config: AMGConfig) -> str:
+        """Cache key for (A, config) — the shared :func:`fingerprint`."""
+        return fingerprint(A, config)
+
+    def stats(self) -> dict[str, int]:
+        """Consistent snapshot of the counters (one lock acquisition)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def get(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy | None:
         """Return the cached hierarchy for (A, config), or None."""
         key = self.key(A, config)
-        h = self._entries.get(key)
-        if h is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return h
+        with self._lock:
+            h = self._entries.get(key)
+            if h is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return h
 
     def put(self, A: CSRMatrix, config: AMGConfig, hierarchy: Hierarchy) -> None:
         key = self.key(A, config)
-        self._entries[key] = hierarchy
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self.evictions += 1
-            logger.info("evicted hierarchy %s (cache bound %d reached)",
-                        evicted_key[0][:12], self.max_entries)
+        with self._lock:
+            self._entries[key] = hierarchy
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                logger.info("evicted hierarchy %s (cache bound %d reached)",
+                            evicted_key[:12], self.max_entries)
 
     def get_or_build(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy:
         """Cached hierarchy for (A, config); builds (and counts) on a miss."""
         h = self.get(A, config)
         if h is None:
+            # Built outside the lock: hierarchy construction is the long
+            # pole and must not serialize unrelated gets.
             h = build_hierarchy(A, config)
             self.put(A, config, h)
         return h
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
 
 #: Process-wide cache used by :mod:`repro.api` unless a private one is given.

@@ -26,6 +26,7 @@ from importlib import util as _importlib_util
 import numpy as np
 
 from .amg.cache import DEFAULT_CACHE, HierarchyCache
+from .amg.cache import fingerprint as _fingerprint_csr
 from .amg.solver import AMGSolver
 from .analysis import check_csr, check_scope, checking
 from .config import AMGConfig, single_node_config
@@ -35,7 +36,8 @@ from .krylov.gmres import fgmres, fgmres_multi
 from .results import SolveResult
 from .sparse.csr import CSRMatrix
 
-__all__ = ["as_csr", "setup", "solve", "solve_many", "SolverHandle"]
+__all__ = ["as_csr", "fingerprint", "setup", "solve", "solve_many",
+           "SolverHandle"]
 
 _METHODS = ("amg", "fgmres", "cg")
 
@@ -78,6 +80,18 @@ def _as_csr_error(A) -> str:
     if not _have_scipy():
         msg += " (note: scipy is not installed, so scipy.sparse inputs are unavailable)"
     return msg
+
+
+def fingerprint(A, config: AMGConfig | None = None) -> str:
+    """Stable identity of a (matrix, config) pair.
+
+    This is the library's one keying function: the hierarchy cache keys
+    entries with it and the solve service (:mod:`repro.serve`) coalesces
+    requests sharing it into micro-batches.  *A* may be anything
+    :func:`as_csr` accepts; with ``config=None`` the fingerprint covers the
+    matrix alone.
+    """
+    return _fingerprint_csr(as_csr(A), config)
 
 
 def _as_rhs(b, n: int) -> np.ndarray:

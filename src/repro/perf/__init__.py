@@ -24,6 +24,7 @@ from .network import FDRInfinibandModel, MessageEvent, NetworkModel
 from .report import (
     format_breakdown,
     format_fault_summary,
+    format_service_report,
     format_table,
     geomean,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "MessageEvent",
     "format_breakdown",
     "format_fault_summary",
+    "format_service_report",
     "format_table",
     "geomean",
     "comm_to_trace",

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping, Sequence
 
 __all__ = ["format_table", "format_breakdown", "format_fault_summary",
-           "geomean"]
+           "format_service_report", "geomean"]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -91,3 +91,59 @@ def format_fault_summary(events: Iterable[object], *,
         return (f"{title}: " if title else "") + "no fault events recorded"
     rows = [(k, counts[k]) for k in sorted(counts)]
     return format_table(["event", "count"], rows, title=title)
+
+
+def format_service_report(snapshot: Mapping) -> str:
+    """Human rendering of a :meth:`ServiceMetrics.snapshot
+    <repro.serve.metrics.ServiceMetrics.snapshot>` — service time and
+    modeled kernel time side by side in one report.
+    """
+    svc = snapshot.get("service", {})
+    kern = snapshot.get("kernel", {})
+    counters = svc.get("counters", {})
+    cache = svc.get("hierarchy_cache", {})
+    depth = svc.get("queue_depth", {})
+    lines = [format_table(
+        ["counter", "value"],
+        [(k, counters[k]) for k in sorted(counters)],
+        title="service counters")]
+    lines.append(format_table(
+        ["latency", "count", "mean (ms)", "max (ms)"],
+        [
+            (name, h.get("count", 0),
+             round(h.get("mean", 0.0) * 1e3, 4),
+             round(h.get("max", 0.0) * 1e3, 4))
+            for name, h in (
+                ("queue wait", svc.get("wait_seconds", {})),
+                ("batch solve", svc.get("solve_seconds", {})),
+                ("end-to-end", svc.get("latency_seconds", {})),
+            )
+        ],
+        title="modeled latency"))
+    batch_sizes = svc.get("batch_sizes", {})
+    if batch_sizes:
+        lines.append(format_table(
+            ["batch size", "batches"],
+            [(k, batch_sizes[k])
+             for k in sorted(batch_sizes, key=int)],
+            title="micro-batch distribution"))
+    lines.append(
+        f"queue depth   : max {depth.get('max', 0)}, "
+        f"mean {depth.get('mean', 0.0):.2f} "
+        f"over {depth.get('samples', 0)} samples")
+    lines.append(
+        f"hierarchy $   : {cache.get('hits', 0)} hits / "
+        f"{cache.get('misses', 0)} misses "
+        f"(hit rate {cache.get('hit_rate', 0.0):.2f}), "
+        f"{cache.get('evictions', 0)} evictions")
+    lines.append(
+        f"virtual time  : {svc.get('virtual_seconds', 0.0) * 1e3:.3f} ms, "
+        f"throughput {svc.get('throughput_rps', 0.0):.1f} req/s (modeled)")
+    phases = kern.get("phase_seconds")
+    if phases:
+        rows = [(k, round(phases[k] * 1e3, 4)) for k in sorted(phases)]
+        rows.append(("total", round(sum(phases.values()) * 1e3, 4)))
+        lines.append(format_table(
+            ["kernel phase", "modeled ms"], rows,
+            title="modeled kernel time (same workload, same clock)"))
+    return "\n".join(lines)

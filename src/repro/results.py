@@ -7,7 +7,10 @@ one type — :class:`SolveResult` — with thin subclasses kept so
 
 * :class:`SolveResult` — node-level solves (``x`` is a numpy array);
 * :class:`KrylovResult` — alias for Krylov drivers (same fields);
-* :class:`DistSolveResult` — distributed solves (``x`` is a ``ParVector``).
+* :class:`DistSolveResult` — distributed solves (``x`` is a ``ParVector``);
+* :class:`ServiceResult` — a request's outcome from the batching solve
+  service (:mod:`repro.serve`): the solve fields plus service-side status,
+  modeled wait/solve latencies, and the micro-batch it rode in.
 
 Fields: ``x``, ``iterations``, ``residuals``, ``converged``, plus the
 derived ``final_relres`` property.
@@ -20,7 +23,8 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["SolveResult", "KrylovResult", "DistSolveResult", "resolve_maxiter"]
+__all__ = ["SolveResult", "KrylovResult", "DistSolveResult", "ServiceResult",
+           "SERVICE_STATUSES", "resolve_maxiter"]
 
 
 def resolve_maxiter(maxiter: int | None, max_iter: int | None, default: int) -> int:
@@ -92,3 +96,58 @@ class KrylovResult(SolveResult):
 @dataclass
 class DistSolveResult(SolveResult):
     """Result of a distributed solve; ``x`` is a ``repro.dist.ParVector``."""
+
+
+#: Terminal states a service request can end in.  Every submitted request
+#: resolves to exactly one of these — admission-control pushback and
+#: timeouts are structured results, never unhandled exceptions.
+SERVICE_STATUSES = ("completed", "rejected", "timeout", "cancelled")
+
+
+@dataclass
+class ServiceResult(SolveResult):
+    """Outcome of one request to the batching solve service.
+
+    Extends :class:`SolveResult` (so ``degraded``/``fault_events`` from the
+    underlying solve propagate per request) with service-side fields:
+
+    Attributes
+    ----------
+    status:
+        One of :data:`SERVICE_STATUSES`.  Only ``"completed"`` carries a
+        solve; the other states have ``x is None`` and ``degraded=True``
+        with the cause in ``degraded_reason``.
+    request_id:
+        The ticket id this result answers.
+    priority:
+        The request's admission priority class.
+    wait_seconds:
+        Modeled time the request sat queued (arrival to batch dispatch).
+    solve_seconds:
+        Modeled compute time of the micro-batch that served the request
+        (shared by every batch member — the worker is occupied for the
+        whole batch).
+    batch_size:
+        Number of requests coalesced into that micro-batch (0 when the
+        request never reached a batch).
+    cache_hit:
+        Whether the batch reused a cached hierarchy (setup phase skipped).
+    """
+
+    status: str = "completed"
+    request_id: int = -1
+    priority: str = "batch"
+    wait_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    batch_size: int = 0
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Completed and converged (the service-level success predicate)."""
+        return self.status == "completed" and self.converged
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end modeled latency: queue wait plus batch solve time."""
+        return self.wait_seconds + self.solve_seconds

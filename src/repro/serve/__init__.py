@@ -1,0 +1,49 @@
+"""Batching solve service: admission control, coalescing, service metrics.
+
+The serving layer over :mod:`repro.api` (see ``docs/serving.md``):
+
+* :class:`SolveService` — ``submit(A, b) -> Ticket`` / ``result(ticket)``,
+  with a worker loop that coalesces same-fingerprint requests into blocked
+  multi-RHS micro-batches;
+* :class:`ServiceConfig` — queue bound, batch cap ``k``, batch deadline,
+  machine model;
+* :class:`ServiceMetrics` — counters, latency histograms, batch-size
+  distribution, hierarchy-cache hit rate, merged kernel perf, JSON export;
+* :class:`WorkloadSpec` / :func:`build` / :func:`named_workload` — seeded
+  deterministic request streams over :mod:`repro.problems`
+  (``python -m repro serve-bench --workload tiny``).
+"""
+
+from ..results import SERVICE_STATUSES, ServiceResult
+from .metrics import Histogram, ServiceMetrics
+from .queue import AdmissionQueue
+from .request import PRIORITIES, Request, Ticket, priority_rank
+from .service import ServiceConfig, SolveService
+from .workload import (
+    NAMED_WORKLOADS,
+    Workload,
+    WorkloadItem,
+    WorkloadSpec,
+    build,
+    named_workload,
+)
+
+__all__ = [
+    "SERVICE_STATUSES",
+    "ServiceResult",
+    "Histogram",
+    "ServiceMetrics",
+    "AdmissionQueue",
+    "PRIORITIES",
+    "Request",
+    "Ticket",
+    "priority_rank",
+    "ServiceConfig",
+    "SolveService",
+    "NAMED_WORKLOADS",
+    "Workload",
+    "WorkloadItem",
+    "WorkloadSpec",
+    "build",
+    "named_workload",
+]

@@ -1,0 +1,185 @@
+"""Service metrics: counters, latency histograms, and the JSON snapshot.
+
+Everything the service measures is in *modeled* (virtual) seconds — the
+same clock the :mod:`repro.perf` machine models produce — so a metrics
+snapshot is bit-identical across runs of the same seeded workload.  There
+is deliberately no wall-clock anywhere in this module.
+
+The snapshot merges two layers into one report:
+
+* **service time** — queue wait and batch latency histograms, batch-size
+  distribution, queue depth, admission counters, hierarchy-cache hit rate;
+* **kernel time** — the :class:`~repro.perf.counters.PerfLog` of every
+  kernel the worker's solves charged, converted to modeled seconds per
+  Fig. 5 phase by a :class:`~repro.perf.machine.MachineModel`.
+
+``snapshot()`` returns plain dict/list/str/float JSON material;
+``to_json()`` serializes it with sorted keys so two identical runs produce
+byte-identical files (the CI smoke step diffs exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..perf.counters import PerfLog
+from ..perf.machine import MachineModel
+
+__all__ = ["Histogram", "ServiceMetrics"]
+
+#: Fixed histogram bucket edges (modeled seconds), geometric decades from
+#: 1 µs to 10 s.  Fixed edges keep snapshots comparable across runs and
+#: workloads; out-of-range observations land in the open last bucket.
+DEFAULT_EDGES = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with exact count/sum/min/max."""
+
+    def __init__(self, edges: tuple[float, ...] = DEFAULT_EDGES) -> None:
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        i = 0
+        while i < len(self.edges) and value > self.edges[i]:
+            i += 1
+        self.counts[i] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        buckets = {}
+        for i, edge in enumerate(self.edges):
+            buckets[f"le_{edge:g}"] = self.counts[i]
+        buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Aggregated service health: counters, histograms, kernel perf."""
+
+    def __init__(self) -> None:
+        # Admission outcomes.
+        self.submitted = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.timed_out = 0
+        self.completed = 0
+        self.degraded = 0
+        # Dispatch.
+        self.batches = 0
+        self.batch_sizes: dict[int, int] = {}
+        # Latency (modeled seconds).
+        self.wait = Histogram()
+        self.solve = Histogram()
+        self.latency = Histogram()
+        # Queue depth, sampled at every submit and dispatch.
+        self.depth_samples = 0
+        self.depth_sum = 0
+        self.depth_max = 0
+        #: Merged kernel records of every batch the worker ran.
+        self.perf = PerfLog()
+
+    # -- recording ---------------------------------------------------------
+    def sample_depth(self, depth: int) -> None:
+        self.depth_samples += 1
+        self.depth_sum += depth
+        self.depth_max = max(self.depth_max, depth)
+
+    def record_batch(self, size: int, solve_seconds: float) -> None:
+        self.batches += 1
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+        self.solve.observe(solve_seconds)
+
+    def record_completion(self, wait_seconds: float, latency_seconds: float,
+                          degraded: bool) -> None:
+        self.completed += 1
+        self.wait.observe(wait_seconds)
+        self.latency.observe(latency_seconds)
+        if degraded:
+            self.degraded += 1
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(
+        self,
+        *,
+        machine: MachineModel | None = None,
+        virtual_seconds: float = 0.0,
+        cache_stats: dict[str, int] | None = None,
+    ) -> dict:
+        """JSON-able snapshot combining service and kernel time.
+
+        ``machine`` converts the merged kernel records into modeled
+        seconds (omitted -> counts only); ``virtual_seconds`` is the
+        service clock at snapshot time; ``cache_stats`` is
+        :meth:`HierarchyCache.stats` of the service's hierarchy cache.
+        """
+        cache_stats = cache_stats or {}
+        lookups = cache_stats.get("hits", 0) + cache_stats.get("misses", 0)
+        snap = {
+            "service": {
+                "virtual_seconds": virtual_seconds,
+                "throughput_rps": (self.completed / virtual_seconds
+                                   if virtual_seconds > 0 else 0.0),
+                "counters": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "rejected": self.rejected,
+                    "cancelled": self.cancelled,
+                    "timed_out": self.timed_out,
+                    "degraded": self.degraded,
+                    "batches": self.batches,
+                },
+                "batch_sizes": {str(k): v for k, v in
+                                sorted(self.batch_sizes.items())},
+                "wait_seconds": self.wait.snapshot(),
+                "solve_seconds": self.solve.snapshot(),
+                "latency_seconds": self.latency.snapshot(),
+                "queue_depth": {
+                    "max": self.depth_max,
+                    "mean": (self.depth_sum / self.depth_samples
+                             if self.depth_samples else 0.0),
+                    "samples": self.depth_samples,
+                },
+                "hierarchy_cache": {
+                    **cache_stats,
+                    "hit_rate": (cache_stats.get("hits", 0) / lookups
+                                 if lookups else 0.0),
+                },
+            },
+            "kernel": {
+                "records": len(self.perf),
+                "flops": self.perf.total("flops"),
+                "bytes": self.perf.total("bytes_total"),
+            },
+        }
+        if machine is not None:
+            phases = machine.phase_times(self.perf)
+            snap["kernel"]["modeled_seconds"] = sum(phases.values())
+            snap["kernel"]["phase_seconds"] = {
+                k: phases[k] for k in sorted(phases)
+            }
+        return snap
+
+    def to_json(self, **snapshot_kwargs) -> str:
+        """Deterministic JSON serialization of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(**snapshot_kwargs), indent=2,
+                          sort_keys=True)

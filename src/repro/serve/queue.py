@@ -1,0 +1,65 @@
+"""Bounded admission queue with backpressure.
+
+The queue is the service's only buffer: ``capacity`` slots, first-come
+storage, no implicit growth.  ``offer`` refuses (returns ``False``) when
+full — the service turns that into a structured ``Rejected`` result, never
+an exception — and ``cancel`` frees the slot immediately, so a cancelled
+request cannot hold capacity against live traffic.
+
+The queue deliberately knows nothing about batching policy (deadlines,
+priorities, coalescing keys live in the service's dispatch loop); it only
+guarantees bounded, thread-safe, insertion-ordered storage.  A single lock
+guards the slot map, matching the :class:`~repro.amg.cache.HierarchyCache`
+locking discipline.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .request import Request
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Bounded, thread-safe store of pending :class:`Request` objects."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._slots: dict[int, Request] = {}
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    def offer(self, req: Request) -> bool:
+        """Admit *req* if a slot is free; ``False`` means backpressure."""
+        with self._lock:
+            if len(self._slots) >= self.capacity:
+                return False
+            self._slots[req.id] = req
+            return True
+
+    def cancel(self, request_id: int) -> Request | None:
+        """Remove a pending request, freeing its slot; ``None`` if absent."""
+        with self._lock:
+            return self._slots.pop(request_id, None)
+
+    def take(self, request_ids: list[int]) -> list[Request]:
+        """Atomically remove and return the given pending requests."""
+        with self._lock:
+            out = []
+            for rid in request_ids:
+                req = self._slots.pop(rid, None)
+                if req is not None:
+                    out.append(req)
+            return out
+
+    def pending(self) -> list[Request]:
+        """Snapshot of queued requests in submission order."""
+        with self._lock:
+            return list(self._slots.values())

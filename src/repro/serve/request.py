@@ -1,0 +1,82 @@
+"""Request records and priority classes for the solve service.
+
+A :class:`Request` is one queued ``A x = b`` solve with everything the
+worker needs to batch and dispatch it: the operator, the right-hand side,
+the solve parameters, the admission priority, the (virtual) arrival time,
+and the precomputed *coalescing key*.  Two requests may share a micro-batch
+iff their keys are equal — the key bundles the (matrix, config)
+:func:`repro.api.fingerprint` with the solve parameters (``method``,
+``tol``, ``maxiter``), because columns of one blocked ``solve_many`` call
+all run under the same stopping rule.
+
+Clients never see a :class:`Request`; :meth:`SolveService.submit
+<repro.serve.service.SolveService.submit>` returns an opaque
+:class:`Ticket` to redeem for a :class:`~repro.results.ServiceResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import AMGConfig
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["PRIORITIES", "priority_rank", "Request", "Ticket"]
+
+#: Admission priority classes, best first.  ``interactive`` requests jump
+#: the queue at dispatch time, ``bulk`` requests yield to everything else;
+#: ties break by arrival time, then submission order.
+PRIORITIES = ("interactive", "batch", "bulk")
+
+_RANK = {name: i for i, name in enumerate(PRIORITIES)}
+
+
+def priority_rank(priority: str) -> int:
+    """Dispatch rank of a priority class (lower dispatches first)."""
+    try:
+        return _RANK[priority]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {priority!r}; choose from {PRIORITIES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Opaque handle returned by ``submit``; redeem with ``result()``."""
+
+    id: int
+
+
+@dataclass
+class Request:
+    """One admitted solve request (internal to the service)."""
+
+    id: int
+    A: CSRMatrix
+    b: np.ndarray
+    config: AMGConfig
+    method: str
+    tol: float
+    maxiter: int | None
+    priority: str
+    arrival: float
+    timeout: float | None
+    #: Coalescing key: (fingerprint(A, config), method, tol, maxiter).
+    key: tuple = field(default=())
+
+    def dispatch_order(self) -> tuple[int, float, int]:
+        """Sort key for head-of-queue selection (priority, arrival, id)."""
+        return (priority_rank(self.priority), self.arrival, self.id)
+
+    def batch_order(self) -> tuple[float, int]:
+        """Sort key for filling a micro-batch (arrival, id)."""
+        return (self.arrival, self.id)
+
+    def expired(self, now: float) -> bool:
+        """Whether the request's deadline passed without being dispatched."""
+        return (self.timeout is not None
+                and self.arrival <= now
+                and self.arrival + self.timeout <= now)

@@ -1,0 +1,342 @@
+"""The in-process batching solve service.
+
+:class:`SolveService` turns the one-shot ``repro.solve`` facade into a
+request/response service with ``submit(A, b, ...) -> Ticket`` /
+``result(ticket) -> ServiceResult`` semantics.  The worker loop coalesces
+queued requests that share a hierarchy fingerprint
+(:func:`repro.api.fingerprint` of the operator and config, plus the solve
+parameters) into blocked :meth:`~repro.api.SolverHandle.solve_many`
+micro-batches, so the level matrices stream once per cycle for the whole
+batch — the PR-1 multi-RHS amortization, now exploited across independent
+requests (Richtmann et al.'s multiple-right-hand-side setup argument at
+the serving layer).
+
+Time is **virtual**: the clock advances by the modeled seconds of each
+dispatched batch (machine-model time of the kernels it charged), and
+arrivals come from the workload's seeded arrival process.  Nothing reads a
+wall clock, so a seeded workload produces bit-identical results *and*
+metrics on every run.
+
+Scheduling, in one paragraph: the worker picks the head request by
+``(priority class, arrival, id)``, gathers up to ``max_batch`` queued
+requests with the same coalescing key, and waits at most ``max_wait``
+virtual seconds past the head's arrival for later same-key arrivals to
+join (the micro-batch deadline).  Because the whole arrival schedule is
+queued up front, the worker dispatches as soon as the batch provably
+cannot grow — a lone request does not idle out its full deadline, but a
+same-key request arriving within the window *is* waited for.  Requests
+whose per-request ``timeout`` elapses before dispatch resolve to a
+structured ``timeout`` result; a full admission queue resolves a submit to
+a structured ``rejected`` result (backpressure is data, never an
+exception); ``cancel`` frees the queue slot immediately.  Degradation
+verdicts and fault events from the underlying solvers propagate to each
+request's :class:`~repro.results.ServiceResult` unchanged — one broken
+column never poisons its batch siblings (the blocked solvers freeze it
+per column, PR 2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..amg.cache import HierarchyCache
+from ..api import _as_rhs, _validate_operator, as_csr, fingerprint, setup
+from ..config import AMGConfig, single_node_config
+from ..perf.counters import collect
+from ..perf.machine import HaswellModel, MachineModel
+from ..results import ServiceResult, SolveResult
+from .metrics import ServiceMetrics
+from .queue import AdmissionQueue
+from .request import Request, Ticket, priority_rank
+from .workload import Workload
+
+__all__ = ["ServiceConfig", "SolveService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service knobs: admission, coalescing, and the machine model."""
+
+    #: Admission-queue capacity; submits beyond it are rejected.
+    max_queue: int = 64
+    #: Micro-batch cap ``k``: at most this many same-key requests per
+    #: blocked solve.
+    max_batch: int = 8
+    #: Micro-batch deadline, virtual seconds: how long the head request may
+    #: wait for same-key arrivals before the batch dispatches anyway.
+    max_wait: float = 1e-3
+    #: Bound on retained hierarchies in the service's cache.
+    cache_entries: int = 8
+    #: Modeled thread count of the worker's machine model.
+    threads: int = 14
+    default_method: str = "amg"
+    default_tol: float = 1e-7
+    default_maxiter: int | None = None
+    default_priority: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        priority_rank(self.default_priority)
+
+
+class SolveService:
+    """Admission-controlled, micro-batching front end over ``repro.api``.
+
+    Usage::
+
+        svc = SolveService(ServiceConfig(max_batch=8))
+        t1 = svc.submit(A, b1)
+        t2 = svc.submit(A, b2)          # same fingerprint: coalesces
+        r1 = svc.result(t1)             # runs the worker loop as needed
+        print(svc.metrics_json())
+
+    ``submit`` may be called from multiple threads (queue, cache, and
+    result map are lock-guarded); the worker loop itself is single-logical
+    -worker by design — batching is a scheduling decision, and one
+    deterministic dispatcher is what makes runs reproducible.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 amg_config: AMGConfig | None = None,
+                 machine: MachineModel | None = None,
+                 cache: HierarchyCache | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.amg_config = amg_config or single_node_config(
+            nthreads=self.config.threads)
+        self.machine = machine or HaswellModel(threads=self.config.threads)
+        self.cache = cache if cache is not None else HierarchyCache(
+            self.config.cache_entries)
+        self.metrics = ServiceMetrics()
+        self.now = 0.0
+        self._queue = AdmissionQueue(self.config.max_queue)
+        self._results: dict[int, ServiceResult] = {}
+        self._known: set[int] = set()
+        self._next_id = 0
+        self._lock = threading.RLock()
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        A,
+        b,
+        *,
+        config: AMGConfig | None = None,
+        method: str | None = None,
+        tol: float | None = None,
+        maxiter: int | None = None,
+        priority: str | None = None,
+        timeout: float | None = None,
+        arrival: float | None = None,
+    ) -> Ticket:
+        """Enqueue one solve; always returns a :class:`Ticket`.
+
+        Admission failures — full queue, malformed operator or right-hand
+        side, unknown priority — resolve the ticket immediately to a
+        structured ``rejected`` :class:`~repro.results.ServiceResult`;
+        ``submit`` never raises for per-request problems.  ``arrival`` is
+        the request's virtual arrival time (defaults to the service clock
+        ``now``; workload replay passes the generated arrival process).
+        """
+        cfg = config or self.amg_config
+        method = method or self.config.default_method
+        tol = self.config.default_tol if tol is None else tol
+        maxiter = self.config.default_maxiter if maxiter is None else maxiter
+        priority = priority or self.config.default_priority
+        with self._lock:
+            rid = self._next_id
+            self._next_id += 1
+            self._known.add(rid)
+            self.metrics.submitted += 1
+            ticket = Ticket(rid)
+            try:
+                priority_rank(priority)
+                A = _validate_operator(as_csr(A))
+                b = _as_rhs(b, A.nrows)
+            except (TypeError, ValueError) as exc:
+                self._reject(ticket, priority="batch",
+                             reason=f"invalid request: {exc}")
+                return ticket
+            req = Request(
+                id=rid, A=A, b=b, config=cfg, method=method, tol=tol,
+                maxiter=maxiter, priority=priority,
+                arrival=self.now if arrival is None else float(arrival),
+                timeout=timeout,
+                key=(fingerprint(A, cfg), method, tol, maxiter),
+            )
+            if not self._queue.offer(req):
+                self._reject(ticket, priority=priority,
+                             reason=f"queue full "
+                                    f"(capacity {self.config.max_queue})")
+                return ticket
+            self.metrics.sample_depth(len(self._queue))
+        return ticket
+
+    def _reject(self, ticket: Ticket, *, priority: str, reason: str) -> None:
+        self.metrics.rejected += 1
+        self._results[ticket.id] = ServiceResult(
+            x=None, iterations=0, residuals=[], converged=False,
+            degraded=True, degraded_reason=f"rejected: {reason}",
+            status="rejected", request_id=ticket.id, priority=priority)
+
+    def cancel(self, ticket: Ticket) -> bool:
+        """Withdraw a pending request, freeing its queue slot.
+
+        Returns ``True`` if the request was still queued (it resolves to a
+        ``cancelled`` result); ``False`` if it already resolved or was
+        never known.
+        """
+        with self._lock:
+            req = self._queue.cancel(ticket.id)
+            if req is None:
+                return False
+            self.metrics.cancelled += 1
+            self._results[ticket.id] = ServiceResult(
+                x=None, iterations=0, residuals=[], converged=False,
+                degraded=True, degraded_reason="cancelled by client",
+                status="cancelled", request_id=ticket.id,
+                priority=req.priority)
+            return True
+
+    # -- results -----------------------------------------------------------
+    def result(self, ticket: Ticket, *, wait: bool = True) -> ServiceResult | None:
+        """The request's :class:`~repro.results.ServiceResult`.
+
+        With ``wait=True`` (default) the caller drives the worker loop
+        until the ticket resolves; ``wait=False`` returns ``None`` while
+        the request is still pending.  Unknown tickets raise ``KeyError``
+        (that is a caller bug, not a service condition).
+        """
+        if ticket.id not in self._known:
+            raise KeyError(f"unknown ticket {ticket.id}")
+        while ticket.id not in self._results:
+            if not wait:
+                return None
+            if not self.step():
+                raise RuntimeError(
+                    f"ticket {ticket.id} is pending but the queue is empty")
+        return self._results[ticket.id]
+
+    def run(self) -> None:
+        """Drive the worker loop until the admission queue drains."""
+        while self.step():
+            pass
+
+    # -- the worker loop ---------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch one micro-batch (or expire timeouts); False when idle."""
+        with self._lock:
+            pending = self._queue.pending()
+            if not pending:
+                return False
+            # Idle until the first arrival if the queue holds only
+            # future-dated requests.
+            now = max(self.now, min(r.arrival for r in pending))
+            if self._expire([r for r in pending if r.expired(now)], now):
+                self.now = now
+                return True
+            pending = self._queue.pending()
+            ready = [r for r in pending if r.arrival <= now]
+            head = min(ready, key=Request.dispatch_order)
+            # Same-key requests may join until the head's deadline; if the
+            # worker is already past it, late-but-queued requests still
+            # ride along (the batch starts now regardless).
+            join_deadline = max(now, head.arrival + self.config.max_wait)
+            mates = sorted((r for r in pending
+                            if r.key == head.key
+                            and r.arrival <= join_deadline),
+                           key=Request.batch_order)
+            batch = mates[:self.config.max_batch]
+            start = max(now, max(r.arrival for r in batch))
+            # Members whose own deadline elapses before the batch starts
+            # time out instead of dispatching.
+            stale = [r for r in batch if r.expired(start)]
+            if self._expire(stale, start):
+                self.now = max(self.now, now)
+                return True
+            self.metrics.sample_depth(len(pending))
+            taken = self._queue.take([r.id for r in batch])
+            self.now = start
+            self._dispatch(taken, start)
+            return True
+
+    def _expire(self, stale: list[Request], now: float) -> bool:
+        """Resolve timed-out requests; True if any were expired."""
+        for req in self._queue.take([r.id for r in stale]):
+            self.metrics.timed_out += 1
+            self._results[req.id] = ServiceResult(
+                x=None, iterations=0, residuals=[], converged=False,
+                degraded=True,
+                degraded_reason=(f"timeout: waited "
+                                 f"{now - req.arrival:.3g}s of "
+                                 f"{req.timeout:.3g}s budget"),
+                status="timeout", request_id=req.id, priority=req.priority,
+                wait_seconds=now - req.arrival)
+        return bool(stale)
+
+    def _dispatch(self, batch: list[Request], start: float) -> None:
+        """Run one coalesced micro-batch and resolve its tickets."""
+        head = batch[0]
+        hits_before = self.cache.stats()["hits"]
+        with collect() as log:
+            handle = setup(head.A, head.config, cache=self.cache)
+            if len(batch) == 1:
+                solved = [handle.solve(head.b, method=head.method,
+                                       tol=head.tol, maxiter=head.maxiter)]
+            else:
+                B = np.column_stack([r.b for r in batch])
+                solved = handle.solve_many(B, method=head.method,
+                                           tol=head.tol,
+                                           maxiter=head.maxiter)
+        cache_hit = self.cache.stats()["hits"] > hits_before
+        t_batch = self.machine.log_time(log)
+        self.metrics.perf.merge(log)
+        self.metrics.record_batch(len(batch), t_batch)
+        self.now = start + t_batch
+        for req, res in zip(batch, solved):
+            self._resolve(req, res, start, t_batch, len(batch), cache_hit)
+
+    def _resolve(self, req: Request, res: SolveResult, start: float,
+                 t_batch: float, batch_size: int, cache_hit: bool) -> None:
+        wait = start - req.arrival
+        self.metrics.record_completion(wait, wait + t_batch, res.degraded)
+        self._results[req.id] = ServiceResult(
+            x=res.x, iterations=res.iterations, residuals=res.residuals,
+            converged=res.converged, degraded=res.degraded,
+            degraded_reason=res.degraded_reason,
+            fault_events=list(res.fault_events),
+            status="completed", request_id=req.id, priority=req.priority,
+            wait_seconds=wait, solve_seconds=t_batch,
+            batch_size=batch_size, cache_hit=cache_hit)
+
+    # -- workload replay and reporting -------------------------------------
+    def run_workload(self, workload: Workload) -> list[ServiceResult]:
+        """Submit a generated workload, drain it, return results in order."""
+        spec = workload.spec
+        tickets = [
+            self.submit(
+                workload.matrices[item.matrix_index], item.b,
+                method=spec.method, tol=spec.tol, maxiter=spec.maxiter,
+                priority=item.priority, timeout=spec.timeout,
+                arrival=item.arrival)
+            for item in workload.items
+        ]
+        self.run()
+        return [self.result(t, wait=False) for t in tickets]
+
+    def metrics_snapshot(self) -> dict:
+        """Combined service + kernel report (see ``ServiceMetrics``)."""
+        return self.metrics.snapshot(machine=self.machine,
+                                     virtual_seconds=self.now,
+                                     cache_stats=self.cache.stats())
+
+    def metrics_json(self) -> str:
+        """Deterministic JSON of :meth:`metrics_snapshot`."""
+        return self.metrics.to_json(machine=self.machine,
+                                    virtual_seconds=self.now,
+                                    cache_stats=self.cache.stats())

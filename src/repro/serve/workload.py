@@ -1,0 +1,194 @@
+"""Seeded, deterministic workload generator for the solve service.
+
+A :class:`WorkloadSpec` describes a request stream declaratively — arrival
+rate, request count, a weighted mix of matrices from :mod:`repro.problems`,
+a priority mix, optional per-request deadlines — and serializes to/from
+JSON (``python -m repro serve-bench --workload W.json``).  :func:`build`
+materializes it into a :class:`Workload`: concrete matrices, right-hand
+sides, arrival times, and priorities, all drawn from **one** RNG seeded by
+``spec.seed`` in a fixed order, so a given spec always produces the exact
+same traffic.  That determinism is what makes the service's metrics
+snapshot reproducible end to end (the CI smoke step runs the same workload
+twice and diffs the JSON).
+
+Arrivals follow a Poisson process (exponential inter-arrival times at
+``rate`` requests per modeled second); ``rate: null`` means every request
+arrives at t=0 (a closed batch — the coalescing best case).
+
+Named presets (``tiny``, ``small``, ``mixed``) cover the CLI and CI without
+shipping JSON files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..problems import (
+    anisotropic_2d,
+    laplace_2d_5pt,
+    laplace_3d_7pt,
+    laplace_3d_27pt,
+)
+from ..sparse.csr import CSRMatrix
+from .request import PRIORITIES
+
+__all__ = ["WorkloadSpec", "WorkloadItem", "Workload", "build",
+           "named_workload", "NAMED_WORKLOADS"]
+
+#: Matrix generators a spec may reference by name.
+PROBLEM_BUILDERS = {
+    "lap2d": laplace_2d_5pt,
+    "lap3d7": laplace_3d_7pt,
+    "lap3d27": laplace_3d_27pt,
+    "anisotropic": anisotropic_2d,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative, JSON-serializable description of a request stream."""
+
+    seed: int = 0
+    requests: int = 16
+    #: Mean arrival rate, requests per modeled second; ``None`` -> all at 0.
+    rate: float | None = None
+    #: Weighted matrix mix: ``[{"problem": name, "size": n, "weight": w}]``.
+    problems: tuple[dict, ...] = (
+        {"problem": "lap2d", "size": 16, "weight": 1.0},
+    )
+    #: Weighted priority mix over :data:`repro.serve.request.PRIORITIES`.
+    priorities: dict = field(default_factory=lambda: {"batch": 1.0})
+    #: Per-request deadline in modeled seconds (``None`` -> no timeout).
+    timeout: float | None = None
+    method: str = "amg"
+    tol: float = 1e-7
+    maxiter: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive (or null)")
+        if not self.problems:
+            raise ValueError("problems mix must not be empty")
+        for entry in self.problems:
+            name = entry.get("problem")
+            if name not in PROBLEM_BUILDERS:
+                raise ValueError(
+                    f"unknown problem {name!r}; choose from "
+                    f"{sorted(PROBLEM_BUILDERS)}")
+        for prio in self.priorities:
+            if prio not in PRIORITIES:
+                raise ValueError(
+                    f"unknown priority {prio!r}; choose from {PRIORITIES}")
+
+    # -- (de)serialization -------------------------------------------------
+    def to_json(self) -> str:
+        d = asdict(self)
+        d["problems"] = list(d["problems"])
+        return json.dumps(d, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadSpec":
+        d = dict(d)
+        if "problems" in d:
+            d["problems"] = tuple(dict(p) for p in d["problems"])
+        return cls(**d)
+
+    @classmethod
+    def from_json_file(cls, path) -> "WorkloadSpec":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+
+@dataclass
+class WorkloadItem:
+    """One generated request: when it arrives, against what, with what b."""
+
+    arrival: float
+    matrix_index: int
+    b: np.ndarray
+    priority: str
+
+
+@dataclass
+class Workload:
+    """A materialized request stream ready to feed a ``SolveService``."""
+
+    spec: WorkloadSpec
+    #: Distinct operators; items reference them by index so the service
+    #: sees genuinely shared matrices (same object, same fingerprint).
+    matrices: list[CSRMatrix]
+    items: list[WorkloadItem]
+
+
+def build(spec: WorkloadSpec) -> Workload:
+    """Materialize *spec* deterministically (single seeded RNG)."""
+    rng = np.random.default_rng(spec.seed)
+    matrices = [PROBLEM_BUILDERS[p["problem"]](int(p["size"]))
+                for p in spec.problems]
+    weights = np.array([float(p.get("weight", 1.0)) for p in spec.problems])
+    weights = weights / weights.sum()
+    prio_names = sorted(spec.priorities)
+    prio_w = np.array([float(spec.priorities[p]) for p in prio_names])
+    prio_w = prio_w / prio_w.sum()
+
+    items: list[WorkloadItem] = []
+    t = 0.0
+    for _ in range(spec.requests):
+        if spec.rate is not None:
+            t += float(rng.exponential(1.0 / spec.rate))
+        m = int(rng.choice(len(matrices), p=weights))
+        prio = prio_names[int(rng.choice(len(prio_names), p=prio_w))]
+        b = rng.standard_normal(matrices[m].nrows)
+        items.append(WorkloadItem(arrival=t, matrix_index=m, b=b,
+                                  priority=prio))
+    return Workload(spec=spec, matrices=matrices, items=items)
+
+
+#: CLI-addressable presets.  ``tiny`` is the CI smoke workload: small
+#: enough to run in seconds, mixed enough to exercise coalescing across
+#: two fingerprints and both priority classes.
+NAMED_WORKLOADS: dict[str, WorkloadSpec] = {
+    "tiny": WorkloadSpec(
+        seed=0, requests=12, rate=2000.0,
+        problems=(
+            {"problem": "lap2d", "size": 12, "weight": 3.0},
+            {"problem": "lap2d", "size": 14, "weight": 1.0},
+        ),
+        priorities={"interactive": 1.0, "batch": 3.0},
+    ),
+    "small": WorkloadSpec(
+        seed=1, requests=32, rate=1000.0,
+        problems=(
+            {"problem": "lap2d", "size": 24, "weight": 2.0},
+            {"problem": "lap3d7", "size": 8, "weight": 1.0},
+        ),
+        priorities={"batch": 1.0},
+    ),
+    "mixed": WorkloadSpec(
+        seed=2, requests=48, rate=500.0,
+        problems=(
+            {"problem": "lap2d", "size": 24, "weight": 2.0},
+            {"problem": "lap3d27", "size": 8, "weight": 1.0},
+            {"problem": "anisotropic", "size": 20, "weight": 1.0},
+        ),
+        priorities={"interactive": 1.0, "batch": 2.0, "bulk": 1.0},
+    ),
+}
+
+
+def named_workload(name: str, *, seed: int | None = None) -> WorkloadSpec:
+    """A preset spec by name, optionally reseeded."""
+    try:
+        spec = NAMED_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(NAMED_WORKLOADS)} or pass a JSON file path") from None
+    if seed is not None and seed != spec.seed:
+        spec = WorkloadSpec.from_dict({**asdict(spec), "seed": seed})
+    return spec

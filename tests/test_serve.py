@@ -1,0 +1,586 @@
+"""Tests for the batching solve service (repro.serve) and the shared
+fingerprint/cache infrastructure it relies on.
+
+Covers the coalescing edge cases the serving layer promises:
+deadline-fires-with-batch-of-1, no cross-fingerprint batching, cancelled
+requests freeing their queue slots, degraded columns not poisoning batch
+siblings — plus admission backpressure as data (never an exception),
+priorities, timeouts, thread-safety of the hierarchy cache, workload
+determinism, and the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.amg.cache import HierarchyCache, fingerprint, matrix_fingerprint
+from repro.config import single_node_config
+from repro.problems import anisotropic_2d, laplace_2d_5pt
+from repro.results import SERVICE_STATUSES, ServiceResult
+from repro.serve import (
+    AdmissionQueue,
+    Histogram,
+    ServiceConfig,
+    SolveService,
+    Ticket,
+    WorkloadSpec,
+    build,
+    named_workload,
+    priority_rank,
+)
+from repro.serve.request import Request
+from repro.sparse import CSRMatrix
+
+from conftest import random_csr
+
+
+def _request(rid, A, b, *, arrival=0.0, priority="batch", timeout=None,
+             key=("k",)):
+    return Request(id=rid, A=A, b=b, config=single_node_config(),
+                   method="amg", tol=1e-7, maxiter=None, priority=priority,
+                   arrival=arrival, timeout=timeout, key=key)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint helper
+# ---------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_matrix_only_matches_matrix_fingerprint(self, lap2d_small):
+        assert repro.fingerprint(lap2d_small) == matrix_fingerprint(lap2d_small)
+
+    def test_config_changes_fingerprint(self, lap2d_small):
+        cfg_opt = single_node_config()
+        cfg_base = single_node_config(False)
+        f1 = repro.fingerprint(lap2d_small, cfg_opt)
+        assert f1 == repro.fingerprint(lap2d_small, cfg_opt)
+        assert f1 != repro.fingerprint(lap2d_small, cfg_base)
+        assert f1 != repro.fingerprint(lap2d_small)
+
+    def test_accepts_dense_and_scipy(self, lap2d_small):
+        dense = lap2d_small.to_dense()
+        assert repro.fingerprint(dense) == matrix_fingerprint(lap2d_small)
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        S = scipy_sparse.csr_matrix(dense)
+        assert repro.fingerprint(S) == matrix_fingerprint(lap2d_small)
+
+    def test_cache_key_is_the_shared_fingerprint(self, lap2d_small):
+        cfg = single_node_config()
+        cache = HierarchyCache()
+        assert cache.key(lap2d_small, cfg) == fingerprint(lap2d_small, cfg)
+        assert cache.key(lap2d_small, cfg) == repro.fingerprint(
+            lap2d_small, cfg)
+
+
+# ---------------------------------------------------------------------------
+# HierarchyCache under concurrency
+# ---------------------------------------------------------------------------
+
+class TestCacheConcurrency:
+    def test_concurrent_distinct_keys_exact_counters(self):
+        cache = HierarchyCache(max_entries=5)
+        cfg = single_node_config(nthreads=2)
+        nthreads, per_thread = 4, 6
+        mats = [[random_csr(24, 24, seed=100 * t + i, spd=True)
+                 for i in range(per_thread)] for t in range(nthreads)]
+        errors = []
+
+        def worker(t):
+            try:
+                for A in mats[t]:
+                    cache.get_or_build(A, cfg)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(nthreads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        total = nthreads * per_thread
+        stats = cache.stats()
+        # Disjoint keys: every build is a miss, no hits, and the eviction
+        # counter must be exactly inserts - retained whatever the
+        # interleaving was.
+        assert stats["misses"] == total
+        assert stats["hits"] == 0
+        assert stats["entries"] == len(cache) == 5
+        assert stats["evictions"] == total - 5
+
+    def test_concurrent_same_key_is_consistent(self, lap2d_small):
+        cache = HierarchyCache(max_entries=4)
+        cfg = single_node_config(nthreads=2)
+        built = []
+
+        def worker():
+            built.append(cache.get_or_build(lap2d_small, cfg))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(cache) == 1
+        assert cache.evictions == 0
+        # Later gets all serve the single retained hierarchy.
+        h = cache.get(lap2d_small, cfg)
+        assert h is not None and h in built
+
+    def test_stats_snapshot_consistent(self, lap2d_small):
+        cache = HierarchyCache()
+        cfg = single_node_config(nthreads=2)
+        cache.get_or_build(lap2d_small, cfg)
+        cache.get_or_build(lap2d_small, cfg)
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1,
+                                 "evictions": 0}
+
+
+# ---------------------------------------------------------------------------
+# Admission queue
+# ---------------------------------------------------------------------------
+
+class TestAdmissionQueue:
+    def test_bounded_offer(self, lap2d_small):
+        q = AdmissionQueue(2)
+        b = np.ones(lap2d_small.nrows)
+        assert q.offer(_request(0, lap2d_small, b))
+        assert q.offer(_request(1, lap2d_small, b))
+        assert not q.offer(_request(2, lap2d_small, b))
+        assert len(q) == 2
+
+    def test_cancel_frees_slot(self, lap2d_small):
+        q = AdmissionQueue(1)
+        b = np.ones(lap2d_small.nrows)
+        assert q.offer(_request(0, lap2d_small, b))
+        assert q.cancel(0) is not None
+        assert q.cancel(0) is None
+        assert q.offer(_request(1, lap2d_small, b))
+
+    def test_take_is_atomic_and_ordered(self, lap2d_small):
+        q = AdmissionQueue(4)
+        b = np.ones(lap2d_small.nrows)
+        for i in range(3):
+            q.offer(_request(i, lap2d_small, b))
+        taken = q.take([2, 0, 5])
+        assert [r.id for r in taken] == [2, 0]
+        assert [r.id for r in q.pending()] == [1]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+# ---------------------------------------------------------------------------
+# Service basics
+# ---------------------------------------------------------------------------
+
+class TestServiceBasics:
+    def test_submit_result_matches_facade(self, lap2d_small):
+        b = np.random.default_rng(3).standard_normal(lap2d_small.nrows)
+        svc = SolveService()
+        res = svc.result(svc.submit(lap2d_small, b))
+        ref = repro.solve(lap2d_small, b, cache=None)
+        assert res.status == "completed" and res.ok
+        assert res.iterations == ref.iterations
+        np.testing.assert_array_equal(res.x, ref.x)
+        assert res.latency_seconds == res.wait_seconds + res.solve_seconds
+
+    def test_same_key_requests_coalesce(self, lap2d_small):
+        rng = np.random.default_rng(4)
+        svc = SolveService(ServiceConfig(max_batch=8))
+        tickets = [svc.submit(lap2d_small, rng.standard_normal(lap2d_small.nrows))
+                   for _ in range(5)]
+        results = [svc.result(t) for t in tickets]
+        assert all(r.batch_size == 5 for r in results)
+        assert svc.metrics.batches == 1
+        assert svc.metrics.batch_sizes == {5: 1}
+
+    def test_batch_cap_respected(self, lap2d_small):
+        rng = np.random.default_rng(5)
+        svc = SolveService(ServiceConfig(max_batch=3))
+        tickets = [svc.submit(lap2d_small, rng.standard_normal(lap2d_small.nrows))
+                   for _ in range(7)]
+        results = [svc.result(t) for t in tickets]
+        assert svc.metrics.batches == 3
+        assert sorted(svc.metrics.batch_sizes.items()) == [(1, 1), (3, 2)]
+        assert max(r.batch_size for r in results) == 3
+
+    def test_second_batch_hits_hierarchy_cache(self, lap2d_small):
+        rng = np.random.default_rng(6)
+        svc = SolveService(ServiceConfig(max_batch=2))
+        tickets = [svc.submit(lap2d_small, rng.standard_normal(lap2d_small.nrows))
+                   for _ in range(4)]
+        results = [svc.result(t) for t in tickets]
+        assert [r.cache_hit for r in results] == [False, False, True, True]
+        assert svc.cache.stats()["hits"] == 1
+
+    def test_result_wait_false_and_unknown_ticket(self, lap2d_small):
+        svc = SolveService()
+        t = svc.submit(lap2d_small, np.ones(lap2d_small.nrows))
+        assert svc.result(t, wait=False) is None
+        with pytest.raises(KeyError):
+            svc.result(Ticket(999))
+        assert svc.result(t).status == "completed"
+
+    def test_solution_correct_per_operator(self):
+        A1, A2 = laplace_2d_5pt(12), anisotropic_2d(12)
+        rng = np.random.default_rng(7)
+        b1 = rng.standard_normal(A1.nrows)
+        b2 = rng.standard_normal(A2.nrows)
+        svc = SolveService()
+        r1 = svc.result(svc.submit(A1, b1))
+        r2 = svc.result(svc.submit(A2, b2))
+        from repro.sparse.spmv import spmv
+        assert np.linalg.norm(b1 - spmv(A1, r1.x)) <= 1e-6 * np.linalg.norm(b1)
+        assert np.linalg.norm(b2 - spmv(A2, r2.x)) <= 1e-6 * np.linalg.norm(b2)
+
+
+# ---------------------------------------------------------------------------
+# Coalescing edge cases
+# ---------------------------------------------------------------------------
+
+class TestCoalescingEdges:
+    def test_deadline_fires_with_batch_of_one(self, lap2d_small):
+        """A same-key sibling beyond the deadline must NOT be waited for:
+        the head dispatches alone, the sibling forms its own batch."""
+        rng = np.random.default_rng(8)
+        svc = SolveService(ServiceConfig(max_batch=8, max_wait=1e-4))
+        t1 = svc.submit(lap2d_small, rng.standard_normal(lap2d_small.nrows),
+                        arrival=0.0)
+        t2 = svc.submit(lap2d_small, rng.standard_normal(lap2d_small.nrows),
+                        arrival=1.0)  # far past 0.0 + max_wait
+        svc.run()
+        r1, r2 = svc.result(t1), svc.result(t2)
+        assert r1.batch_size == 1 and r2.batch_size == 1
+        assert svc.metrics.batches == 2
+        # The lone head did not idle out its deadline either: it went
+        # straight to the worker.
+        assert r1.wait_seconds == 0.0
+
+    def test_sibling_within_deadline_is_waited_for(self, lap2d_small):
+        rng = np.random.default_rng(9)
+        svc = SolveService(ServiceConfig(max_batch=8, max_wait=1e-2))
+        t1 = svc.submit(lap2d_small, rng.standard_normal(lap2d_small.nrows),
+                        arrival=0.0)
+        t2 = svc.submit(lap2d_small, rng.standard_normal(lap2d_small.nrows),
+                        arrival=5e-3)  # inside the window
+        svc.run()
+        r1, r2 = svc.result(t1), svc.result(t2)
+        assert r1.batch_size == 2 and r2.batch_size == 2
+        # The head's wait is exactly the arrival gap it spent holding the
+        # batch open.
+        assert r1.wait_seconds == pytest.approx(5e-3)
+        assert r2.wait_seconds == 0.0
+
+    def test_mixed_fingerprints_never_cross_batch(self):
+        A1, A2 = laplace_2d_5pt(12), anisotropic_2d(12)
+        assert A1.nrows == A2.nrows  # same shape, different fingerprints
+        rng = np.random.default_rng(10)
+        svc = SolveService(ServiceConfig(max_batch=8))
+        tickets, mats, rhs = [], [], []
+        for i in range(6):  # interleaved A1/A2 traffic
+            A = (A1, A2)[i % 2]
+            b = rng.standard_normal(A.nrows)
+            tickets.append(svc.submit(A, b))
+            mats.append(A)
+            rhs.append(b)
+        results = [svc.result(t) for t in tickets]
+        # Two batches of 3: one per fingerprint, never 6 together.
+        assert svc.metrics.batches == 2
+        assert all(r.batch_size == 3 for r in results)
+        # And every column was solved against its own operator.
+        from repro.sparse.spmv import spmv
+        for A, b, r in zip(mats, rhs, results):
+            assert r.ok
+            assert (np.linalg.norm(b - spmv(A, r.x))
+                    <= 1e-6 * np.linalg.norm(b))
+
+    def test_different_tol_never_cross_batches(self, lap2d_small):
+        rng = np.random.default_rng(11)
+        svc = SolveService(ServiceConfig(max_batch=8))
+        b1 = rng.standard_normal(lap2d_small.nrows)
+        b2 = rng.standard_normal(lap2d_small.nrows)
+        r1 = svc.result(svc.submit(lap2d_small, b1, tol=1e-7))
+        r2 = svc.result(svc.submit(lap2d_small, b2, tol=1e-4))
+        assert r1.batch_size == 1 and r2.batch_size == 1
+
+    def test_degraded_column_does_not_poison_siblings(self):
+        """CG breakdown on an indefinite operator degrades only its own
+        request; the batch sibling converges cleanly."""
+        A = CSRMatrix.from_dense(np.diag([1.0, -2.0, 3.0, -4.0]))
+        svc = SolveService(ServiceConfig(max_batch=4))
+        t_good = svc.submit(A, np.array([1.0, 0.0, 0.0, 0.0]), method="cg")
+        t_bad = svc.submit(A, np.array([0.0, 1.0, 0.0, 0.0]), method="cg")
+        good, bad = svc.result(t_good), svc.result(t_bad)
+        assert good.batch_size == bad.batch_size == 2  # same micro-batch
+        assert good.status == "completed" and good.converged
+        assert not good.degraded and good.fault_events == []
+        np.testing.assert_allclose(good.x, [1.0, 0.0, 0.0, 0.0])
+        assert bad.status == "completed" and bad.degraded
+        assert bad.degraded_reason is not None
+        assert any(e.kind == "breakdown" for e in bad.fault_events)
+        assert svc.metrics.degraded == 1
+
+
+# ---------------------------------------------------------------------------
+# Admission control, cancellation, timeouts, priorities
+# ---------------------------------------------------------------------------
+
+class TestAdmissionControl:
+    def test_backpressure_is_structured_rejection(self, lap2d_small):
+        svc = SolveService(ServiceConfig(max_queue=2))
+        b = np.ones(lap2d_small.nrows)
+        tickets = [svc.submit(lap2d_small, b, arrival=0.0) for _ in range(3)]
+        overflow = svc.result(tickets[2], wait=False)
+        assert overflow is not None
+        assert overflow.status == "rejected"
+        assert overflow.degraded and "queue full" in overflow.degraded_reason
+        assert overflow.x is None and not overflow.converged
+        assert svc.metrics.rejected == 1
+        svc.run()
+        assert all(svc.result(t).status == "completed" for t in tickets[:2])
+
+    def test_invalid_inputs_rejected_not_raised(self, lap2d_small):
+        svc = SolveService()
+        rect = CSRMatrix.from_dense(np.ones((3, 4)))
+        r = svc.result(svc.submit(rect, np.ones(3)))
+        assert r.status == "rejected" and "square" in r.degraded_reason
+        bad_b = np.ones(lap2d_small.nrows)
+        bad_b[0] = np.nan
+        r = svc.result(svc.submit(lap2d_small, bad_b))
+        assert r.status == "rejected" and "non-finite" in r.degraded_reason
+        r = svc.result(svc.submit(lap2d_small,
+                                  np.ones(lap2d_small.nrows),
+                                  priority="vip"))
+        assert r.status == "rejected" and "priority" in r.degraded_reason
+        assert svc.metrics.rejected == 3
+
+    def test_cancel_frees_queue_slot(self, lap2d_small):
+        svc = SolveService(ServiceConfig(max_queue=1))
+        b = np.ones(lap2d_small.nrows)
+        t1 = svc.submit(lap2d_small, b, arrival=0.0)
+        assert svc.result(svc.submit(lap2d_small, b), wait=False).status == \
+            "rejected"  # full
+        assert svc.cancel(t1)
+        t3 = svc.submit(lap2d_small, b, arrival=0.0)  # slot is free again
+        r1 = svc.result(t1)
+        assert r1.status == "cancelled" and r1.x is None
+        assert svc.result(t3).status == "completed"
+        assert svc.metrics.cancelled == 1
+
+    def test_cancel_after_completion_returns_false(self, lap2d_small):
+        svc = SolveService()
+        t = svc.submit(lap2d_small, np.ones(lap2d_small.nrows))
+        assert svc.result(t).status == "completed"
+        assert not svc.cancel(t)
+        assert not svc.cancel(Ticket(12345))
+
+    def test_timeout_resolves_structurally(self, lap2d_small):
+        A2 = anisotropic_2d(12)
+        svc = SolveService(ServiceConfig(max_batch=2))
+        b = np.ones(lap2d_small.nrows)
+        t1 = svc.submit(lap2d_small, b, arrival=0.0)
+        # Different key, immeasurably small patience: by the time the first
+        # batch finishes, its deadline has passed.
+        t2 = svc.submit(A2, np.ones(A2.nrows), arrival=0.0, timeout=1e-12)
+        svc.run()
+        assert svc.result(t1).status == "completed"
+        r2 = svc.result(t2)
+        assert r2.status == "timeout"
+        assert r2.degraded and "timeout" in r2.degraded_reason
+        assert r2.wait_seconds > 0.0
+        assert svc.metrics.timed_out == 1
+
+    def test_priority_jumps_the_queue(self, lap2d_small):
+        A2 = anisotropic_2d(12)
+        svc = SolveService()
+        t_bulk = svc.submit(lap2d_small, np.ones(lap2d_small.nrows),
+                            priority="bulk", arrival=0.0)
+        t_inter = svc.submit(A2, np.ones(A2.nrows),
+                             priority="interactive", arrival=0.0)
+        svc.run()
+        r_bulk, r_inter = svc.result(t_bulk), svc.result(t_inter)
+        # The interactive request dispatched first even though it was
+        # submitted second: it never waited, the bulk one did.
+        assert r_inter.wait_seconds == 0.0
+        assert r_bulk.wait_seconds > 0.0
+        assert r_inter.priority == "interactive"
+
+    def test_priority_rank_validation(self):
+        assert priority_rank("interactive") < priority_rank("batch")
+        assert priority_rank("batch") < priority_rank("bulk")
+        with pytest.raises(ValueError):
+            priority_rank("vip")
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_histogram_buckets(self):
+        h = Histogram(edges=(1e-3, 1e-2))
+        for v in (5e-4, 5e-4, 5e-3, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"] == {"le_0.001": 2, "le_0.01": 1, "inf": 1}
+        assert snap["min"] == 5e-4 and snap["max"] == 5.0
+        assert snap["mean"] == pytest.approx((5e-4 + 5e-4 + 5e-3 + 5.0) / 4)
+
+    def test_snapshot_accounts_for_every_request(self, lap2d_small):
+        rng = np.random.default_rng(12)
+        svc = SolveService(ServiceConfig(max_queue=3, max_batch=2))
+        tickets = [svc.submit(lap2d_small,
+                              rng.standard_normal(lap2d_small.nrows),
+                              arrival=0.0)
+                   for _ in range(4)]  # 4th rejected
+        svc.cancel(tickets[0])
+        svc.run()
+        snap = svc.metrics_snapshot()
+        c = snap["service"]["counters"]
+        assert c["submitted"] == 4
+        assert c["rejected"] == 1 and c["cancelled"] == 1
+        assert c["completed"] == 2
+        assert (c["completed"] + c["rejected"] + c["cancelled"]
+                + c["timed_out"]) == c["submitted"]
+        sizes = snap["service"]["batch_sizes"]
+        assert sum(int(k) * v for k, v in sizes.items()) == c["completed"]
+        assert snap["kernel"]["modeled_seconds"] > 0.0
+        assert snap["service"]["hierarchy_cache"]["misses"] == 1
+        for t in tickets:
+            assert svc.result(t).status in SERVICE_STATUSES
+
+    def test_kernel_and_service_time_share_one_report(self, lap2d_small):
+        from repro.perf import format_service_report
+
+        svc = SolveService()
+        svc.result(svc.submit(lap2d_small, np.ones(lap2d_small.nrows)))
+        snap = svc.metrics_snapshot()
+        # The service clock is driven by the modeled kernel time, so the
+        # two layers of the report agree on scale.
+        assert snap["kernel"]["modeled_seconds"] == pytest.approx(
+            snap["service"]["virtual_seconds"])
+        text = format_service_report(snap)
+        assert "service counters" in text
+        assert "modeled kernel time" in text
+        assert "throughput" in text
+
+    def test_metrics_json_deterministic(self):
+        def run():
+            svc = SolveService()
+            svc.run_workload(build(named_workload("tiny")))
+            return svc.metrics_json()
+
+        assert run() == run()
+
+    def test_metrics_json_parses_and_sorts(self, lap2d_small):
+        svc = SolveService()
+        svc.result(svc.submit(lap2d_small, np.ones(lap2d_small.nrows)))
+        parsed = json.loads(svc.metrics_json())
+        assert set(parsed) == {"service", "kernel"}
+        assert parsed["service"]["counters"]["completed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Workload generation
+# ---------------------------------------------------------------------------
+
+class TestWorkload:
+    def test_build_is_deterministic(self):
+        spec = named_workload("tiny")
+        w1, w2 = build(spec), build(spec)
+        assert [i.arrival for i in w1.items] == [i.arrival for i in w2.items]
+        assert [i.matrix_index for i in w1.items] == \
+            [i.matrix_index for i in w2.items]
+        assert [i.priority for i in w1.items] == \
+            [i.priority for i in w2.items]
+        for a, b in zip(w1.items, w2.items):
+            np.testing.assert_array_equal(a.b, b.b)
+
+    def test_seed_changes_stream(self):
+        w1 = build(named_workload("tiny"))
+        w2 = build(named_workload("tiny", seed=99))
+        assert w2.spec.seed == 99
+        assert any(not np.array_equal(a.b, b.b)
+                   for a, b in zip(w1.items, w2.items))
+
+    def test_arrivals_monotone_and_closed_workload(self):
+        w = build(named_workload("tiny"))
+        arr = [i.arrival for i in w.items]
+        assert arr == sorted(arr) and arr[0] > 0.0
+        closed = build(WorkloadSpec(seed=0, requests=3, rate=None))
+        assert all(i.arrival == 0.0 for i in closed.items)
+
+    def test_json_round_trip(self, tmp_path):
+        spec = named_workload("mixed")
+        p = tmp_path / "w.json"
+        p.write_text(spec.to_json())
+        loaded = WorkloadSpec.from_json_file(p)
+        assert loaded == spec
+        w1, w2 = build(spec), build(loaded)
+        for a, b in zip(w1.items, w2.items):
+            assert a.arrival == b.arrival
+            np.testing.assert_array_equal(a.b, b.b)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(requests=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(rate=-1.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(problems=({"problem": "nope", "size": 8},))
+        with pytest.raises(ValueError):
+            WorkloadSpec(priorities={"vip": 1.0})
+        with pytest.raises(ValueError):
+            named_workload("nope")
+
+    def test_run_workload_resolves_everything(self):
+        svc = SolveService()
+        results = svc.run_workload(build(named_workload("tiny")))
+        assert len(results) == 12
+        assert all(isinstance(r, ServiceResult) for r in results)
+        assert all(r.status == "completed" and r.converged for r in results)
+        # Coalescing actually happened on the shared-fingerprint traffic.
+        assert any(r.batch_size > 1 for r in results)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestServeBenchCLI:
+    def test_serve_bench_runs_and_is_deterministic(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out1, out2 = tmp_path / "m1.json", tmp_path / "m2.json"
+        assert main(["serve-bench", "--workload", "tiny", "--seed", "0",
+                     "--json", str(out1)]) == 0
+        assert main(["serve-bench", "--workload", "tiny", "--seed", "0",
+                     "--json", str(out2)]) == 0
+        assert out1.read_text() == out2.read_text()
+        snap = json.loads(out1.read_text())
+        assert snap["service"]["counters"]["completed"] == 12
+        text = capsys.readouterr().out
+        assert "service counters" in text
+
+    def test_serve_bench_json_workload_file(self, tmp_path):
+        from repro.__main__ import main
+
+        spec_path = tmp_path / "w.json"
+        spec_path.write_text(WorkloadSpec(
+            seed=5, requests=4,
+            problems=({"problem": "lap2d", "size": 10, "weight": 1.0},),
+        ).to_json())
+        out = tmp_path / "m.json"
+        assert main(["serve-bench", "--workload", str(spec_path),
+                     "--k", "4", "--json", str(out)]) == 0
+        snap = json.loads(out.read_text())
+        assert snap["service"]["counters"]["submitted"] == 4
