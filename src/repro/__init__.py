@@ -57,7 +57,14 @@ Subpackages
 
 from .amg import AMGSolver, SolveResult, build_hierarchy, vcycle
 from .analysis import InvariantViolation, get_check_level, set_check_level
-from .api import SolverHandle, fingerprint, setup, solve, solve_many
+from .api import (
+    SolverHandle,
+    fingerprint,
+    pattern_fingerprint,
+    setup,
+    solve,
+    solve_many,
+)
 from .results import ServiceResult
 from .serve import ServiceConfig, SolveService
 from .faults import FaultEvent, FaultPlan, RetryPolicy
@@ -83,6 +90,7 @@ __all__ = [
     "ServiceResult",
     "SolveService",
     "fingerprint",
+    "pattern_fingerprint",
     "setup",
     "solve",
     "solve_many",

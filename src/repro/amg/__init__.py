@@ -5,18 +5,29 @@ Setup: strength -> PMIS / aggressive PMIS -> {direct, extended+i, multipass,
 Solve: V-cycles with C-F hybrid Gauss–Seidel smoothing.
 """
 
-from .cache import DEFAULT_CACHE, HierarchyCache, fingerprint, matrix_fingerprint
+from .cache import (
+    DEFAULT_CACHE,
+    HierarchyCache,
+    fingerprint,
+    matrix_fingerprint,
+    pattern_fingerprint,
+)
 from .coarse import CoarseSolver
 from .coarsen_rs import rs_coarsening
-from .interp_classical import classical_interpolation
+from .interp_classical import classical_interpolation, classical_numeric
 from .cycle import cycle, cycle_multi, fcycle, vcycle, vcycle_multi, wcycle
 from .fmg import full_multigrid
-from .interp_direct import direct_interpolation
-from .interp_extended import extended_i_interpolation, extended_i_reference
+from .interp_direct import direct_interpolation, direct_numeric
+from .interp_extended import (
+    extended_i_interpolation,
+    extended_i_numeric,
+    extended_i_reference,
+)
 from .interp_multipass import multipass_interpolation
 from .interp_twostage import two_stage_extended_i
 from .level import Level
 from .pmis import C_PT, F_PT, aggressive_pmis, pmis, random_measures
+from .resetup import LevelPlan, PlanBuilder, SetupPlan, refresh_hierarchy
 from .setup import Hierarchy, build_hierarchy
 from .smoothers import (
     chebyshev_sweep,
@@ -42,9 +53,11 @@ __all__ = [
     "HierarchyCache",
     "fingerprint",
     "matrix_fingerprint",
+    "pattern_fingerprint",
     "CoarseSolver",
     "rs_coarsening",
     "classical_interpolation",
+    "classical_numeric",
     "chebyshev_sweep",
     "estimate_lambda_max",
     "l1_diagonal",
@@ -57,7 +70,9 @@ __all__ = [
     "cycle_multi",
     "full_multigrid",
     "direct_interpolation",
+    "direct_numeric",
     "extended_i_interpolation",
+    "extended_i_numeric",
     "extended_i_reference",
     "multipass_interpolation",
     "two_stage_extended_i",
@@ -69,6 +84,10 @@ __all__ = [
     "random_measures",
     "Hierarchy",
     "build_hierarchy",
+    "LevelPlan",
+    "PlanBuilder",
+    "SetupPlan",
+    "refresh_hierarchy",
     "GSSchedule",
     "HybridGSSmoother",
     "block_of_rows",

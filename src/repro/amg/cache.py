@@ -1,21 +1,30 @@
-"""Hierarchy-reuse cache and the (matrix, config) fingerprint.
+"""Hierarchy-reuse cache and the (matrix, config) fingerprints.
 
 AMG setup is the expensive half of the algorithm (Fig. 4: strength,
 coarsening, interpolation, and the Galerkin product dominate until the
 cycle count grows).  Workloads that solve against the *same* matrix many
 times — time stepping with a frozen operator, multiple right-hand sides
 arriving one at a time, parameter sweeps over ``b`` — should pay for setup
-once.  :class:`HierarchyCache` memoizes built hierarchies keyed by
-:func:`fingerprint`, which combines
+once.  :class:`HierarchyCache` memoizes built hierarchies in **two tiers**:
 
-* a **matrix fingerprint** (shape plus a SHA-256 over the raw
+* **Exact tier** — keyed by :func:`fingerprint`, which combines a
+  **matrix fingerprint** (shape plus a SHA-256 over the raw
   ``indptr`` / ``indices`` / ``data`` buffers, so any structural or
-  numerical change misses), and
-* a digest of the :class:`~repro.config.AMGConfig` (a frozen dataclass
-  with a deterministic ``repr`` — different flag sets build different
-  hierarchies).
+  numerical change misses) with a digest of the
+  :class:`~repro.config.AMGConfig` (a frozen dataclass with a
+  deterministic ``repr`` — different flag sets build different
+  hierarchies).  An exact hit returns the cached hierarchy as-is.
+* **Pattern tier** — keyed by :func:`pattern_fingerprint`, which hashes
+  the *sparsity structure only* (shape + ``indptr`` + ``indices``, no
+  values) plus the config digest.  When the exact tier misses but a cached
+  hierarchy was built for a matrix with the **same pattern** (a time step,
+  a Newton iteration), the cache runs the numeric-only
+  :meth:`Hierarchy.refresh <repro.amg.setup.Hierarchy.refresh>` resetup
+  path (§3.1.1 pattern reuse) instead of a cold build, then re-keys the
+  refreshed hierarchy under the new exact fingerprint.  Pattern-tier hits
+  are counted in ``.pattern_hits`` (see :meth:`HierarchyCache.stats`).
 
-The same fingerprint is the *coalescing key* of the solve service
+The exact fingerprint is also the *coalescing key* of the solve service
 (:mod:`repro.serve`): requests whose operators share a fingerprint can be
 batched through one hierarchy.  :func:`repro.api.fingerprint` is the
 public spelling (it additionally coerces scipy/dense inputs).
@@ -24,13 +33,13 @@ Entries are evicted LRU: the cache is bounded by ``max_entries`` (the
 legacy ``maxsize`` spelling is accepted), evictions are counted in
 ``.evictions`` and logged on the ``repro.amg.cache`` logger so long-running
 sweeps can see hierarchies being dropped.  All bookkeeping (entry map,
-hit/miss/eviction counters) is guarded by one lock, so a cache shared by
-the service worker and submitting threads stays consistent and the
-eviction counter stays exact.  Fingerprinting is deliberately **not**
-counted against the performance model: it is an artifact of the simulation
-(a real code would compare pointers or version counters), and keeping it
-silent means a cache hit shows *zero* setup-phase kernel records — which is
-exactly how the tests assert reuse.
+pattern index, hit/miss/eviction counters) is guarded by one lock, so a
+cache shared by the service worker and submitting threads stays consistent
+and the eviction counter stays exact.  Fingerprinting is deliberately
+**not** counted against the performance model: it is an artifact of the
+simulation (a real code would compare pointers or version counters), and
+keeping it silent means a cache hit shows *zero* setup-phase kernel
+records — which is exactly how the tests assert reuse.
 """
 
 from __future__ import annotations
@@ -47,18 +56,45 @@ from ..config import AMGConfig
 from ..sparse.csr import CSRMatrix
 from .setup import Hierarchy, build_hierarchy
 
-__all__ = ["matrix_fingerprint", "fingerprint", "HierarchyCache",
-           "DEFAULT_CACHE"]
+__all__ = ["matrix_fingerprint", "pattern_fingerprint", "fingerprint",
+           "HierarchyCache", "DEFAULT_CACHE"]
 
 
 def matrix_fingerprint(A: CSRMatrix) -> str:
-    """SHA-256 fingerprint of a CSR matrix's structure and values."""
+    """SHA-256 fingerprint of a CSR matrix's structure **and values**.
+
+    Keys the cache's exact tier: two matrices share it iff their
+    ``indptr``/``indices``/``data`` buffers are bit-identical.  See
+    :func:`pattern_fingerprint` for the values-blind companion.
+    """
     h = hashlib.sha256()
     h.update(f"{A.nrows}x{A.ncols}:{A.nnz};".encode())
     h.update(A.indptr.tobytes())
     h.update(A.indices.tobytes())
     h.update(A.data.tobytes())
     return h.hexdigest()
+
+
+def pattern_fingerprint(A: CSRMatrix) -> str:
+    """SHA-256 fingerprint of a CSR matrix's sparsity structure only.
+
+    Hashes shape + ``indptr`` + ``indices`` and deliberately ignores
+    ``data``: two operators from successive time steps (or Newton
+    iterations) with updated coefficients but an unchanged stencil share
+    this fingerprint while their :func:`matrix_fingerprint` differs.  The
+    hierarchy cache uses it as the second-tier key that routes same-pattern
+    updates through the numeric-only :meth:`Hierarchy.refresh
+    <repro.amg.setup.Hierarchy.refresh>` path instead of a cold setup.
+    """
+    h = hashlib.sha256()
+    h.update(f"p:{A.nrows}x{A.ncols}:{A.nnz};".encode())
+    h.update(A.indptr.tobytes())
+    h.update(A.indices.tobytes())
+    return h.hexdigest()
+
+
+def _config_digest(config: AMGConfig) -> str:
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
 
 
 def fingerprint(A: CSRMatrix, config: AMGConfig | None = None) -> str:
@@ -74,8 +110,7 @@ def fingerprint(A: CSRMatrix, config: AMGConfig | None = None) -> str:
     mfp = matrix_fingerprint(A)
     if config is None:
         return mfp
-    cfg = hashlib.sha256(repr(config).encode()).hexdigest()[:16]
-    return f"{mfp}:{cfg}"
+    return f"{mfp}:{_config_digest(config)}"
 
 
 class HierarchyCache:
@@ -85,13 +120,24 @@ class HierarchyCache:
     is the legacy spelling of the same knob).  Evictions bump
     ``.evictions`` and emit a log record on ``repro.amg.cache``.
 
+    Two lookup tiers (see the module docstring): the exact tier keys on
+    :func:`fingerprint` and returns the hierarchy untouched; the pattern
+    tier keys on :func:`pattern_fingerprint` + config digest and, on a hit,
+    refreshes the cached hierarchy's numerics in place through its captured
+    :class:`~repro.amg.resetup.SetupPlan` before re-keying it under the new
+    exact fingerprint.  ``get``/``put`` speak the exact tier only;
+    ``get_or_build`` orchestrates both.
+
     The cache is safe for concurrent use: a single internal lock guards the
-    entry map and every counter, so ``get``/``put``/``get_or_build`` may be
-    called from multiple threads (the solve service shares one cache
-    between its worker and submitters).  ``get_or_build`` builds *outside*
-    the lock — two threads missing on the same key may both build, but the
+    entry map, the pattern index, and every counter, so
+    ``get``/``put``/``get_or_build`` may be called from multiple threads
+    (the solve service shares one cache between its worker and
+    submitters).  ``get_or_build`` builds and refreshes *outside* the
+    lock — two threads missing on the same key may both build, but the
     second ``put`` just replaces the first entry without distorting the
-    eviction count.
+    eviction count.  A pattern-tier hit *claims* its entry (removes it
+    under the stale exact key) before refreshing, so no thread can observe
+    a half-refreshed hierarchy through the exact tier.
     """
 
     def __init__(self, max_entries: int | None = None, *,
@@ -103,11 +149,15 @@ class HierarchyCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: OrderedDict[str, Hierarchy] = OrderedDict()
+        #: exact key -> (hierarchy, pattern key)
+        self._entries: OrderedDict[str, tuple[Hierarchy, str]] = OrderedDict()
+        #: pattern key -> exact key of the most recent same-pattern entry
+        self._patterns: dict[str, str] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.pattern_hits = 0
 
     @property
     def maxsize(self) -> int:
@@ -119,58 +169,126 @@ class HierarchyCache:
             return len(self._entries)
 
     def key(self, A: CSRMatrix, config: AMGConfig) -> str:
-        """Cache key for (A, config) — the shared :func:`fingerprint`."""
+        """Exact-tier cache key for (A, config) — the shared :func:`fingerprint`."""
         return fingerprint(A, config)
 
+    def pattern_key(self, A: CSRMatrix, config: AMGConfig) -> str:
+        """Pattern-tier key: :func:`pattern_fingerprint` + config digest."""
+        return f"{pattern_fingerprint(A)}:{_config_digest(config)}"
+
     def stats(self) -> dict[str, int]:
-        """Consistent snapshot of the counters (one lock acquisition)."""
+        """Consistent snapshot of the counters (one lock acquisition).
+
+        ``hits``/``misses`` count the exact tier; ``pattern_hits`` counts
+        same-pattern refreshes served by the second tier (every pattern hit
+        is also an exact miss).
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "pattern_hits": self.pattern_hits,
             }
 
     def get(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy | None:
-        """Return the cached hierarchy for (A, config), or None."""
+        """Exact-tier lookup: the cached hierarchy for (A, config), or None."""
         key = self.key(A, config)
         with self._lock:
-            h = self._entries.get(key)
-            if h is None:
+            entry = self._entries.get(key)
+            if entry is None:
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return h
+            return entry[0]
 
     def put(self, A: CSRMatrix, config: AMGConfig, hierarchy: Hierarchy) -> None:
         key = self.key(A, config)
+        pkey = self.pattern_key(A, config)
         with self._lock:
-            self._entries[key] = hierarchy
+            self._entries[key] = (hierarchy, pkey)
             self._entries.move_to_end(key)
+            self._patterns[pkey] = key
             while len(self._entries) > self.max_entries:
-                evicted_key, _ = self._entries.popitem(last=False)
+                evicted_key, (_, evicted_pkey) = self._entries.popitem(last=False)
+                if self._patterns.get(evicted_pkey) == evicted_key:
+                    del self._patterns[evicted_pkey]
                 self.evictions += 1
                 logger.info("evicted hierarchy %s (cache bound %d reached)",
                             evicted_key[:12], self.max_entries)
 
-    def get_or_build(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy:
-        """Cached hierarchy for (A, config); builds (and counts) on a miss."""
-        h = self.get(A, config)
-        if h is None:
-            # Built outside the lock: hierarchy construction is the long
-            # pole and must not serialize unrelated gets.
-            h = build_hierarchy(A, config)
-            self.put(A, config, h)
+    def _claim_pattern(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy | None:
+        """Claim a refreshable same-pattern entry (removing its stale key).
+
+        Returns the hierarchy to refresh, or None on a pattern miss.  The
+        entry leaves the cache under its old exact key — its values are
+        about to be overwritten in place, so the stale key must never
+        serve another exact hit.  The caller re-``put``\\ s the refreshed
+        hierarchy under the new fingerprint.
+        """
+        pkey = self.pattern_key(A, config)
+        with self._lock:
+            exact = self._patterns.get(pkey)
+            if exact is None:
+                return None
+            entry = self._entries.pop(exact, None)
+            if entry is None:  # stale index entry
+                del self._patterns[pkey]
+                return None
+            hierarchy, _ = entry
+            if hierarchy.plan is None:
+                # Built without plan capture: not refreshable.  Restore.
+                self._entries[exact] = entry
+                self._entries.move_to_end(exact)
+                return None
+            del self._patterns[pkey]
+            self.pattern_hits += 1
+            return hierarchy
+
+    def get_or_build(self, A: CSRMatrix, config: AMGConfig, *,
+                     reuse: str = "auto") -> Hierarchy:
+        """Cached hierarchy for (A, config); refreshes or builds on a miss.
+
+        ``reuse`` selects the lookup policy:
+
+        * ``"auto"`` (default) — exact tier, then pattern tier (numeric
+          refresh), then cold build.
+        * ``"pattern"`` — skip the exact tier and force the pattern tier:
+          a same-pattern entry is refreshed even if an exact entry exists
+          (useful for benchmarking the resetup path); cold build otherwise.
+        * ``"never"`` — bypass both lookup tiers and build from scratch.
+          The result is still ``put`` so later requests can reuse it.
+        """
+        if reuse not in ("auto", "pattern", "never"):
+            raise ValueError(f"reuse must be auto|pattern|never, got {reuse!r}")
+        if reuse != "never":
+            if reuse == "auto":
+                h = self.get(A, config)
+                if h is not None:
+                    return h
+            stale = self._claim_pattern(A, config)
+            if stale is not None:
+                # Refreshed outside the lock, like builds: the numeric
+                # resetup is the long pole and must not serialize gets.
+                h = stale.refresh(A)
+                self.put(A, config, h)
+                return h
+        # Built outside the lock: hierarchy construction is the long
+        # pole and must not serialize unrelated gets.
+        h = build_hierarchy(A, config, capture_plan=True)
+        self.put(A, config, h)
         return h
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._patterns.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.pattern_hits = 0
 
 
 #: Process-wide cache used by :mod:`repro.api` unless a private one is given.

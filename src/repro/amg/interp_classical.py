@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, count
+from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, collect, count
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import gather_range_indices, segment_sum
 from .interp_common import coarse_index, entries_in_pattern, identity_rows, pattern_keys
 from .truncation import truncate_interpolation
 
-__all__ = ["classical_interpolation"]
+__all__ = ["classical_interpolation", "classical_numeric"]
 
 _TINY = 1e-300
 
@@ -41,6 +41,7 @@ def classical_interpolation(
     trunc_fact: float = 0.0,
     max_elmts: int = 0,
     truncate: bool = False,
+    _stats: dict | None = None,
 ) -> CSRMatrix:
     """Classical modified interpolation ``P`` (``n x n_coarse``)."""
     n = A.nrows
@@ -76,6 +77,12 @@ def classical_interpolation(
     p_abar = abar[eidx]
 
     in_chat = entries_in_pattern(p_i, p_l, Chat, keys=chat_keys)
+    if _stats is not None:
+        # Term counts for the pattern-reuse numeric cost model (see
+        # classical_numeric).
+        _stats["expansion"] = len(p_l)
+        _stats["contrib"] = int(np.count_nonzero(in_chat))
+        _stats["afs_nnz"] = AFS.nnz
     b = segment_sum(np.where(in_chat, p_abar, 0.0), p_pair, AFS.nnz)
     b_ok = np.abs(b) > _TINY
     b_safe = np.where(b_ok, b, 1.0)
@@ -120,4 +127,48 @@ def classical_interpolation(
     )
     if truncate:
         P = truncate_interpolation(P, trunc_fact, max_elmts)
+    return P
+
+
+def classical_numeric(
+    A: CSRMatrix,
+    S: CSRMatrix,
+    cf_marker: np.ndarray,
+    pattern: CSRMatrix,
+    *,
+    trunc_fact: float = 0.0,
+    max_elmts: int = 0,
+    fused_truncation: bool = True,
+) -> CSRMatrix | None:
+    """Numeric-only classical weight recomputation against a frozen pattern.
+
+    Pattern-reuse counterpart of :func:`classical_interpolation` (plus its
+    separate truncation pass), mirroring
+    :func:`repro.amg.interp_extended.extended_i_numeric`: the structural
+    work is replayed in a discarded collection scope, the result's pattern
+    is checked against *pattern*, and only the irreducible numeric work is
+    charged (zero data-dependent branches).  Returns ``None`` on pattern
+    drift — the caller must rebuild from scratch.
+    """
+    stats: dict = {}
+    with collect():
+        P = classical_interpolation(A, S, cf_marker, _stats=stats)
+        P = truncate_interpolation(
+            P, trunc_fact, max_elmts, fused=fused_truncation
+        )
+    if P.shape != pattern.shape or not (
+        np.array_equal(P.indptr, pattern.indptr)
+        and np.array_equal(P.indices, pattern.indices)
+    ):
+        return None
+    n = A.nrows
+    flops = 2 * stats["contrib"] + 3 * A.nnz + 2 * P.nnz
+    count(
+        "interp.classical.numeric_only",
+        flops=flops,
+        bytes_read=A.nnz * (VAL_BYTES + IDX_BYTES) + (n + 1) * PTR_BYTES
+        + stats["expansion"] * VAL_BYTES + P.nnz * IDX_BYTES,
+        bytes_written=P.nnz * VAL_BYTES,
+        branches=0.0,
+    )
     return P

@@ -18,12 +18,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, count
+from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, collect, count
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import segment_sum
 from .interp_common import coarse_index, entries_in_pattern, identity_rows
+from .truncation import truncate_interpolation
 
-__all__ = ["direct_interpolation"]
+__all__ = ["direct_interpolation", "direct_numeric"]
 
 
 def direct_interpolation(
@@ -90,5 +91,47 @@ def direct_interpolation(
         bytes_read=a_bytes,
         bytes_written=P.nnz * (VAL_BYTES + IDX_BYTES) + (n + 1) * PTR_BYTES,
         branches=float(A.nnz),
+    )
+    return P
+
+
+def direct_numeric(
+    A: CSRMatrix,
+    S: CSRMatrix,
+    cf_marker: np.ndarray,
+    pattern: CSRMatrix,
+    *,
+    trunc_fact: float = 0.0,
+    max_elmts: int = 0,
+    fused_truncation: bool = True,
+) -> CSRMatrix | None:
+    """Numeric-only direct-interpolation recomputation against a frozen
+    pattern (plus the separate truncation pass).
+
+    Mirrors :func:`repro.amg.interp_extended.extended_i_numeric`: replay in
+    a discarded collection scope, pattern check, then one record charging
+    only the segment sums and weight scalings (zero data-dependent
+    branches).  Returns ``None`` on pattern drift — direct interpolation's
+    pattern is value-dependent (zero strong-C weight sums drop entries), so
+    a sign change can genuinely invalidate the plan.
+    """
+    with collect():
+        P = direct_interpolation(A, S, cf_marker)
+        P = truncate_interpolation(
+            P, trunc_fact, max_elmts, fused=fused_truncation
+        )
+    if P.shape != pattern.shape or not (
+        np.array_equal(P.indptr, pattern.indptr)
+        and np.array_equal(P.indices, pattern.indices)
+    ):
+        return None
+    n = A.nrows
+    count(
+        "interp.direct.numeric_only",
+        flops=4 * A.nnz + 2 * P.nnz,
+        bytes_read=A.nnz * (VAL_BYTES + IDX_BYTES) + (n + 1) * PTR_BYTES
+        + P.nnz * IDX_BYTES,
+        bytes_written=P.nnz * VAL_BYTES,
+        branches=0.0,
     )
     return P

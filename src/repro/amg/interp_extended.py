@@ -33,14 +33,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, count
+from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, collect, count
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import gather_range_indices, segment_sum
 from ..sparse.spgemm import spgemm
 from .interp_common import coarse_index, entries_in_pattern, identity_rows, pattern_keys
 from .truncation import truncate_interpolation
 
-__all__ = ["extended_i_interpolation", "extended_i_reference"]
+__all__ = ["extended_i_interpolation", "extended_i_numeric",
+           "extended_i_reference"]
 
 _TINY = 1e-300
 
@@ -60,6 +61,7 @@ def extended_i_interpolation(
     fused_truncation: bool = True,
     truncate: bool = True,
     active_rows: np.ndarray | None = None,
+    _stats: dict | None = None,
 ) -> CSRMatrix:
     """Vectorized extended+i interpolation ``P`` (``n x n_coarse``).
 
@@ -114,6 +116,13 @@ def extended_i_interpolation(
 
     in_chat = entries_in_pattern(p_i, p_l, Chat, keys=chat_keys)
     is_diag_i = p_l == p_i
+    if _stats is not None:
+        # Term counts for the pattern-reuse numeric cost model (see
+        # extended_i_numeric): only terms that actually contribute to a
+        # b_ik sum or a weight survive a frozen-pattern recomputation.
+        _stats["expansion"] = expansion
+        _stats["contrib"] = int(np.count_nonzero(in_chat | is_diag_i))
+        _stats["afs_nnz"] = AFS.nnz
 
     b = segment_sum(np.where(in_chat | is_diag_i, p_abar, 0.0), p_pair, AFS.nnz)
     b_ok = np.abs(b) > _TINY
@@ -180,6 +189,64 @@ def extended_i_interpolation(
         P = truncate_interpolation(
             P, trunc_fact, max_elmts, fused=fused_truncation
         )
+    return P
+
+
+def extended_i_numeric(
+    A: CSRMatrix,
+    S: CSRMatrix,
+    cf_marker: np.ndarray,
+    pattern: CSRMatrix,
+    *,
+    trunc_fact: float = 0.1,
+    max_elmts: int = 4,
+    reordered: bool = True,
+    fused_truncation: bool = True,
+) -> CSRMatrix | None:
+    """Numeric-only extended+i weight recomputation against a frozen pattern.
+
+    The §3.1.1 pattern-reuse idea applied to interpolation: when the
+    operator's values changed but its sparsity (hence ``S``'s pattern, the
+    CF split, ``Chat``, and the truncation keep-set) did not, every
+    set-membership test, sparse accumulation, and size-discovery pass of
+    :func:`extended_i_interpolation` is redundant — only the ``b_ik`` sums,
+    the weight numerators, and the row scalings must be recomputed.
+
+    Returns the recomputed ``P``, or ``None`` when the resulting pattern
+    deviates from *pattern* (values drifted far enough to change the
+    interpolation structure — e.g. a truncation keep-set flipped), in which
+    case the caller must fall back to a full rebuild.  On success the
+    counted record charges only the irreducible numeric work, with **zero**
+    data-dependent branches.
+    """
+    stats: dict = {}
+    with collect():
+        P = extended_i_interpolation(
+            A, S, cf_marker,
+            trunc_fact=trunc_fact, max_elmts=max_elmts,
+            reordered=reordered, fused_truncation=fused_truncation,
+            _stats=stats,
+        )
+    if P.shape != pattern.shape or not (
+        np.array_equal(P.indptr, pattern.indptr)
+        and np.array_equal(P.indices, pattern.indices)
+    ):
+        return None
+    n = A.nrows
+    # Irreducible numeric work on a frozen pattern: abar sign filter and
+    # diagonal accumulations over A's entries (~4 per entry), one
+    # multiply-divide-accumulate per contributing distance-two term, the
+    # row scaling, and the (frozen keep-set) truncation rescale.
+    flops = 3 * stats["contrib"] + 4 * A.nnz + 2 * P.nnz + 2 * stats["afs_nnz"]
+    a_bytes = A.nnz * (VAL_BYTES + IDX_BYTES) + (n + 1) * PTR_BYTES
+    gathered = stats["expansion"] * VAL_BYTES + stats["afs_nnz"] * 2 * PTR_BYTES
+    count(
+        "interp.extended_i.numeric_only",
+        flops=flops,
+        bytes_read=a_bytes + gathered + P.nnz * IDX_BYTES,
+        bytes_written=P.nnz * VAL_BYTES,
+        branches=0.0,
+    )
     return P
 
 

@@ -11,6 +11,12 @@ lives in its own ordering; when ``cf_reorder`` is on, a level is permuted
 C-points-first as soon as its splitting is known, and the *parent's*
 interpolation columns are renumbered once to match — after which vectors
 flow through the hierarchy with no per-cycle permutations.
+
+Pattern reuse (§3.1.1 applied to the whole setup): ``build_hierarchy(...,
+capture_plan=True)`` additionally freezes every symbolic decision into a
+:class:`~repro.amg.resetup.SetupPlan` carried on the hierarchy, and
+:meth:`Hierarchy.refresh` re-runs setup numerically (branch-free) through
+that plan for matrix sequences that share one sparsity pattern.
 """
 
 from __future__ import annotations
@@ -27,7 +33,9 @@ from ..sparse.reorder import cf_permutation, partition_rows_by_category, permute
 from ..sparse.transpose import transpose
 from ..sparse.triple_product import (
     rap_cf_block,
+    rap_cf_block_plan,
     rap_fused,
+    rap_fused_plan,
     rap_hypre_fusion,
     rap_unfused,
 )
@@ -40,6 +48,7 @@ from .interp_multipass import multipass_interpolation
 from .interp_twostage import two_stage_extended_i
 from .level import Level
 from .pmis import aggressive_pmis, pmis
+from .resetup import PlanBuilder, SetupPlan
 from .smoothers import HybridGSSmoother
 from .strength import strength_matrix
 from .truncation import truncate_interpolation
@@ -63,10 +72,28 @@ class Hierarchy:
     levels: list[Level]
     coarse_solver: CoarseSolver
     config: AMGConfig
+    #: frozen symbolic setup state for pattern-reuse resetup; None unless
+    #: the hierarchy was built with ``capture_plan=True`` (and the config
+    #: is plan-capable — see :meth:`repro.amg.resetup.PlanBuilder.begin`).
+    plan: SetupPlan | None = None
 
     @property
     def num_levels(self) -> int:
         return len(self.levels)
+
+    def refresh(self, A_new: CSRMatrix) -> "Hierarchy":
+        """Numeric-only resetup for a same-pattern operator *A_new*.
+
+        Re-runs the setup phase branch-free through the captured
+        :class:`~repro.amg.resetup.SetupPlan`, producing per-level matrices
+        bit-identical to a from-scratch build on *A_new*.  Falls back to a
+        full (re-capturing) rebuild when no plan was captured or a guard
+        detects symbolic drift.  Returns the refreshed hierarchy — ``self``
+        (mutated in place) on the fast path, a new object after fallback.
+        """
+        from .resetup import refresh_hierarchy
+
+        return refresh_hierarchy(self, A_new)
 
     def operator_complexity(self) -> float:
         """Sum of level nnz over finest nnz (§2)."""
@@ -115,19 +142,34 @@ def _build_interp(A, S, cf, cf_stage1, config: AMGConfig, level: int) -> CSRMatr
     )
 
 
-def _galerkin(A: CSRMatrix, P: CSRMatrix, cf: np.ndarray, config: AMGConfig) -> CSRMatrix:
+def _galerkin(
+    A: CSRMatrix,
+    P: CSRMatrix,
+    cf: np.ndarray,
+    config: AMGConfig,
+    plan_builder: PlanBuilder | None = None,
+) -> CSRMatrix:
     flags = config.flags
     scheme = flags.rap_scheme
+    capture = plan_builder is not None and plan_builder.wants_rap_plan()
     if scheme == "cf_block":
         nc = int((cf > 0).sum())
         P_F = P.extract_rows(np.arange(nc, A.nrows, dtype=np.int64))
-        return rap_cf_block(
-            A, P_F, cf,
+        kwargs = dict(
             method="one_pass" if flags.spgemm_one_pass else "two_pass",
             already_partitioned=flags.cf_reorder and flags.three_way_partition,
         )
+        if capture:
+            A_next, rap_plan = rap_cf_block_plan(A, P_F, cf, **kwargs)
+            plan_builder.capture_rap(rap_plan)
+            return A_next
+        return rap_cf_block(A, P_F, cf, **kwargs)
     R = transpose(P, kernel="rap.transpose", parallel=flags.parallel_setup_kernels)
     if scheme == "fused":
+        if capture:
+            A_next, rap_plan = rap_fused_plan(R, A, P)
+            plan_builder.capture_rap(rap_plan)
+            return A_next
         return rap_fused(R, A, P)
     if scheme == "hypre":
         return rap_hypre_fusion(R, A, P, two_pass=not flags.spgemm_one_pass)
@@ -138,13 +180,54 @@ def _galerkin(A: CSRMatrix, P: CSRMatrix, cf: np.ndarray, config: AMGConfig) -> 
     raise ValueError(f"unknown rap_scheme {scheme!r}")
 
 
-def build_hierarchy(A0: CSRMatrix, config: AMGConfig | None = None) -> Hierarchy:
-    """Run the AMG setup phase on operator *A0*."""
+def _build_smoothers(levels: list[Level], config: AMGConfig) -> None:
+    """Construct the per-level smoothers (every level but the coarsest)."""
+    flags = config.flags
+    for l in range(len(levels) - 1):
+        lvl = levels[l]
+        nthreads_l = config.nthreads
+        if config.gpu_rows_per_block > 0:
+            nthreads_l = max(4, lvl.A.nrows // config.gpu_rows_per_block)
+        lvl.smoother = HybridGSSmoother(
+            lvl.A,
+            nthreads=nthreads_l,
+            cf_marker=lvl.cf_marker,
+            variant=_SMOOTHER_VARIANTS[config.smoother],
+            optimized=flags.three_way_partition,
+            cf_contiguous=flags.cf_reorder,
+            seed=config.seed,
+        )
+
+
+def _build_coarse_solver(levels: list[Level], config: AMGConfig) -> CoarseSolver:
+    return CoarseSolver(
+        levels[-1].A,
+        dense_threshold=config.dense_coarse_threshold,
+        nthreads=config.nthreads,
+    )
+
+
+def build_hierarchy(
+    A0: CSRMatrix,
+    config: AMGConfig | None = None,
+    *,
+    capture_plan: bool = False,
+) -> Hierarchy:
+    """Run the AMG setup phase on operator *A0*.
+
+    With ``capture_plan=True`` the build additionally freezes its symbolic
+    decisions into a :class:`~repro.amg.resetup.SetupPlan` (carried on
+    ``Hierarchy.plan``) so that :meth:`Hierarchy.refresh` can redo setup
+    numerically for later same-pattern operators.  Capture is silent in the
+    performance model — the build emits exactly the records of a plain one.
+    Unsupported configs simply yield ``plan=None``.
+    """
     config = config or AMGConfig()
     flags = config.flags
     if A0.nrows != A0.ncols:
         raise ValueError("AMG requires a square operator")
 
+    builder = PlanBuilder.begin(A0, config) if capture_plan else None
     levels: list[Level] = [Level(A=A0)]
 
     for l in range(config.max_levels - 1):
@@ -152,6 +235,8 @@ def build_hierarchy(A0: CSRMatrix, config: AMGConfig | None = None) -> Hierarchy
         A = lvl.A
         if A.nrows <= config.coarse_size:
             break
+        if builder is not None:
+            builder.start_level(A)
 
         with phase("Strength+Coarsen"):
             S = strength_matrix(
@@ -224,15 +309,19 @@ def build_hierarchy(A0: CSRMatrix, config: AMGConfig | None = None) -> Hierarchy
 
         lvl.cf_marker = cf
         lvl.n_coarse = nc
+        if builder is not None:
+            builder.capture_level(lvl, S)
 
         with phase("Interp"):
             P = _build_interp(A, S, cf, cf_stage1, config, l)
             if checking():
                 check_csr(P, name=f"P[{l}]", level=l)
         lvl.P = P
+        if builder is not None:
+            builder.capture_interp(P)
 
         with phase("RAP"):
-            A_next = _galerkin(A, P, cf, config)
+            A_next = _galerkin(A, P, cf, config, plan_builder=builder)
             if checking():
                 check_csr(A_next, name=f"A[{l + 1}]", level=l + 1)
 
@@ -254,27 +343,13 @@ def build_hierarchy(A0: CSRMatrix, config: AMGConfig | None = None) -> Hierarchy
                     parallel=flags.parallel_setup_kernels,
                 )
         # Smoothers on every level but the coarsest.
-        for l in range(len(levels) - 1):
-            lvl = levels[l]
-            nthreads_l = config.nthreads
-            if config.gpu_rows_per_block > 0:
-                nthreads_l = max(4, lvl.A.nrows // config.gpu_rows_per_block)
-            lvl.smoother = HybridGSSmoother(
-                lvl.A,
-                nthreads=nthreads_l,
-                cf_marker=lvl.cf_marker,
-                variant=_SMOOTHER_VARIANTS[config.smoother],
-                optimized=flags.three_way_partition,
-                cf_contiguous=flags.cf_reorder,
-                seed=config.seed,
-            )
-        coarse = CoarseSolver(
-            levels[-1].A,
-            dense_threshold=config.dense_coarse_threshold,
-            nthreads=config.nthreads,
-        )
+        _build_smoothers(levels, config)
+        coarse = _build_coarse_solver(levels, config)
 
-    hierarchy = Hierarchy(levels=levels, coarse_solver=coarse, config=config)
+    plan = builder.finish(levels) if builder is not None else None
+    hierarchy = Hierarchy(
+        levels=levels, coarse_solver=coarse, config=config, plan=plan
+    )
     if checking():
         # Cross-level invariants: CF bookkeeping, P = [I; P_F], R == P^T,
         # Galerkin probe (the last three only under --check full).

@@ -42,13 +42,34 @@ class AMGSolver:
         self.hierarchy: Hierarchy | None = None
 
     # -- setup -------------------------------------------------------------
-    def setup(self, A: CSRMatrix, *, cache=None) -> Hierarchy:
+    def setup(self, A: CSRMatrix, *, cache=None, reuse: str = "auto") -> Hierarchy:
         """Build (or fetch from a :class:`~repro.amg.cache.HierarchyCache`)
-        the hierarchy for *A*."""
+        the hierarchy for *A*.
+
+        ``reuse`` selects the cache's lookup policy (``"auto"`` /
+        ``"pattern"`` / ``"never"`` — see
+        :meth:`~repro.amg.cache.HierarchyCache.get_or_build`).  Uncached
+        setups capture a resetup plan unless ``reuse="never"``, so a later
+        :meth:`update` can refresh the hierarchy numerically.
+        """
         if cache is not None:
-            self.hierarchy = cache.get_or_build(A, self.config)
+            self.hierarchy = cache.get_or_build(A, self.config, reuse=reuse)
         else:
-            self.hierarchy = build_hierarchy(A, self.config)
+            self.hierarchy = build_hierarchy(
+                A, self.config, capture_plan=reuse != "never"
+            )
+        return self.hierarchy
+
+    def update(self, A: CSRMatrix) -> Hierarchy:
+        """Numeric resetup for a same-pattern operator (uncached path).
+
+        Delegates to :meth:`Hierarchy.refresh
+        <repro.amg.setup.Hierarchy.refresh>`; falls back to a full rebuild
+        when the pattern (or a frozen symbolic decision) no longer matches.
+        """
+        if self.hierarchy is None:
+            raise RuntimeError("call setup() first")
+        self.hierarchy = self.hierarchy.refresh(A)
         return self.hierarchy
 
     @property

@@ -25,6 +25,44 @@ from ..sparse.ops import indptr_from_counts, segment_sum
 __all__ = ["strength_matrix"]
 
 
+def _strong_connections_mask(
+    A: CSRMatrix, theta: float, max_row_sum: float
+) -> np.ndarray:
+    """Boolean strong-connection mask over the stored entries of *A*.
+
+    The pattern half of :func:`strength_matrix`, split out so the resetup
+    guard (:mod:`repro.amg.resetup`) can recompute it on refreshed values
+    and compare against the frozen mask.  Every per-row reduction here
+    (diagonal, row max, row sum) is invariant under a symmetric permutation
+    and any in-row entry reorder, so masks computed on the stored
+    (CF-permuted, 3-way-partitioned) operator compare meaningfully across
+    builds.
+    """
+    n = A.nrows
+    rid = A.row_ids()
+    offdiag = A.indices != rid
+
+    diag = A.diagonal()
+    # Signed connection value: -a_ij for positive diagonal rows, +a_ij
+    # otherwise (BoomerAMG convention).
+    sign = np.where(diag >= 0, -1.0, 1.0)
+    conn = sign[rid] * A.data
+
+    # Per-row max of off-diagonal connection values.
+    neg_inf = np.float64(-np.inf)
+    cand = np.where(offdiag, conn, neg_inf)
+    row_max = np.full(n, neg_inf)
+    np.maximum.at(row_max, rid, cand)
+
+    strong = offdiag & (conn >= theta * np.where(row_max > 0, row_max, np.inf)[rid])
+
+    if max_row_sum < 1.0:
+        row_sum = segment_sum(A.data, rid, n)
+        dominant = np.abs(row_sum) > max_row_sum * np.abs(diag)
+        strong &= ~dominant[rid]
+    return strong
+
+
 def strength_matrix(
     A: CSRMatrix,
     theta: float = 0.25,
@@ -57,26 +95,7 @@ def strength_matrix(
         raise ValueError("strength matrix requires a square operator")
     n = A.nrows
     rid = A.row_ids()
-    offdiag = A.indices != rid
-
-    diag = A.diagonal()
-    # Signed connection value: -a_ij for positive diagonal rows, +a_ij
-    # otherwise (BoomerAMG convention).
-    sign = np.where(diag >= 0, -1.0, 1.0)
-    conn = sign[rid] * A.data
-
-    # Per-row max of off-diagonal connection values.
-    neg_inf = np.float64(-np.inf)
-    cand = np.where(offdiag, conn, neg_inf)
-    row_max = np.full(n, neg_inf)
-    np.maximum.at(row_max, rid, cand)
-
-    strong = offdiag & (conn >= theta * np.where(row_max > 0, row_max, np.inf)[rid])
-
-    if max_row_sum < 1.0:
-        row_sum = segment_sum(A.data, rid, n)
-        dominant = np.abs(row_sum) > max_row_sum * np.abs(diag)
-        strong &= ~dominant[rid]
+    strong = _strong_connections_mask(A, theta, max_row_sum)
 
     counts = segment_sum(strong.astype(np.float64), rid, n).astype(np.int64)
     indptr = indptr_from_counts(counts)

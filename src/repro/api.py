@@ -27,6 +27,7 @@ import numpy as np
 
 from .amg.cache import DEFAULT_CACHE, HierarchyCache
 from .amg.cache import fingerprint as _fingerprint_csr
+from .amg.cache import pattern_fingerprint as _pattern_fingerprint_csr
 from .amg.solver import AMGSolver
 from .analysis import check_csr, check_scope, checking
 from .config import AMGConfig, single_node_config
@@ -36,10 +37,11 @@ from .krylov.gmres import fgmres, fgmres_multi
 from .results import SolveResult
 from .sparse.csr import CSRMatrix
 
-__all__ = ["as_csr", "fingerprint", "setup", "solve", "solve_many",
-           "SolverHandle"]
+__all__ = ["as_csr", "fingerprint", "pattern_fingerprint", "setup", "solve",
+           "solve_many", "SolverHandle"]
 
 _METHODS = ("amg", "fgmres", "cg")
+_REUSE_MODES = ("auto", "pattern", "never")
 
 
 def _have_scipy() -> bool:
@@ -92,6 +94,20 @@ def fingerprint(A, config: AMGConfig | None = None) -> str:
     matrix alone.
     """
     return _fingerprint_csr(as_csr(A), config)
+
+
+def pattern_fingerprint(A) -> str:
+    """Stable identity of a matrix's sparsity pattern (values ignored).
+
+    Two matrices share a pattern fingerprint iff they have the same shape,
+    ``indptr`` and ``indices`` — the precondition for numeric resetup
+    (:meth:`SolverHandle.update`).  This is the hierarchy cache's
+    second-tier key: an exact-tier miss whose pattern fingerprint matches a
+    cached entry triggers an in-place :meth:`Hierarchy.refresh
+    <repro.amg.setup.Hierarchy.refresh>` instead of a cold build.  *A* may
+    be anything :func:`as_csr` accepts.
+    """
+    return _pattern_fingerprint_csr(as_csr(A))
 
 
 def _as_rhs(b, n: int) -> np.ndarray:
@@ -162,18 +178,49 @@ class SolverHandle:
         *,
         cache: HierarchyCache | None = DEFAULT_CACHE,
         check: str | None = None,
+        reuse: str = "auto",
     ) -> None:
         #: Check level (``"off"``/``"cheap"``/``"full"``) this handle runs
         #: its setup and solves under; ``None`` inherits the process level
         #: (``REPRO_CHECK`` / :func:`repro.analysis.set_check_level`).
         self.check = check
+        if reuse not in _REUSE_MODES:
+            raise ValueError(f"reuse must be one of {_REUSE_MODES}, got {reuse!r}")
+        self._cache = cache
+        self._reuse = reuse
         with check_scope(check):
             self.A = _validate_operator(as_csr(A))
             if checking():
                 check_csr(self.A, name="A", context="api.setup")
             self.config = config if config is not None else single_node_config()
             self._solver = AMGSolver(self.config)
-            self._solver.setup(self.A, cache=cache)
+            self._solver.setup(self.A, cache=cache, reuse=reuse)
+
+    def update(self, A_new, *, reuse: str | None = None) -> "SolverHandle":
+        """Rebind the handle to *A_new*, reusing setup work where possible.
+
+        For an operator with the **same sparsity pattern** as a previous
+        setup, the hierarchy is refreshed numerically (pattern-reuse
+        resetup) instead of rebuilt — same per-level matrices, a fraction of
+        the setup cost.  A different pattern, ``reuse="never"``, or a
+        guard-detected symbolic drift falls back to a full setup.  Returns
+        ``self`` (updated in place) for chaining.
+        """
+        r = self._reuse if reuse is None else reuse
+        if r not in _REUSE_MODES:
+            raise ValueError(f"reuse must be one of {_REUSE_MODES}, got {r!r}")
+        with check_scope(self.check):
+            A_new = _validate_operator(as_csr(A_new))
+            if checking():
+                check_csr(A_new, name="A_new", context="api.update")
+            self.A = A_new
+            if self._cache is not None:
+                self._solver.setup(A_new, cache=self._cache, reuse=r)
+            elif r == "never" or self._solver.hierarchy is None:
+                self._solver.setup(A_new, cache=None, reuse=r)
+            else:
+                self._solver.update(A_new)
+        return self
 
     @property
     def hierarchy(self):
@@ -300,15 +347,19 @@ def setup(
     *,
     cache: HierarchyCache | None = DEFAULT_CACHE,
     check: str | None = None,
+    reuse: str = "auto",
 ) -> SolverHandle:
     """Build (or fetch from *cache*) the AMG hierarchy for *A*.
 
     Pass ``cache=None`` to force a fresh, uncached setup.  ``check`` runs
     the setup (and this handle's solves) under a
     :mod:`repro.analysis` sanitizer level (``"off"``/``"cheap"``/
-    ``"full"``); ``None`` inherits ``REPRO_CHECK``.
+    ``"full"``); ``None`` inherits ``REPRO_CHECK``.  ``reuse`` selects how
+    aggressively prior setup work is reused: ``"auto"`` (exact cache hit,
+    else same-pattern numeric refresh, else cold build), ``"pattern"``
+    (force the refresh tier), or ``"never"`` (always build from scratch).
     """
-    return SolverHandle(A, config, cache=cache, check=check)
+    return SolverHandle(A, config, cache=cache, check=check, reuse=reuse)
 
 
 def solve(
@@ -321,16 +372,19 @@ def solve(
     maxiter: int | None = None,
     cache: HierarchyCache | None = DEFAULT_CACHE,
     check: str | None = None,
+    reuse: str = "auto",
 ) -> SolveResult:
     """One-call solve of ``A x = b``.
 
     ``method`` is ``"amg"`` (standalone V-cycles, the Table 3 solver),
     ``"fgmres"`` or ``"cg"`` (AMG-preconditioned Krylov).  Repeated calls
     with the same matrix and config hit the hierarchy cache and skip the
-    setup phase entirely.  ``check`` selects the :mod:`repro.analysis`
+    setup phase entirely; calls with a *same-pattern* matrix refresh the
+    cached hierarchy numerically instead of rebuilding (``reuse="auto"``,
+    see :func:`setup`).  ``check`` selects the :mod:`repro.analysis`
     sanitizer level for this call.
     """
-    return setup(A, config, cache=cache, check=check).solve(
+    return setup(A, config, cache=cache, check=check, reuse=reuse).solve(
         b, method=method, tol=tol, maxiter=maxiter)
 
 
@@ -344,13 +398,15 @@ def solve_many(
     maxiter: int | None = None,
     cache: HierarchyCache | None = DEFAULT_CACHE,
     check: str | None = None,
+    reuse: str = "auto",
 ) -> list[SolveResult]:
     """One-call batched solve of ``A X = B`` for an ``(n, k)`` block.
 
     Every cycle streams the hierarchy once for all *k* right-hand sides
     (the multi-RHS path); returns one result per column, each bit-identical
     to the corresponding single-RHS :func:`solve`.  ``check`` selects the
-    :mod:`repro.analysis` sanitizer level for this call.
+    :mod:`repro.analysis` sanitizer level for this call; ``reuse`` the
+    setup-reuse policy (see :func:`setup`).
     """
-    return setup(A, config, cache=cache, check=check).solve_many(
+    return setup(A, config, cache=cache, check=check, reuse=reuse).solve_many(
         B, method=method, tol=tol, maxiter=maxiter)

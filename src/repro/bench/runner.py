@@ -32,8 +32,10 @@ __all__ = [
     "RANKS_PER_NODE",
 ]
 
-#: Fig. 5 breakdown buckets.
-SETUP_PHASES = ("Strength+Coarsen", "Interp", "RAP", "Setup_etc")
+#: Fig. 5 breakdown buckets.  ``Resetup`` is the pattern-reuse numeric
+#: resetup phase (:meth:`repro.amg.Hierarchy.refresh`): zero on a cold
+#: build, and the *only* non-zero setup bucket on a same-pattern refresh.
+SETUP_PHASES = ("Strength+Coarsen", "Interp", "RAP", "Resetup", "Setup_etc")
 SOLVE_PHASES = ("GS", "SpMV", "BLAS1", "Solve_etc")
 
 #: §5.1.2: 1 MPI rank per socket, 2 sockets per Endeavor node.

@@ -18,7 +18,9 @@ Phases mirror the paper's Fig. 5 breakdown labels::
 
     Strength+Coarsen | Interp | RAP | Setup_etc | GS | SpMV | BLAS1 | Solve_etc
 
-plus the multi-node phases of Fig. 7 (``Solve_MPI`` etc.).
+plus the multi-node phases of Fig. 7 (``Solve_MPI`` etc.) and ``Resetup``,
+the pattern-reuse numeric resetup of :meth:`repro.amg.Hierarchy.refresh`
+(all of a same-pattern re-setup's work lands in that one bucket).
 """
 
 from __future__ import annotations

@@ -87,6 +87,10 @@ class ServiceMetrics:
         # Dispatch.
         self.batches = 0
         self.batch_sizes: dict[int, int] = {}
+        #: Batches served through the hierarchy cache's pattern tier — a
+        #: same-sparsity operator refreshed in place (numeric resetup)
+        #: instead of rebuilt from scratch.
+        self.refresh_hits = 0
         # Latency (modeled seconds).
         self.wait = Histogram()
         self.solve = Histogram()
@@ -147,6 +151,7 @@ class ServiceMetrics:
                     "timed_out": self.timed_out,
                     "degraded": self.degraded,
                     "batches": self.batches,
+                    "refresh_hits": self.refresh_hits,
                 },
                 "batch_sizes": {str(k): v for k, v in
                                 sorted(self.batch_sizes.items())},

@@ -282,7 +282,9 @@ class SolveService:
     def _dispatch(self, batch: list[Request], start: float) -> None:
         """Run one coalesced micro-batch and resolve its tickets."""
         head = batch[0]
-        hits_before = self.cache.stats()["hits"]
+        stats_before = self.cache.stats()
+        hits_before = stats_before["hits"]
+        refresh_before = stats_before.get("pattern_hits", 0)
         with collect() as log:
             handle = setup(head.A, head.config, cache=self.cache)
             if len(batch) == 1:
@@ -293,7 +295,12 @@ class SolveService:
                 solved = handle.solve_many(B, method=head.method,
                                            tol=head.tol,
                                            maxiter=head.maxiter)
-        cache_hit = self.cache.stats()["hits"] > hits_before
+        stats_after = self.cache.stats()
+        cache_hit = stats_after["hits"] > hits_before
+        # Same-pattern requests routed through the numeric-resetup tier.
+        self.metrics.refresh_hits += (
+            stats_after.get("pattern_hits", 0) - refresh_before
+        )
         t_batch = self.machine.log_time(log)
         self.metrics.perf.merge(log)
         self.metrics.record_batch(len(batch), t_batch)

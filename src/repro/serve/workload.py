@@ -15,8 +15,16 @@ Arrivals follow a Poisson process (exponential inter-arrival times at
 ``rate`` requests per modeled second); ``rate: null`` means every request
 arrives at t=0 (a closed batch — the coalescing best case).
 
-Named presets (``tiny``, ``small``, ``mixed``) cover the CLI and CI without
-shipping JSON files.
+Time-stepping sequences: with ``steps > 1`` every problem in the mix
+becomes a sequence of ``steps`` operators sharing one sparsity pattern —
+step *t* scales the base values by ``1 + step_shift * t`` (a
+time-dependent coefficient).  The stream walks the steps in arrival
+order, so the service's hierarchy cache sees a cold build for step 0 and
+same-pattern updates after — the numeric-resetup workload
+(``ServiceMetrics.refresh_hits``).
+
+Named presets (``tiny``, ``small``, ``mixed``, ``timestep``) cover the
+CLI and CI without shipping JSON files.
 """
 
 from __future__ import annotations
@@ -38,11 +46,32 @@ from .request import PRIORITIES
 __all__ = ["WorkloadSpec", "WorkloadItem", "Workload", "build",
            "named_workload", "NAMED_WORKLOADS"]
 
+def _laplace_3d_27pt_generic(n: int) -> CSRMatrix:
+    """27-point Laplacian with seeded symmetric off-diagonal jitter.
+
+    The uniform stencil's interpolation-weight ratios are exact decimals
+    that collide with the truncation threshold, so any value update flips
+    the pattern and defeats numeric resetup.  A few percent of symmetric
+    jitter makes every threshold comparison generic — the time-stepping
+    workload's operators then refresh on the fast path (see
+    docs/performance_model.md).
+    """
+    base = laplace_3d_27pt(n)
+    rng = np.random.default_rng(1234)
+    g = rng.random(base.nrows)
+    rid = base.row_ids()
+    offdiag = base.indices != rid
+    fac = np.where(offdiag, 1.0 + 0.02 * (g[rid] + g[base.indices]), 1.0)
+    return CSRMatrix(base.shape, base.indptr.copy(), base.indices.copy(),
+                     base.data * fac)
+
+
 #: Matrix generators a spec may reference by name.
 PROBLEM_BUILDERS = {
     "lap2d": laplace_2d_5pt,
     "lap3d7": laplace_3d_7pt,
     "lap3d27": laplace_3d_27pt,
+    "lap3d27g": _laplace_3d_27pt_generic,
     "anisotropic": anisotropic_2d,
 }
 
@@ -66,10 +95,17 @@ class WorkloadSpec:
     method: str = "amg"
     tol: float = 1e-7
     maxiter: int | None = None
+    #: Time-stepping: each problem becomes ``steps`` same-pattern
+    #: operators, step *t* scaling the base values by
+    #: ``1 + step_shift * t``; the stream visits steps in arrival order.
+    steps: int = 1
+    step_shift: float = 0.0
 
     def __post_init__(self) -> None:
         if self.requests < 1:
             raise ValueError("requests must be >= 1")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
         if self.rate is not None and self.rate <= 0:
             raise ValueError("rate must be positive (or null)")
         if not self.problems:
@@ -128,8 +164,17 @@ class Workload:
 def build(spec: WorkloadSpec) -> Workload:
     """Materialize *spec* deterministically (single seeded RNG)."""
     rng = np.random.default_rng(spec.seed)
-    matrices = [PROBLEM_BUILDERS[p["problem"]](int(p["size"]))
-                for p in spec.problems]
+    base = [PROBLEM_BUILDERS[p["problem"]](int(p["size"]))
+            for p in spec.problems]
+    if spec.steps > 1:
+        # Same-pattern sequence per problem: index (m, t) -> m*steps + t.
+        matrices = [
+            CSRMatrix(M.shape, M.indptr.copy(), M.indices.copy(),
+                      M.data * (1.0 + spec.step_shift * t)) if t else M
+            for M in base for t in range(spec.steps)
+        ]
+    else:
+        matrices = base
     weights = np.array([float(p.get("weight", 1.0)) for p in spec.problems])
     weights = weights / weights.sum()
     prio_names = sorted(spec.priorities)
@@ -138,10 +183,15 @@ def build(spec: WorkloadSpec) -> Workload:
 
     items: list[WorkloadItem] = []
     t = 0.0
-    for _ in range(spec.requests):
+    for i in range(spec.requests):
         if spec.rate is not None:
             t += float(rng.exponential(1.0 / spec.rate))
-        m = int(rng.choice(len(matrices), p=weights))
+        m = int(rng.choice(len(base), p=weights))
+        if spec.steps > 1:
+            # Steps advance monotonically through the stream, so every
+            # problem's operator sequence arrives in time order.
+            step = (i * spec.steps) // spec.requests
+            m = m * spec.steps + step
         prio = prio_names[int(rng.choice(len(prio_names), p=prio_w))]
         b = rng.standard_normal(matrices[m].nrows)
         items.append(WorkloadItem(arrival=t, matrix_index=m, b=b,
@@ -177,6 +227,15 @@ NAMED_WORKLOADS: dict[str, WorkloadSpec] = {
             {"problem": "anisotropic", "size": 20, "weight": 1.0},
         ),
         priorities={"interactive": 1.0, "batch": 2.0, "bulk": 1.0},
+    ),
+    # Implicit time stepping: one pattern, sixteen requests walking eight
+    # coefficient steps — cold setup once, then numeric resetup
+    # (refresh_hits) for every new step and exact cache hits in between.
+    "timestep": WorkloadSpec(
+        seed=3, requests=16, rate=1000.0,
+        problems=({"problem": "lap3d27g", "size": 8, "weight": 1.0},),
+        priorities={"batch": 1.0},
+        steps=8, step_shift=0.02,
     ),
 }
 

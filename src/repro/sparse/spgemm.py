@@ -47,6 +47,8 @@ __all__ = [
     "spgemm_numeric",
     "SpGEMMPlan",
     "sp_add",
+    "sp_add_numeric",
+    "SpAddPlan",
     "expansion_size",
     "spgemm_traffic",
 ]
@@ -271,5 +273,81 @@ def sp_add(
         bytes_read=_matrix_bytes(A) + _matrix_bytes(B),
         bytes_written=_matrix_bytes(C),
         branches=float(A.nnz + B.nnz),
+    )
+    return C
+
+
+@dataclass
+class SpAddPlan:
+    """Pattern-reuse plan for :func:`sp_add`: union pattern + scatter slots.
+
+    ``slot_a[t]``/``slot_b[t]`` give the output position of the *t*-th
+    stored entry of ``A``/``B``, so a numeric re-add is two branch-free
+    scatter-accumulates.  Entries are summed A-before-B per output slot —
+    the same order :func:`sp_add`'s stable compression uses — so
+    :func:`sp_add_numeric` is bit-identical to a fresh :func:`sp_add`.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    slot_a: np.ndarray
+    slot_b: np.ndarray
+
+    @classmethod
+    def capture(cls, A: CSRMatrix, B: CSRMatrix) -> "SpAddPlan":
+        """Symbolic union of two patterns (uncounted capture helper)."""
+        if A.shape != B.shape:
+            raise ValueError(f"shape mismatch: {A.shape} vs {B.shape}")
+        nrows, ncols = A.shape
+        erows = np.concatenate([A.row_ids(), B.row_ids()])
+        ecols = np.concatenate([A.indices, B.indices])
+        if len(erows) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return cls(A.shape, np.zeros(nrows + 1, dtype=np.int64),
+                       empty, empty.copy(), empty.copy())
+        key = erows * np.int64(ncols) + ecols
+        order = np.argsort(key, kind="stable")
+        skey = key[order]
+        new = np.empty(len(skey), dtype=bool)
+        new[0] = True
+        new[1:] = skey[1:] != skey[:-1]
+        group = np.cumsum(new) - 1
+        slot = np.empty(len(order), dtype=np.int64)
+        slot[order] = group
+        ukey = skey[new]
+        out_rows = (ukey // ncols).astype(np.int64)
+        out_cols = (ukey % ncols).astype(np.int64)
+        indptr = indptr_from_counts(np.bincount(out_rows, minlength=nrows))
+        return cls(A.shape, indptr, out_cols, slot[: A.nnz], slot[A.nnz:])
+
+
+def sp_add_numeric(
+    plan: SpAddPlan, A: CSRMatrix, B: CSRMatrix,
+    alpha: float = 1.0, beta: float = 1.0, *, kernel: str = "sp_add"
+) -> CSRMatrix:
+    """``alpha*A + beta*B`` through a pre-captured union pattern.
+
+    Pattern reuse (§3.1.1 applied to the Galerkin additions): the output
+    structure and both scatter maps are frozen, so the numeric pass is a
+    pair of gathered accumulations with **no** merge branches.  Bit-identical
+    to :func:`sp_add` on the same inputs (same per-slot summation order).
+    """
+    if A.shape != plan.shape or B.shape != plan.shape:
+        raise ValueError(f"shape mismatch: {A.shape} / {B.shape} vs plan {plan.shape}")
+    vals = np.zeros(len(plan.indices))
+    # Unique slots per operand (each input is duplicate-free), summed
+    # A-then-B exactly as the fresh kernel's stable compression does.
+    vals[plan.slot_a] += alpha * A.data
+    vals[plan.slot_b] += beta * B.data
+    C = CSRMatrix(plan.shape, plan.indptr.copy(), plan.indices.copy(), vals)
+    mul_a = 2 if alpha != 1.0 else 1
+    mul_b = 2 if beta != 1.0 else 1
+    count(
+        f"{kernel}.numeric_only",
+        flops=mul_a * A.nnz + mul_b * B.nnz,
+        bytes_read=(A.nnz + B.nnz) * (VAL_BYTES + IDX_BYTES),
+        bytes_written=C.nnz * VAL_BYTES,
+        branches=0.0,
     )
     return C

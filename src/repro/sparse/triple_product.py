@@ -21,20 +21,37 @@ Variants (all numerically equivalent; instrumentation differs):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, count
+from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, collect, count
 from .csr import CSRMatrix
 from .ops import segment_sum
 from .reorder import extract_cf_blocks
-from .spgemm import expansion_size, sp_add, spgemm
+from .spgemm import (
+    SpAddPlan,
+    SpGEMMPlan,
+    expansion_size,
+    sp_add,
+    sp_add_numeric,
+    spgemm,
+    spgemm_numeric,
+    spgemm_symbolic,
+)
 from .transpose import transpose
 
 __all__ = [
     "rap_unfused",
     "rap_fused",
+    "rap_fused_plan",
+    "rap_fused_numeric",
+    "RAPFusedPlan",
     "rap_hypre_fusion",
     "rap_cf_block",
+    "rap_cf_block_plan",
+    "rap_cf_block_numeric",
+    "RAPCFBlockPlan",
     "fusion_flop_counts",
 ]
 
@@ -113,6 +130,96 @@ def rap_fused(R: CSRMatrix, A: CSRMatrix, P: CSRMatrix) -> CSRMatrix:
         bytes_read=bytes_read,
         bytes_written=bytes_written,
         branches=float(N2 + M2),
+    )
+    return C
+
+
+def _entry_id_matrix(M: CSRMatrix) -> CSRMatrix:
+    """Same pattern as *M*, data = stored-entry indices (capture trick).
+
+    Pushing entry ids through a pattern-only transformation (transpose,
+    block extraction) yields the entry permutation of that transformation:
+    the output's ``data`` array *is* the gather map.
+    """
+    return CSRMatrix(M.shape, M.indptr, M.indices,
+                     np.arange(M.nnz, dtype=np.float64))
+
+
+@dataclass
+class RAPFusedPlan:
+    """Reuse plan for :func:`rap_fused`: frozen ``R = P^T`` structure plus
+    the two :class:`~repro.sparse.spgemm.SpGEMMPlan` term mappings.
+
+    ``r_perm`` rebuilds the restriction values from fresh ``P`` values
+    (``R.data = P.data[r_perm]``) without re-running the transpose.
+    """
+
+    r_shape: tuple[int, int]
+    r_indptr: np.ndarray
+    r_indices: np.ndarray
+    r_perm: np.ndarray
+    ra: SpGEMMPlan
+    bp: SpGEMMPlan
+
+
+def rap_fused_plan(
+    R: CSRMatrix, A: CSRMatrix, P: CSRMatrix
+) -> tuple[CSRMatrix, RAPFusedPlan]:
+    """:func:`rap_fused` plus a captured :class:`RAPFusedPlan`.
+
+    Emits exactly the kernel records of the fresh :func:`rap_fused` (the
+    capture itself runs in a discarded collection scope), so a
+    plan-capturing setup is indistinguishable from a plain one in the
+    performance model.  The returned coarse operator is the fresh kernel's.
+    """
+    C = rap_fused(R, A, P)
+    with collect():
+        rid = transpose(_entry_id_matrix(P))
+        ra = spgemm_symbolic(R, A)
+        B = spgemm_numeric(ra, R, A)
+        bp = spgemm_symbolic(B, P)
+    plan = RAPFusedPlan(
+        r_shape=R.shape,
+        r_indptr=R.indptr,
+        r_indices=R.indices,
+        r_perm=rid.data.astype(np.int64),
+        ra=ra,
+        bp=bp,
+    )
+    return C, plan
+
+
+def rap_fused_numeric(plan: RAPFusedPlan, A: CSRMatrix, P: CSRMatrix) -> CSRMatrix:
+    """Numeric-only fused RAP through a captured plan (branch-free).
+
+    Rebuilds ``R`` by gathering fresh ``P`` values through the frozen
+    transpose permutation, then runs both products as pattern-reuse
+    numeric passes.  Bit-identical to :func:`rap_fused` on the same
+    values; the counted record keeps the fusion's traffic shape (``B``
+    never round-trips through memory) but drops every symbolic byte and
+    every sparse-accumulator branch.
+    """
+    R = CSRMatrix(plan.r_shape, plan.r_indptr, plan.r_indices,
+                  P.data[plan.r_perm])
+    with collect():
+        B = spgemm_numeric(plan.ra, R, A)
+        C = spgemm_numeric(plan.bp, B, P)
+    N2, M2 = plan.ra.expansion, plan.bp.expansion
+    bytes_read = (
+        P.nnz * (VAL_BYTES + IDX_BYTES)  # transpose gather of P values
+        + _matrix_bytes(R)
+        + N2 * (VAL_BYTES + IDX_BYTES)  # gathered rows of A
+        + R.nnz * 2 * PTR_BYTES
+        + M2 * (VAL_BYTES + IDX_BYTES)  # gathered rows of P
+        + B.nnz * 2 * PTR_BYTES
+        + C.nnz * IDX_BYTES
+    )
+    count(
+        "rap.fused.numeric_only",
+        flops=2 * N2 + 2 * M2,
+        bytes_read=bytes_read,
+        bytes_written=(R.nnz + C.nnz) * VAL_BYTES,
+        branches=0.0,
     )
     return C
 
@@ -199,3 +306,126 @@ def rap_cf_block(
                    kernel="rap.add_inner")
     t_ff = spgemm(inner, P_F, method=method, kernel="rap.inner_pf")
     return sp_add(sp_add(A_CC, t_fc, kernel="rap.add1"), t_ff, kernel="rap.add2")
+
+
+@dataclass
+class RAPCFBlockPlan:
+    """Reuse plan for :func:`rap_cf_block`.
+
+    Freezes every symbolic artifact of the CF-block Galerkin product: the
+    four block patterns with their entry gather maps into ``A.data``, the
+    ``P_F^T`` structure with its transpose permutation, the three
+    :class:`~repro.sparse.spgemm.SpGEMMPlan` term mappings, and the three
+    :class:`~repro.sparse.spgemm.SpAddPlan` union patterns.
+    """
+
+    #: (shape, indptr, indices, entry map into A.data) per block
+    blocks: dict[str, tuple[tuple[int, int], np.ndarray, np.ndarray, np.ndarray]]
+    pft_shape: tuple[int, int]
+    pft_indptr: np.ndarray
+    pft_indices: np.ndarray
+    pft_perm: np.ndarray
+    p_fc: SpGEMMPlan
+    p_ff: SpGEMMPlan
+    p_inner: SpGEMMPlan
+    a_inner: SpAddPlan
+    a1: SpAddPlan
+    a2: SpAddPlan
+    a_nnz: int
+    pf_nnz: int
+
+
+def rap_cf_block_plan(
+    A: CSRMatrix,
+    P_F: CSRMatrix,
+    cf_marker: np.ndarray,
+    *,
+    method: str = "one_pass",
+    already_partitioned: bool = False,
+) -> tuple[CSRMatrix, RAPCFBlockPlan]:
+    """:func:`rap_cf_block` plus a captured :class:`RAPCFBlockPlan`.
+
+    Emits exactly the fresh kernel's records (all capture work runs in a
+    discarded collection scope) and returns the same coarse operator, so
+    plan capture is free in the performance model.
+    """
+    A_CC, A_CF, A_FC, A_FF = extract_cf_blocks(
+        A, cf_marker, already_partitioned=already_partitioned
+    )
+    if P_F.nrows != A_FF.nrows or P_F.ncols != A_CC.nrows:
+        raise ValueError(
+            f"P_F shape {P_F.shape} inconsistent with CF split "
+            f"({A_FF.nrows} F pts, {A_CC.nrows} C pts)"
+        )
+    PFt = transpose(P_F, kernel="rap.pf_transpose")
+    t_fc = spgemm(PFt, A_FC, method=method, kernel="rap.pft_afc")
+    t_aff = spgemm(PFt, A_FF, method=method, kernel="rap.pft_aff")
+    inner = sp_add(A_CF, t_aff, kernel="rap.add_inner")
+    t_ff = spgemm(inner, P_F, method=method, kernel="rap.inner_pf")
+    s1 = sp_add(A_CC, t_fc, kernel="rap.add1")
+    C = sp_add(s1, t_ff, kernel="rap.add2")
+
+    with collect():
+        id_blocks = extract_cf_blocks(
+            _entry_id_matrix(A), cf_marker,
+            already_partitioned=already_partitioned,
+        )
+        pft_id = transpose(_entry_id_matrix(P_F))
+        blocks = {
+            name: (blk.shape, blk.indptr, blk.indices,
+                   blk.data.astype(np.int64))
+            for name, blk in zip(("cc", "cf", "fc", "ff"), id_blocks)
+        }
+        plan = RAPCFBlockPlan(
+            blocks=blocks,
+            pft_shape=PFt.shape,
+            pft_indptr=pft_id.indptr,
+            pft_indices=pft_id.indices,
+            pft_perm=pft_id.data.astype(np.int64),
+            p_fc=spgemm_symbolic(PFt, A_FC),
+            p_ff=spgemm_symbolic(PFt, A_FF),
+            p_inner=spgemm_symbolic(inner, P_F),
+            a_inner=SpAddPlan.capture(A_CF, t_aff),
+            a1=SpAddPlan.capture(A_CC, t_fc),
+            a2=SpAddPlan.capture(s1, t_ff),
+            a_nnz=A.nnz,
+            pf_nnz=P_F.nnz,
+        )
+    return C, plan
+
+
+def rap_cf_block_numeric(
+    plan: RAPCFBlockPlan, A: CSRMatrix, P_F: CSRMatrix
+) -> CSRMatrix:
+    """Numeric-only CF-block RAP through a captured plan (branch-free).
+
+    The four blocks are value gathers through frozen entry maps, ``P_F^T``
+    is a gather through the frozen transpose permutation, each product is
+    a pattern-reuse :func:`~repro.sparse.spgemm.spgemm_numeric`, and each
+    addition a :func:`~repro.sparse.spgemm.sp_add_numeric` — no symbolic
+    pass and no data-dependent branch anywhere.  Bit-identical to
+    :func:`rap_cf_block` on the same values.
+    """
+    if A.nnz != plan.a_nnz or P_F.nnz != plan.pf_nnz:
+        raise ValueError("operator layout differs from the captured plan")
+
+    def block(name: str) -> CSRMatrix:
+        shape, indptr, indices, emap = plan.blocks[name]
+        return CSRMatrix(shape, indptr, indices, A.data[emap])
+
+    A_CC, A_CF, A_FC, A_FF = (block(n) for n in ("cc", "cf", "fc", "ff"))
+    PFt = CSRMatrix(plan.pft_shape, plan.pft_indptr, plan.pft_indices,
+                    P_F.data[plan.pft_perm])
+    # One streaming sweep re-materializes block + transposed values.
+    count(
+        "rap.block_gather.numeric_only",
+        bytes_read=(A.nnz + P_F.nnz) * (VAL_BYTES + IDX_BYTES),
+        bytes_written=(A.nnz + P_F.nnz) * VAL_BYTES,
+        branches=0.0,
+    )
+    t_fc = spgemm_numeric(plan.p_fc, PFt, A_FC, kernel="rap.pft_afc")
+    t_aff = spgemm_numeric(plan.p_ff, PFt, A_FF, kernel="rap.pft_aff")
+    inner = sp_add_numeric(plan.a_inner, A_CF, t_aff, kernel="rap.add_inner")
+    t_ff = spgemm_numeric(plan.p_inner, inner, P_F, kernel="rap.inner_pf")
+    s1 = sp_add_numeric(plan.a1, A_CC, t_fc, kernel="rap.add1")
+    return sp_add_numeric(plan.a2, s1, t_ff, kernel="rap.add2")

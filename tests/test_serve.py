@@ -139,7 +139,7 @@ class TestCacheConcurrency:
         cache.get_or_build(lap2d_small, cfg)
         cache.get_or_build(lap2d_small, cfg)
         assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1,
-                                 "evictions": 0}
+                                 "evictions": 0, "pattern_hits": 0}
 
 
 # ---------------------------------------------------------------------------
