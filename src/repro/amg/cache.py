@@ -20,9 +20,12 @@ once.  :class:`HierarchyCache` memoizes built hierarchies in **two tiers**:
   hierarchy was built for a matrix with the **same pattern** (a time step,
   a Newton iteration), the cache runs the numeric-only
   :meth:`Hierarchy.refresh <repro.amg.setup.Hierarchy.refresh>` resetup
-  path (§3.1.1 pattern reuse) instead of a cold build, then re-keys the
-  refreshed hierarchy under the new exact fingerprint.  Pattern-tier hits
-  are counted in ``.pattern_hits`` (see :meth:`HierarchyCache.stats`).
+  path (§3.1.1 pattern reuse) instead of a cold build and inserts the
+  resulting **new** hierarchy under the new exact fingerprint.  Refresh
+  never mutates its input, so the seed entry stays cached — still valid
+  for, and exact-hittable by, the operator it was built with.
+  Pattern-tier hits are counted in ``.pattern_hits`` (see
+  :meth:`HierarchyCache.stats`).
 
 The exact fingerprint is also the *coalescing key* of the solve service
 (:mod:`repro.serve`): requests whose operators share a fingerprint can be
@@ -123,10 +126,10 @@ class HierarchyCache:
     Two lookup tiers (see the module docstring): the exact tier keys on
     :func:`fingerprint` and returns the hierarchy untouched; the pattern
     tier keys on :func:`pattern_fingerprint` + config digest and, on a hit,
-    refreshes the cached hierarchy's numerics in place through its captured
-    :class:`~repro.amg.resetup.SetupPlan` before re-keying it under the new
-    exact fingerprint.  ``get``/``put`` speak the exact tier only;
-    ``get_or_build`` orchestrates both.
+    derives a **new** hierarchy from the cached one's captured
+    :class:`~repro.amg.resetup.SetupPlan` (numeric-only refresh) and
+    inserts it under the new exact fingerprint.  ``get``/``put`` speak the
+    exact tier only; ``get_or_build`` orchestrates both.
 
     The cache is safe for concurrent use: a single internal lock guards the
     entry map, the pattern index, and every counter, so
@@ -135,9 +138,11 @@ class HierarchyCache:
     submitters).  ``get_or_build`` builds and refreshes *outside* the
     lock — two threads missing on the same key may both build, but the
     second ``put`` just replaces the first entry without distorting the
-    eviction count.  A pattern-tier hit *claims* its entry (removes it
-    under the stale exact key) before refreshing, so no thread can observe
-    a half-refreshed hierarchy through the exact tier.
+    eviction count.  Cached hierarchies are frozen once handed out:
+    :meth:`Hierarchy.refresh <repro.amg.setup.Hierarchy.refresh>` returns
+    a fresh object and never mutates the entry it read, so references
+    returned by earlier lookups — including solves in flight on other
+    threads — are never rewired to different numerics.
     """
 
     def __init__(self, max_entries: int | None = None, *,
@@ -180,8 +185,10 @@ class HierarchyCache:
         """Consistent snapshot of the counters (one lock acquisition).
 
         ``hits``/``misses`` count the exact tier; ``pattern_hits`` counts
-        same-pattern refreshes served by the second tier (every pattern hit
-        is also an exact miss).
+        same-pattern refreshes served by the second tier.  Under
+        ``reuse="auto"`` every pattern hit is also an exact miss; the
+        ``reuse="pattern"`` policy skips the exact tier entirely, so its
+        lookups touch ``pattern_hits`` only.
         """
         with self._lock:
             return {
@@ -219,31 +226,31 @@ class HierarchyCache:
                 logger.info("evicted hierarchy %s (cache bound %d reached)",
                             evicted_key[:12], self.max_entries)
 
-    def _claim_pattern(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy | None:
-        """Claim a refreshable same-pattern entry (removing its stale key).
+    def _pattern_lookup(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy | None:
+        """Find a refreshable same-pattern entry, or None on a pattern miss.
 
-        Returns the hierarchy to refresh, or None on a pattern miss.  The
-        entry leaves the cache under its old exact key — its values are
-        about to be overwritten in place, so the stale key must never
-        serve another exact hit.  The caller re-``put``\\ s the refreshed
-        hierarchy under the new fingerprint.
+        The entry *stays in the cache* under its own exact key:
+        :meth:`Hierarchy.refresh <repro.amg.setup.Hierarchy.refresh>` never
+        mutates the hierarchy it reads, so the cached object remains valid
+        for the operator it was built with and keeps serving exact hits
+        (and should a refresh fail, nothing is lost).  The caller ``put``\\ s
+        the refreshed hierarchy under the new fingerprint, which also
+        repoints the pattern index at the most recent same-pattern entry.
         """
         pkey = self.pattern_key(A, config)
         with self._lock:
             exact = self._patterns.get(pkey)
             if exact is None:
                 return None
-            entry = self._entries.pop(exact, None)
+            entry = self._entries.get(exact)
             if entry is None:  # stale index entry
                 del self._patterns[pkey]
                 return None
             hierarchy, _ = entry
             if hierarchy.plan is None:
-                # Built without plan capture: not refreshable.  Restore.
-                self._entries[exact] = entry
-                self._entries.move_to_end(exact)
+                # Built without plan capture: not refreshable.
                 return None
-            del self._patterns[pkey]
+            self._entries.move_to_end(exact)
             self.pattern_hits += 1
             return hierarchy
 
@@ -256,8 +263,9 @@ class HierarchyCache:
         * ``"auto"`` (default) — exact tier, then pattern tier (numeric
           refresh), then cold build.
         * ``"pattern"`` — skip the exact tier and force the pattern tier:
-          a same-pattern entry is refreshed even if an exact entry exists
-          (useful for benchmarking the resetup path); cold build otherwise.
+          a same-pattern entry seeds a refresh even if an exact entry
+          exists (useful for benchmarking the resetup path); cold build
+          otherwise.
         * ``"never"`` — bypass both lookup tiers and build from scratch.
           The result is still ``put`` so later requests can reuse it.
         """
@@ -268,11 +276,13 @@ class HierarchyCache:
                 h = self.get(A, config)
                 if h is not None:
                     return h
-            stale = self._claim_pattern(A, config)
-            if stale is not None:
+            seed = self._pattern_lookup(A, config)
+            if seed is not None:
                 # Refreshed outside the lock, like builds: the numeric
                 # resetup is the long pole and must not serialize gets.
-                h = stale.refresh(A)
+                # refresh() returns a new hierarchy (seed stays frozen in
+                # the cache), so a failure here loses no cached state.
+                h = seed.refresh(A)
                 self.put(A, config, h)
                 return h
         # Built outside the lock: hierarchy construction is the long

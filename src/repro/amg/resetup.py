@@ -1,4 +1,4 @@
-"""Pattern-reuse numeric resetup: refresh a hierarchy in place (§3.1.1).
+"""Pattern-reuse numeric resetup: refresh a hierarchy's numerics (§3.1.1).
 
 Time-dependent and Newton-type workloads re-solve with operators whose
 **values change but sparsity does not**.  For those, every symbolic
@@ -22,13 +22,17 @@ numerics recomputed.  This module implements both halves:
 * **Refresh** (:func:`refresh_hierarchy`, the implementation of
   :meth:`Hierarchy.refresh <repro.amg.setup.Hierarchy.refresh>`): re-runs
   setup branch-free through the frozen plans under a dedicated
-  ``Resetup`` phase.  Cheap vectorized guards validate that the frozen
-  symbolic artifacts are still correct for the new values — the level-0
-  sparsity pattern, the per-level strength mask, and the interpolation
-  pattern produced by each numeric recomputation.  Any guard failure logs
-  its reason on the ``repro.amg.resetup`` logger and falls back to a full
-  (re-capturing) rebuild, so ``refresh`` is always correct and at worst
-  costs one cold setup.
+  ``Resetup`` phase and returns a **new** hierarchy — the input hierarchy
+  is never mutated, so handles and cache entries that still reference it
+  keep solving the operator it was built for (hierarchies are frozen once
+  handed out; the two share only the immutable plan and symbolic arrays).
+  Cheap vectorized guards validate that the frozen symbolic artifacts are
+  still correct for the new values — the level-0 sparsity pattern, the
+  per-level strength mask, and the interpolation pattern produced by each
+  numeric recomputation.  Any guard failure logs its reason on the
+  ``repro.amg.resetup`` logger and falls back to a full (re-capturing)
+  rebuild, so ``refresh`` is always correct and at worst costs one cold
+  setup.
 
 Bit-identity: on a same-pattern update, every per-level matrix produced by
 refresh (``A``, ``P``, ``P_F``, ``R``) is bit-identical to what a
@@ -288,17 +292,26 @@ def _interp_numeric(lp: LevelPlan, A: CSRMatrix, cf_marker: np.ndarray,
 def refresh_hierarchy(hierarchy, A_new: CSRMatrix):
     """Numeric-only resetup of *hierarchy* for same-pattern operator *A_new*.
 
-    Returns the refreshed hierarchy (the same object, mutated in place) on
-    success, or a freshly built one when a guard detects that the frozen
-    symbolic state no longer matches the new values (reason logged on
-    ``repro.amg.resetup``).  After a fallback the original hierarchy object
-    must be considered stale — use the returned one.
+    Always returns a **new** hierarchy: on the fast path a freshly
+    assembled one whose per-level matrices carry *A_new*'s numerics
+    (sharing only the immutable symbolic state — CF markers, permutations,
+    and the captured plan — with the input), or a from-scratch build when a
+    guard detects that the frozen symbolic state no longer matches the new
+    values (reason logged on ``repro.amg.resetup``).  *hierarchy* itself is
+    never mutated, so callers holding it (solver handles, cache entries)
+    can keep solving the operator it was built for.
 
     All modeled work is charged under the ``Resetup`` phase; the numeric
     path executes zero data-dependent branches.
     """
     from ..analysis import check_hierarchy, checking
-    from .setup import _build_coarse_solver, _build_smoothers, build_hierarchy
+    from .level import Level
+    from .setup import (
+        Hierarchy,
+        _build_coarse_solver,
+        _build_smoothers,
+        build_hierarchy,
+    )
 
     config = hierarchy.config
     plan = hierarchy.plan
@@ -394,15 +407,32 @@ def refresh_hierarchy(hierarchy, A_new: CSRMatrix):
             staged.append(entry)
             incoming = A_next
 
-        # All guards passed: commit the staged numerics in place.
+        # All guards passed: assemble a fresh hierarchy around the staged
+        # numerics.  The input hierarchy is left untouched — it may still
+        # be referenced by live solver handles or the cache's exact tier,
+        # so its levels must stay frozen.  The new levels share only the
+        # immutable symbolic arrays (CF markers, permutations) and the
+        # captured plan, which refresh never writes to.
+        new_levels: list[Level] = []
         for entry, lvl in zip(staged, levels):
-            lvl.A = entry["A"]
-            lvl.P = entry["P"]
-            if "P_F" in entry:
-                lvl.P_F = entry["P_F"]
-            if "R" in entry:
-                lvl.R = entry["R"]
-        levels[-1].A = incoming
+            new_levels.append(Level(
+                A=entry["A"],
+                cf_marker=lvl.cf_marker,
+                P=entry["P"],
+                P_F=entry.get("P_F"),
+                R=entry.get("R"),
+                new2old=lvl.new2old,
+                cperm=lvl.cperm,
+                n_coarse=lvl.n_coarse,
+            ))
+        old_last = levels[-1]
+        new_levels.append(Level(
+            A=incoming,
+            cf_marker=old_last.cf_marker,
+            new2old=old_last.new2old,
+            cperm=old_last.cperm,
+            n_coarse=old_last.n_coarse,
+        ))
 
         # Smoothers and the coarse solve are rebuilt from the refreshed
         # operators.  Their construction is replayed silently and charged
@@ -411,15 +441,17 @@ def refresh_hierarchy(hierarchy, A_new: CSRMatrix):
         # is the diagonal/value re-extraction and, on the coarsest level,
         # the dense refactorization.
         with collect():
-            _build_smoothers(levels, config)
-            coarse = _build_coarse_solver(levels, config)
-        hierarchy.coarse_solver = coarse
-        fine_nnz = sum(lv.A.nnz for lv in levels[:-1])
+            _build_smoothers(new_levels, config)
+            coarse = _build_coarse_solver(new_levels, config)
+        refreshed = Hierarchy(
+            levels=new_levels, coarse_solver=coarse, config=config, plan=plan
+        )
+        fine_nnz = sum(lv.A.nnz for lv in new_levels[:-1])
         count(
             "resetup.smoother",
-            flops=2.0 * sum(lv.A.nrows for lv in levels[:-1]),
+            flops=2.0 * sum(lv.A.nrows for lv in new_levels[:-1]),
             bytes_read=fine_nnz * (VAL_BYTES + IDX_BYTES),
-            bytes_written=sum(lv.A.nrows for lv in levels[:-1]) * VAL_BYTES,
+            bytes_written=sum(lv.A.nrows for lv in new_levels[:-1]) * VAL_BYTES,
             branches=0.0,
         )
         if coarse.direct:
@@ -432,5 +464,5 @@ def refresh_hierarchy(hierarchy, A_new: CSRMatrix):
             )
 
     if checking():
-        check_hierarchy(hierarchy)
-    return hierarchy
+        check_hierarchy(refreshed)
+    return refreshed

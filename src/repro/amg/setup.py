@@ -88,8 +88,10 @@ class Hierarchy:
         :class:`~repro.amg.resetup.SetupPlan`, producing per-level matrices
         bit-identical to a from-scratch build on *A_new*.  Falls back to a
         full (re-capturing) rebuild when no plan was captured or a guard
-        detects symbolic drift.  Returns the refreshed hierarchy — ``self``
-        (mutated in place) on the fast path, a new object after fallback.
+        detects symbolic drift.  Always returns a **new** hierarchy;
+        ``self`` is never mutated and stays valid for the operator it was
+        built with (cached or handed-out hierarchies are frozen, so a
+        refresh can never rewire a live solver to different numerics).
         """
         from .resetup import refresh_hierarchy
 

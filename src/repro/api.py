@@ -103,9 +103,10 @@ def pattern_fingerprint(A) -> str:
     ``indptr`` and ``indices`` — the precondition for numeric resetup
     (:meth:`SolverHandle.update`).  This is the hierarchy cache's
     second-tier key: an exact-tier miss whose pattern fingerprint matches a
-    cached entry triggers an in-place :meth:`Hierarchy.refresh
-    <repro.amg.setup.Hierarchy.refresh>` instead of a cold build.  *A* may
-    be anything :func:`as_csr` accepts.
+    cached entry triggers a numeric-only :meth:`Hierarchy.refresh
+    <repro.amg.setup.Hierarchy.refresh>` (which derives a new hierarchy
+    from the cached one) instead of a cold build.  *A* may be anything
+    :func:`as_csr` accepts.
     """
     return _pattern_fingerprint_csr(as_csr(A))
 

@@ -88,7 +88,7 @@ class ServiceMetrics:
         self.batches = 0
         self.batch_sizes: dict[int, int] = {}
         #: Batches served through the hierarchy cache's pattern tier — a
-        #: same-sparsity operator refreshed in place (numeric resetup)
+        #: same-sparsity operator served via numeric resetup (refresh)
         #: instead of rebuilt from scratch.
         self.refresh_hits = 0
         # Latency (modeled seconds).

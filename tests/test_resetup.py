@@ -251,7 +251,7 @@ class TestRefresh:
         h = build_hierarchy(A, cfg, capture_plan=True)
         ref = build_hierarchy(A, cfg)
         h2 = h.refresh(_scale(A, 1.0))
-        assert h2 is h  # fast path, refreshed in place
+        assert h2 is not h  # fast path still returns a fresh hierarchy
         assert_same_hierarchy(h2, ref)
 
     @pytest.mark.parametrize("name,A", _problems())
@@ -262,7 +262,7 @@ class TestRefresh:
         A2 = _scale(A, 1.03)
         ref = build_hierarchy(A2, cfg)
         h2 = h.refresh(A2)
-        assert h2 is h, name
+        assert h2 is not h, name
         assert_same_hierarchy(h2, ref)
 
     def test_refresh_equals_from_scratch_fused(self):
@@ -273,7 +273,7 @@ class TestRefresh:
         A2 = _scale(A, 0.97)
         ref = build_hierarchy(A2, cfg)
         h2 = h.refresh(A2)
-        assert h2 is h
+        assert h2 is not h
         assert_same_hierarchy(h2, ref)
 
     @pytest.mark.parametrize("interp", ["classical", "direct"])
@@ -287,8 +287,28 @@ class TestRefresh:
         A2 = _scale(A, 1.05)
         ref = build_hierarchy(A2, cfg)
         h2 = h.refresh(A2)
-        assert h2 is h
+        assert h2 is not h
         assert_same_hierarchy(h2, ref)
+
+    def test_refresh_leaves_original_untouched(self):
+        """The input hierarchy is frozen: same objects, same values."""
+        A = _jitter(laplace_3d_27pt(7))
+        cfg = single_node_config(True)
+        h = build_hierarchy(A, cfg, capture_plan=True)
+        before = [(lvl.A, lvl.A.data.copy(), lvl.P, lvl.smoother)
+                  for lvl in h.levels]
+        coarse_before = h.coarse_solver
+        h2 = h.refresh(_scale(A, 1.3))
+        assert h2 is not h
+        assert h.coarse_solver is coarse_before
+        for lvl, (A_ref, data, P_ref, smoother) in zip(h.levels, before):
+            assert lvl.A is A_ref
+            np.testing.assert_array_equal(lvl.A.data, data)
+            assert lvl.P is P_ref
+            assert lvl.smoother is smoother
+        # The untouched original still equals a from-scratch build on the
+        # operator it was set up for.
+        assert_same_hierarchy(h, build_hierarchy(A, cfg))
 
     def test_refresh_sequence_of_steps(self):
         """A time-step walk: every refresh matches its from-scratch build."""
@@ -305,7 +325,7 @@ class TestRefresh:
         cfg = single_node_config(True)
         h = build_hierarchy(A, cfg, capture_plan=True)
         with collect() as log:
-            assert h.refresh(_scale(A, 1.01)) is h
+            assert h.refresh(_scale(A, 1.01)) is not h
         assert log.records
         assert {r.phase for r in log.records} == {"Resetup"}
         assert all(r.branches == 0 for r in log.records)
@@ -317,7 +337,7 @@ class TestRefresh:
         with collect() as cold:
             h = build_hierarchy(A, cfg, capture_plan=True)
         with collect() as warm:
-            assert h.refresh(_scale(A, 1.01)) is h
+            assert h.refresh(_scale(A, 1.01)) is not h
         cold_flops = sum(r.flops for r in cold.records)
         warm_flops = sum(r.flops for r in warm.records)
         assert cold_flops >= 2.0 * warm_flops
@@ -398,7 +418,7 @@ class TestRefresh:
         with check_scope("full"):
             h = build_hierarchy(A, cfg, capture_plan=True)
             h2 = h.refresh(_scale(A, 1.02))
-            assert h2 is h
+            assert h2 is not h
             check_hierarchy(h2)
 
 
@@ -420,15 +440,17 @@ class TestCachePatternTier:
         h1 = cache.get_or_build(lap2d_small, cfg)
         A2 = _scale(lap2d_small, 1.5)
         h2 = cache.get_or_build(A2, cfg)
-        # In-place refresh: same object, new values, counted as pattern hit.
-        assert h2 is h1
-        assert cache.stats() == {"entries": 1, "hits": 0, "misses": 2,
+        # Pattern hit: a new hierarchy derived from h1, counted as such.
+        assert h2 is not h1
+        assert cache.stats() == {"entries": 2, "hits": 0, "misses": 2,
                                  "evictions": 0, "pattern_hits": 1}
         assert_same_hierarchy(h2, build_hierarchy(A2, cfg))
         # The refreshed entry serves exact hits under its new fingerprint.
         assert cache.get(A2, cfg) is h2
-        # ... and the stale fingerprint no longer hits.
-        assert cache.get(lap2d_small, cfg) is None
+        # ... and the seed entry stays cached, frozen, and exact-hittable
+        # for the operator it was built with.
+        assert cache.get(lap2d_small, cfg) is h1
+        assert_same_hierarchy(h1, build_hierarchy(lap2d_small, cfg))
 
     def test_exact_hit_takes_precedence(self, lap2d_small):
         cache = HierarchyCache()
@@ -453,8 +475,11 @@ class TestCachePatternTier:
         cfg = single_node_config(True)
         h1 = cache.get_or_build(lap2d_small, cfg)
         h2 = cache.get_or_build(lap2d_small, cfg, reuse="pattern")
-        assert h2 is h1  # same values, refreshed in place
+        assert h2 is not h1  # same values, but served through a refresh
         assert cache.stats()["pattern_hits"] == 1
+        assert_same_hierarchy(h2, h1)
+        # Same exact fingerprint: the refreshed entry replaced the seed.
+        assert cache.get(lap2d_small, cfg) is h2
 
     def test_invalid_reuse_mode_raises(self, lap2d_small):
         cache = HierarchyCache()
@@ -526,7 +551,7 @@ class TestApiReuse:
         h1 = handle.hierarchy
         A2 = _scale(lap2d_small, 1.25)
         assert handle.update(A2) is handle
-        assert handle.hierarchy is h1  # refreshed in place
+        assert handle.hierarchy is not h1  # rebound to a fresh hierarchy
         assert cache.stats()["pattern_hits"] == 1
         assert_same_hierarchy(handle.hierarchy, build_hierarchy(A2, cfg))
         b = np.ones(lap2d_small.nrows)
@@ -537,9 +562,29 @@ class TestApiReuse:
         handle = repro.setup(lap2d_small, cfg, cache=None)
         h1 = handle.hierarchy
         handle.update(_scale(lap2d_small, 0.8))
-        assert handle.hierarchy is h1
+        assert handle.hierarchy is not h1
         assert_same_hierarchy(
             handle.hierarchy, build_hierarchy(_scale(lap2d_small, 0.8), cfg))
+
+    def test_setup_does_not_rewire_earlier_handles(self, lap2d_small):
+        """Regression: a same-pattern setup through a shared cache must not
+        mutate the hierarchy an earlier handle still solves with."""
+        cache = HierarchyCache()
+        cfg = single_node_config(True)
+        handle1 = repro.setup(lap2d_small, cfg, cache=cache)
+        h1 = handle1.hierarchy
+        handle2 = repro.setup(_scale(lap2d_small, 4.0), cfg, cache=cache)
+        assert cache.stats()["pattern_hits"] == 1
+        assert handle2.hierarchy is not h1
+        assert handle1.hierarchy is h1
+        # handle1 still solves *its* system, bit-identical to a cold solve
+        # of the original operator (not the scaled one handle2 holds).
+        b = np.ones(lap2d_small.nrows)
+        warm = handle1.solve(b, tol=1e-8)
+        assert warm.converged
+        cold = repro.solve(lap2d_small, b, config=cfg, cache=None, tol=1e-8)
+        assert warm.iterations == cold.iterations
+        np.testing.assert_array_equal(warm.x, cold.x)
 
     def test_handle_update_reuse_never_rebuilds(self, lap2d_small):
         cfg = single_node_config(True)
