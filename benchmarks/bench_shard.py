@@ -1,0 +1,178 @@
+"""Sharded service scaling — modeled throughput vs. rank count.
+
+The sharded tier's claim: on a setup-dominated request mix with enough
+distinct fingerprints, consistent-hash routing keeps each fingerprint's
+traffic cache-warm on its home rank, and work-aware replica spill keeps
+the ranks busy, so modeled fleet throughput scales near-linearly with the
+rank count until the heaviest single key chain bounds the makespan.
+
+Measured on the ``mixed`` preset widened to a fleet-sized key space
+(every problem entry replicated at 8 consecutive sizes -> 24 distinct
+fingerprints spanning 2-D/3-D stencils of very different cost) replayed
+as a closed batch, so the makespan measures pure service capacity rather
+than the arrival process.  For each rank count the bench reports modeled
+throughput, speedup over one rank, cache-locality hit rate (completed
+requests served home-rank-warm), busy-time imbalance, and the modeled
+forwarding traffic the spilled requests paid.
+
+Acceptance (ISSUE 6): near-linear modeled throughput scaling from 1 to 8
+ranks (>= 3x at 4 ranks, >= 4.5x at 8 on a 30x-cost-spread key set) with
+the locality hit rate reported; ranks=1 must match the plain single-rank
+service bit-for-bit.
+
+Run as a script for the CI determinism smoke: ``python
+benchmarks/bench_shard.py --json OUT.json`` (optionally ``--smoke`` for
+the 1/2/4-rank subset) writes sorted JSON; two runs must produce
+identical bytes.
+"""
+
+import json
+
+from dataclasses import asdict
+
+from repro.perf import format_table
+from repro.serve import (
+    ServiceConfig,
+    ShardedSolveService,
+    SolveService,
+    WorkloadSpec,
+    build,
+    named_workload,
+    widened,
+)
+
+RANKS = (1, 2, 4, 8, 16)
+SMOKE_RANKS = (1, 2, 4)
+
+#: Routing configuration of every sweep point (ranks vary).  ``replicas=2``
+#: gives each key one spill target (power-of-two-choices); the work-aware
+#: spill penalty keeps spilling rare enough that locality survives.
+BASE = dict(replicas=2, spill_penalty=2, max_batch=4, cache_entries=64,
+            max_queue=256)
+
+
+def fleet_spec() -> WorkloadSpec:
+    """The widened ``mixed`` stream, replayed as a closed batch."""
+    spec = widened(named_workload("mixed"), copies=8, requests=192)
+    return WorkloadSpec.from_dict({**asdict(spec), "rate": None})
+
+
+def run_sweep(ranks=RANKS) -> dict:
+    """Run the fleet workload at each rank count; JSON-able results."""
+    spec = fleet_spec()
+    points = []
+    base_seconds = None
+    for r in ranks:
+        cfg = ServiceConfig(ranks=r, replicas=min(BASE["replicas"], r),
+                            spill_penalty=BASE["spill_penalty"],
+                            max_batch=BASE["max_batch"],
+                            cache_entries=BASE["cache_entries"],
+                            max_queue=BASE["max_queue"])
+        svc = ShardedSolveService(cfg)
+        results = svc.run_workload(build(spec))
+        sh = svc.metrics_snapshot()["sharded"]
+        if base_seconds is None:
+            base_seconds = sh["virtual_seconds"]
+        points.append({
+            "ranks": r,
+            "virtual_seconds": sh["virtual_seconds"],
+            "throughput_rps": sh["throughput_rps"],
+            "speedup": base_seconds / sh["virtual_seconds"],
+            "completed": sh["counters"]["completed"],
+            "forwarded": sh["counters"]["forwarded"],
+            "shipments": sh["counters"]["shipments"],
+            "locality_hit_rate": sh["locality"]["hit_rate"],
+            "busy_imbalance": sh["load_balance"]["busy_imbalance"],
+            "forward_bytes": sh["network"]["forward_bytes"],
+            "net_seconds": (sh["network"]["forward_seconds"]
+                            + sh["network"]["return_seconds"]),
+            "all_completed": all(x.status == "completed" for x in results),
+        })
+    return {
+        "workload": (f"mixed widened x8 ({len(spec.problems)} fingerprints, "
+                     f"{spec.requests} requests, closed batch)"),
+        "config": dict(BASE),
+        "points": points,
+    }
+
+
+def single_rank_identity() -> bool:
+    """ranks=1 sharded run vs. a plain SolveService: same metrics bytes."""
+    spec = fleet_spec()
+    plain = SolveService(ServiceConfig(
+        max_batch=BASE["max_batch"], cache_entries=BASE["cache_entries"],
+        max_queue=BASE["max_queue"]))
+    plain.run_workload(build(spec))
+    shard = ShardedSolveService(ServiceConfig(
+        ranks=1, max_batch=BASE["max_batch"],
+        cache_entries=BASE["cache_entries"], max_queue=BASE["max_queue"]))
+    shard.run_workload(build(spec))
+    return plain.metrics_json() == shard.services[0].metrics_json()
+
+
+def _report(res: dict) -> str:
+    rows = [
+        (p["ranks"], round(p["virtual_seconds"] * 1e3, 3),
+         round(p["throughput_rps"], 1), f"{p['speedup']:.2f}x",
+         f"{p['locality_hit_rate']:.2f}", p["forwarded"],
+         f"{p['busy_imbalance']:.2f}")
+        for p in res["points"]
+    ]
+    return format_table(
+        ["ranks", "makespan ms", "req/s (modeled)", "speedup",
+         "locality", "forwards", "busy imb."],
+        rows,
+        title=f"Sharded service scaling, {res['workload']}")
+
+
+def _point(res: dict, ranks: int) -> dict | None:
+    return next((p for p in res["points"] if p["ranks"] == ranks), None)
+
+
+def test_shard_scaling(benchmark):
+    from conftest import emit, tick
+
+    res = run_sweep()
+    emit("shard", _report(res))
+    assert all(p["all_completed"] for p in res["points"])
+    # ISSUE 6 acceptance: near-linear modeled throughput 1 -> 8 ranks.
+    assert _point(res, 2)["speedup"] >= 1.6
+    assert _point(res, 4)["speedup"] >= 3.0
+    assert _point(res, 8)["speedup"] >= 4.5
+    # The locality metric is meaningful: repeated-key batches are served
+    # warm on their home rank.
+    assert _point(res, 8)["locality_hit_rate"] > 0.1
+    # Spilled requests paid for their forwarding on the modeled network.
+    p8 = _point(res, 8)
+    assert (p8["forward_bytes"] > 0) == (p8["forwarded"] > 0)
+    tick(benchmark, fleet_spec)
+
+
+def test_single_rank_bit_identity():
+    assert single_rank_identity()
+
+
+def test_shard_sweep_is_deterministic():
+    a, b = run_sweep(ranks=(1, 2)), run_sweep(ranks=(1, 2))
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="sharded-service scaling benchmark (JSON output)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write results as sorted JSON to PATH")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: ranks 1/2/4 only")
+    args = parser.parse_args()
+    result = run_sweep(SMOKE_RANKS if args.smoke else RANKS)
+    text = json.dumps(result, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(text + "\n")
+    print(_report(result))
+    if not args.smoke:
+        print(f"ranks=1 bit-identical to SolveService: "
+              f"{single_rank_identity()}")

@@ -18,7 +18,10 @@ Commands
 ``serve-bench``
     Replay a seeded workload (a named preset or a WorkloadSpec JSON file)
     through the batching solve service (see docs/serving.md) and print the
-    combined service/kernel metrics report.  ``--json PATH`` additionally
+    combined service/kernel metrics report.  ``--ranks N`` shards the
+    service across N modeled ranks behind the consistent-hash router
+    (``--replicas``/``--shed-depth``/``--autoscale`` configure the tier)
+    and prints the fleet report instead.  ``--json PATH`` additionally
     writes the deterministic metrics snapshot (bit-identical across runs
     of the same workload and seed; CI diffs it).
 
@@ -32,6 +35,7 @@ Examples::
     python -m repro info --problem lap2d --size 64
     python -m repro suite
     python -m repro serve-bench --workload tiny --seed 0
+    python -m repro serve-bench --workload fleet --ranks 4 --replicas 2
     python -m repro serve-bench --workload W.json --k 8 --json metrics.json
 """
 
@@ -226,8 +230,9 @@ def cmd_info(args) -> int:
 def cmd_serve_bench(args) -> int:
     from pathlib import Path
 
-    from .perf.report import format_service_report
-    from .serve import ServiceConfig, SolveService, build, named_workload
+    from .perf.report import format_service_report, format_shard_report
+    from .serve import (ServiceConfig, ShardedSolveService, SolveService,
+                        build, named_workload)
     from .serve.workload import WorkloadSpec
 
     if Path(args.workload).suffix == ".json":
@@ -239,18 +244,30 @@ def cmd_serve_bench(args) -> int:
     else:
         spec = named_workload(args.workload, seed=args.seed)
 
-    service = SolveService(ServiceConfig(
+    config = ServiceConfig(
         max_queue=args.queue, max_batch=args.k, max_wait=args.max_wait,
-        threads=args.threads))
+        threads=args.threads, ranks=args.ranks,
+        replicas=min(args.replicas, args.ranks), shed_depth=args.shed_depth,
+        autoscale=args.autoscale, min_ranks=min(args.min_ranks, args.ranks))
+    # A plain single-rank request is served by SolveService itself so the
+    # report (and --json bytes) stay exactly what this command has always
+    # produced; any sharded-tier feature routes through the sharded front.
+    sharded = (config.ranks > 1 or config.shed_depth is not None
+               or config.autoscale)
+    service = ShardedSolveService(config) if sharded else SolveService(config)
     results = service.run_workload(build(spec))
-    snapshot = service.metrics_snapshot()
 
     print(f"workload      : {args.workload}  (seed={spec.seed}, "
           f"{spec.requests} requests, rate="
           f"{spec.rate if spec.rate is not None else 'closed'})")
     print(f"service       : k={args.k}, queue={args.queue}, "
-          f"max_wait={args.max_wait:g}s")
-    print(format_service_report(snapshot))
+          f"max_wait={args.max_wait:g}s"
+          + (f", ranks={config.ranks}, replicas={config.replicas}"
+             if sharded else ""))
+    if sharded:
+        print(format_shard_report(service.metrics_snapshot()))
+    else:
+        print(format_service_report(service.metrics_snapshot()))
     if args.json:
         Path(args.json).write_text(service.metrics_json() + "\n")
         print(f"metrics JSON  : wrote {args.json}")
@@ -334,6 +351,24 @@ def main(argv: list[str] | None = None) -> int:
                          help="micro-batch deadline in modeled seconds "
                               "(default 1e-3)")
     p_serve.add_argument("--threads", type=int, default=14)
+    p_serve.add_argument("--ranks", type=int, default=1, metavar="N",
+                         help="shard the service across N modeled ranks "
+                              "with consistent-hash routing (default 1: "
+                              "the plain single-rank service)")
+    p_serve.add_argument("--replicas", type=int, default=2, metavar="R",
+                         help="candidate ranks per routing key (home + "
+                              "R-1 spill targets; default 2, capped at "
+                              "--ranks)")
+    p_serve.add_argument("--shed-depth", type=int, default=None,
+                         metavar="D",
+                         help="shed requests at the router when every "
+                              "candidate queue is >= D deep (default: "
+                              "no shedding)")
+    p_serve.add_argument("--autoscale", action="store_true",
+                         help="grow/shrink active ranks from queue depth "
+                              "(starts at --min-ranks)")
+    p_serve.add_argument("--min-ranks", type=int, default=1,
+                         help="autoscaler floor (default 1)")
     p_serve.add_argument("--json", default=None, metavar="PATH",
                          help="write the deterministic metrics snapshot "
                               "JSON here")

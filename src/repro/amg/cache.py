@@ -199,6 +199,18 @@ class HierarchyCache:
                 "pattern_hits": self.pattern_hits,
             }
 
+    def has_pattern(self, pattern_key: str) -> bool:
+        """Peek: is a refreshable entry cached under *pattern_key*?
+
+        *pattern_key* is a :meth:`pattern_key` string.  Touches no counters
+        and moves no LRU state — this is the warmness probe the sharded
+        solve service uses to break routing ties toward ranks whose cache
+        already holds a same-pattern hierarchy.
+        """
+        with self._lock:
+            exact = self._patterns.get(pattern_key)
+            return exact is not None and exact in self._entries
+
     def get(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy | None:
         """Exact-tier lookup: the cached hierarchy for (A, config), or None."""
         key = self.key(A, config)

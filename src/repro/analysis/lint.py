@@ -28,6 +28,12 @@ linters cannot see:
     (borrow) array references, so mutating a borrowed array corrupts the
     lender.  Kernels must copy first (``indptr.copy()``) or build fresh
     arrays.
+``use-config-objects``
+    Library code must configure the serving tier through
+    :class:`~repro.serve.service.ServiceConfig` — constructing a
+    ``SolveService`` / ``ShardedSolveService`` with the deprecated
+    per-field keywords (``max_batch=...``, ``ranks=...``) is flagged.
+    The keywords only exist as a migration shim for external callers.
 
 Waivers live in a JSON file (default ``tools/lint_waivers.json``) mapping
 rule id to a list of ``fnmatch`` patterns over ``path`` or
@@ -52,7 +58,22 @@ RULES = (
     "seeded-random",
     "no-bare-except",
     "no-borrowed-mutation",
+    "use-config-objects",
 )
+
+#: Service classes whose constructors carry the deprecated per-field
+#: keyword shim (see ``repro.serve.service.resolve_service_config``).
+_SERVICE_CLASSES = {"SolveService", "ShardedSolveService"}
+
+#: ``ServiceConfig`` field names — the deprecated constructor keywords.
+#: Kept as a literal so the lint stays a pure AST pass (no repro imports);
+#: ``tests/test_analysis.py`` pins it against the real dataclass fields.
+SERVICE_CONFIG_FIELDS = frozenset({
+    "max_queue", "max_batch", "max_wait", "cache_entries", "threads",
+    "default_method", "default_tol", "default_maxiter", "default_priority",
+    "ranks", "replicas", "ring_vnodes", "spill_penalty", "shed_depth",
+    "autoscale", "min_ranks", "scale_up_depth", "scale_down_depth",
+})
 
 #: Modules whose public module-level functions are instrumented kernels
 #: (matched as path suffixes, POSIX separators).
@@ -137,7 +158,7 @@ def _np_random_attr(node: ast.AST) -> str | None:
 
 
 def _scan_simple_rules(tree: ast.Module, path: str) -> list[LintFinding]:
-    """no-scipy, seeded-random, no-bare-except, no-borrowed-mutation."""
+    """All single-file rules (everything except kernel-counts)."""
     findings: list[LintFinding] = []
     scopes: list[str] = []
     func_params: list[set[str]] = []
@@ -192,6 +213,18 @@ def _scan_simple_rules(tree: ast.Module, path: str) -> list[LintFinding]:
                     "seeded-random", path, node.lineno, symbol(),
                     f"np.random.{attr} uses unseeded module-global state; "
                     f"use a seeded np.random.default_rng(seed)"))
+            name = _call_target_names(node)
+            if name in _SERVICE_CLASSES:
+                legacy = sorted(
+                    kw.arg for kw in node.keywords
+                    if kw.arg in SERVICE_CONFIG_FIELDS)
+                if legacy:
+                    findings.append(LintFinding(
+                        "use-config-objects", path, node.lineno, symbol(),
+                        f"{name}({', '.join(legacy)}=...) bypasses "
+                        f"ServiceConfig; the per-field keywords are a "
+                        f"deprecated shim — pass "
+                        f"{name}(ServiceConfig({legacy[0]}=...))"))
         if func_params:
             _scan_borrowed_mutation(node, path, symbol(), func_params[-1],
                                     findings)

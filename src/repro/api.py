@@ -8,9 +8,18 @@ matrix type behind three calls::
     result = repro.solve(A, b)                      # AMG, Table 3 defaults
     result = repro.solve(A, b, method="fgmres")     # AMG-preconditioned FGMRES
 
+    opts = repro.SolveOptions(method="fgmres", tol=1e-9)
+    result = repro.solve(A, b, options=opts)        # same knobs, one object
+
     handle = repro.setup(A)                         # pay for setup once
     r1 = handle.solve(b1)
     rs = handle.solve_many(B)                       # (n, k) block, batched
+
+:class:`SolveOptions` is the consolidated spelling of the per-call solver
+knobs (``method``, ``tol``, ``maxiter``, ``reuse``, ``check``, ``config``)
+and the one place their defaults are defined; the individual keywords keep
+working and fold into it, but mixing an ``options`` object with explicit
+keywords raises ``ValueError`` (two sources of truth).
 
 Inputs are flexible: ``A`` may be a :class:`repro.sparse.CSRMatrix`, a
 ``scipy.sparse`` matrix, or a dense 2-D array.  Repeated ``solve`` calls on
@@ -21,6 +30,7 @@ setup phase.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from importlib import util as _importlib_util
 
 import numpy as np
@@ -37,11 +47,80 @@ from .krylov.gmres import fgmres, fgmres_multi
 from .results import SolveResult
 from .sparse.csr import CSRMatrix
 
-__all__ = ["as_csr", "fingerprint", "pattern_fingerprint", "setup", "solve",
-           "solve_many", "SolverHandle"]
+__all__ = ["SolveOptions", "SolverHandle", "as_csr", "fingerprint",
+           "pattern_fingerprint", "setup", "solve", "solve_many"]
 
 _METHODS = ("amg", "fgmres", "cg")
 _REUSE_MODES = ("auto", "pattern", "never")
+
+#: Sentinel distinguishing "keyword not passed" from an explicit value
+#: (``None`` is meaningful for ``maxiter``, ``check`` and ``config``).
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Every per-call solver knob in one frozen object.
+
+    This is the single place the facade's defaults are defined;
+    :func:`solve`, :func:`solve_many`, :func:`setup` and
+    :meth:`SolverHandle.update` all accept ``options=SolveOptions(...)``,
+    and their individual keywords fold into one.  Passing both an
+    ``options`` object and an explicit keyword raises ``ValueError``.
+
+    Fields
+    ------
+    method:
+        ``"amg"`` (standalone V-cycles, the Table 3 solver), ``"fgmres"``
+        or ``"cg"`` (AMG-preconditioned Krylov).
+    tol:
+        Relative residual stopping tolerance.
+    maxiter:
+        Iteration cap; ``None`` uses each solver's own default.
+    reuse:
+        Setup-reuse policy: ``"auto"`` (exact cache hit, else same-pattern
+        numeric refresh, else cold build), ``"pattern"`` (force the refresh
+        tier), ``"never"`` (always build from scratch).
+    check:
+        :mod:`repro.analysis` sanitizer level (``"off"``/``"cheap"``/
+        ``"full"``); ``None`` inherits ``REPRO_CHECK``.
+    config:
+        The :class:`~repro.config.AMGConfig` shaping the hierarchy;
+        ``None`` uses :func:`~repro.config.single_node_config`.
+    """
+
+    method: str = "amg"
+    tol: float = 1e-7
+    maxiter: int | None = None
+    reuse: str = "auto"
+    check: str | None = None
+    config: AMGConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in _METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; choose from {_METHODS}")
+        if self.reuse not in _REUSE_MODES:
+            raise ValueError(
+                f"reuse must be one of {_REUSE_MODES}, got {self.reuse!r}")
+
+
+def _resolve_options(options: SolveOptions | None,
+                     **explicit) -> SolveOptions:
+    """Fold explicit per-call keywords and an options object into one.
+
+    ``explicit`` values default to the ``_UNSET`` sentinel; passing any of
+    them alongside an ``options`` object is an error — one call, one
+    source of truth.
+    """
+    given = {k: v for k, v in explicit.items() if v is not _UNSET}
+    if options is None:
+        return SolveOptions(**given)
+    if given:
+        raise ValueError(
+            f"pass a SolveOptions object or the keyword(s) "
+            f"{sorted(given)}, not both")
+    return options
 
 
 def _have_scipy() -> bool:
@@ -197,16 +276,24 @@ class SolverHandle:
             self._solver = AMGSolver(self.config)
             self._solver.setup(self.A, cache=cache, reuse=reuse)
 
-    def update(self, A_new, *, reuse: str | None = None) -> "SolverHandle":
+    def update(self, A_new, *, reuse: str | None = None,
+               options: SolveOptions | None = None) -> "SolverHandle":
         """Rebind the handle to *A_new*, reusing setup work where possible.
 
         For an operator with the **same sparsity pattern** as a previous
         setup, the hierarchy is refreshed numerically (pattern-reuse
         resetup) instead of rebuilt — same per-level matrices, a fraction of
         the setup cost.  A different pattern, ``reuse="never"``, or a
-        guard-detected symbolic drift falls back to a full setup.  Returns
-        ``self`` (updated in place) for chaining.
+        guard-detected symbolic drift falls back to a full setup.  The
+        reuse policy may also be carried by a :class:`SolveOptions` object
+        (but not both).  Returns ``self`` (updated in place) for chaining.
         """
+        if options is not None:
+            if reuse is not None:
+                raise ValueError(
+                    "pass a SolveOptions object or the keyword(s) "
+                    "['reuse'], not both")
+            reuse = options.reuse
         r = self._reuse if reuse is None else reuse
         if r not in _REUSE_MODES:
             raise ValueError(f"reuse must be one of {_REUSE_MODES}, got {r!r}")
@@ -346,68 +433,78 @@ def setup(
     A,
     config: AMGConfig | None = None,
     *,
+    options: SolveOptions | None = None,
     cache: HierarchyCache | None = DEFAULT_CACHE,
-    check: str | None = None,
-    reuse: str = "auto",
+    check: str | None = _UNSET,
+    reuse: str = _UNSET,
 ) -> SolverHandle:
     """Build (or fetch from *cache*) the AMG hierarchy for *A*.
 
-    Pass ``cache=None`` to force a fresh, uncached setup.  ``check`` runs
-    the setup (and this handle's solves) under a
-    :mod:`repro.analysis` sanitizer level (``"off"``/``"cheap"``/
-    ``"full"``); ``None`` inherits ``REPRO_CHECK``.  ``reuse`` selects how
-    aggressively prior setup work is reused: ``"auto"`` (exact cache hit,
-    else same-pattern numeric refresh, else cold build), ``"pattern"``
-    (force the refresh tier), or ``"never"`` (always build from scratch).
+    Pass ``cache=None`` to force a fresh, uncached setup.  The hierarchy-
+    shaping knobs — ``config``, ``check`` (the :mod:`repro.analysis`
+    sanitizer level) and ``reuse`` (the setup-reuse policy) — may be given
+    individually or carried by a :class:`SolveOptions` object, whose
+    docstring defines them; mixing both spellings raises ``ValueError``.
     """
-    return SolverHandle(A, config, cache=cache, check=check, reuse=reuse)
+    opts = _resolve_options(
+        options, config=_UNSET if config is None else config,
+        check=check, reuse=reuse)
+    return SolverHandle(A, opts.config, cache=cache, check=opts.check,
+                        reuse=opts.reuse)
 
 
 def solve(
     A,
     b,
     *,
-    method: str = "amg",
-    config: AMGConfig | None = None,
-    tol: float = 1e-7,
-    maxiter: int | None = None,
+    options: SolveOptions | None = None,
+    method: str = _UNSET,
+    config: AMGConfig | None = _UNSET,
+    tol: float = _UNSET,
+    maxiter: int | None = _UNSET,
     cache: HierarchyCache | None = DEFAULT_CACHE,
-    check: str | None = None,
-    reuse: str = "auto",
+    check: str | None = _UNSET,
+    reuse: str = _UNSET,
 ) -> SolveResult:
     """One-call solve of ``A x = b``.
 
-    ``method`` is ``"amg"`` (standalone V-cycles, the Table 3 solver),
-    ``"fgmres"`` or ``"cg"`` (AMG-preconditioned Krylov).  Repeated calls
-    with the same matrix and config hit the hierarchy cache and skip the
-    setup phase entirely; calls with a *same-pattern* matrix refresh the
-    cached hierarchy numerically instead of rebuilding (``reuse="auto"``,
-    see :func:`setup`).  ``check`` selects the :mod:`repro.analysis`
-    sanitizer level for this call.
+    All per-call knobs (``method``, ``tol``, ``maxiter``, ``reuse``,
+    ``check``, ``config`` — see :class:`SolveOptions` for their meaning
+    and defaults) may be given individually or as one
+    ``options=SolveOptions(...)`` object; mixing both raises
+    ``ValueError``.  Repeated calls with the same matrix and config hit
+    the hierarchy cache and skip the setup phase entirely; calls with a
+    *same-pattern* matrix refresh the cached hierarchy numerically instead
+    of rebuilding (``reuse="auto"``, see :func:`setup`).
     """
-    return setup(A, config, cache=cache, check=check, reuse=reuse).solve(
-        b, method=method, tol=tol, maxiter=maxiter)
+    opts = _resolve_options(options, method=method, config=config, tol=tol,
+                            maxiter=maxiter, check=check, reuse=reuse)
+    return setup(A, options=opts, cache=cache).solve(
+        b, method=opts.method, tol=opts.tol, maxiter=opts.maxiter)
 
 
 def solve_many(
     A,
     B,
     *,
-    method: str = "amg",
-    config: AMGConfig | None = None,
-    tol: float = 1e-7,
-    maxiter: int | None = None,
+    options: SolveOptions | None = None,
+    method: str = _UNSET,
+    config: AMGConfig | None = _UNSET,
+    tol: float = _UNSET,
+    maxiter: int | None = _UNSET,
     cache: HierarchyCache | None = DEFAULT_CACHE,
-    check: str | None = None,
-    reuse: str = "auto",
+    check: str | None = _UNSET,
+    reuse: str = _UNSET,
 ) -> list[SolveResult]:
     """One-call batched solve of ``A X = B`` for an ``(n, k)`` block.
 
     Every cycle streams the hierarchy once for all *k* right-hand sides
     (the multi-RHS path); returns one result per column, each bit-identical
-    to the corresponding single-RHS :func:`solve`.  ``check`` selects the
-    :mod:`repro.analysis` sanitizer level for this call; ``reuse`` the
-    setup-reuse policy (see :func:`setup`).
+    to the corresponding single-RHS :func:`solve`.  Per-call knobs follow
+    the same rules as :func:`solve`: individual keywords or one
+    ``options=SolveOptions(...)`` object, never both.
     """
-    return setup(A, config, cache=cache, check=check, reuse=reuse).solve_many(
-        B, method=method, tol=tol, maxiter=maxiter)
+    opts = _resolve_options(options, method=method, config=config, tol=tol,
+                            maxiter=maxiter, check=check, reuse=reuse)
+    return setup(A, options=opts, cache=cache).solve_many(
+        B, method=opts.method, tol=opts.tol, maxiter=opts.maxiter)

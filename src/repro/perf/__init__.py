@@ -25,6 +25,7 @@ from .report import (
     format_breakdown,
     format_fault_summary,
     format_service_report,
+    format_shard_report,
     format_table,
     geomean,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "format_breakdown",
     "format_fault_summary",
     "format_service_report",
+    "format_shard_report",
     "format_table",
     "geomean",
     "comm_to_trace",

@@ -114,6 +114,20 @@ class NetworkModel:
             per_rank[m.dst] += t
         return max(per_rank) if per_rank else 0.0
 
+    def transfer_time(self, nbytes: float) -> float:
+        """Modeled seconds of a one-off, non-persistent transfer.
+
+        The service tier uses this for request forwarding and result return
+        between modeled service ranks (:mod:`repro.serve.shard`): each hop
+        is a single message that pays wire latency, the per-exchange
+        software setup (these transfers are sporadic, so nothing amortizes
+        it), and the size-dependent effective bandwidth — the same ramp the
+        halo exchanges see, so forwarding a small right-hand side is
+        latency-bound while shipping a whole operator rides the bandwidth
+        curve.
+        """
+        return self.alpha + self.exchange_setup + nbytes / self.message_bw(nbytes)
+
     def retry_penalty(self, timeout: float, attempt: int, backoff: float) -> float:
         """Sender-side seconds lost to one failed delivery attempt.
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping, Sequence
 
 __all__ = ["format_table", "format_breakdown", "format_fault_summary",
-           "format_service_report", "geomean"]
+           "format_service_report", "format_shard_report", "geomean"]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -146,4 +146,68 @@ def format_service_report(snapshot: Mapping) -> str:
         lines.append(format_table(
             ["kernel phase", "modeled ms"], rows,
             title="modeled kernel time (same workload, same clock)"))
+    return "\n".join(lines)
+
+
+def format_shard_report(snapshot: Mapping) -> str:
+    """Human rendering of a :meth:`ShardMetrics.snapshot
+    <repro.serve.metrics.ShardMetrics.snapshot>` — the fleet-level view
+    (routing, locality, load balance, network) followed by a compact
+    per-rank table.
+    """
+    sh = snapshot.get("sharded", {})
+    counters = sh.get("counters", {})
+    locality = sh.get("locality", {})
+    net = sh.get("network", {})
+    balance = sh.get("load_balance", {})
+    lines = [format_table(
+        ["counter", "value"],
+        [(k, counters[k]) for k in sorted(counters)],
+        title=(f"sharded service: {sh.get('ranks', 0)} ranks "
+               f"({sh.get('active_ranks', 0)} active), "
+               f"{sh.get('replicas', 0)} replicas"))]
+    lines.append(
+        f"cache locality: {locality.get('home_warm', 0)} home+warm of "
+        f"{locality.get('redeemed_completed', 0)} completed "
+        f"(hit rate {locality.get('hit_rate', 0.0):.2f}); "
+        f"{locality.get('home_served', 0)} served on home rank")
+    lines.append(
+        f"network       : {net.get('forward_messages', 0)} forwards "
+        f"({net.get('forward_bytes', 0)} B, "
+        f"{net.get('forward_seconds', 0.0) * 1e3:.3f} ms), "
+        f"{net.get('return_messages', 0)} returns "
+        f"({net.get('return_bytes', 0)} B, "
+        f"{net.get('return_seconds', 0.0) * 1e3:.3f} ms)")
+    lines.append(
+        f"virtual time  : {sh.get('virtual_seconds', 0.0) * 1e3:.3f} ms "
+        f"(makespan), throughput {sh.get('throughput_rps', 0.0):.1f} req/s "
+        f"(modeled)")
+    per_rank = snapshot.get("ranks", [])
+    completed = balance.get("completed_per_rank",
+                            [0] * len(per_rank))
+    busy = balance.get("busy_seconds_per_rank", [0.0] * len(per_rank))
+    rows = []
+    for rank, snap in enumerate(per_rank):
+        svc = snap.get("service", {})
+        cache = svc.get("hierarchy_cache", {})
+        rows.append((
+            rank, completed[rank],
+            round(busy[rank] * 1e3, 3),
+            round(svc.get("virtual_seconds", 0.0) * 1e3, 3),
+            svc.get("counters", {}).get("batches", 0),
+            f"{cache.get('hit_rate', 0.0):.2f}",
+        ))
+    lines.append(format_table(
+        ["rank", "completed", "busy ms", "clock ms", "batches", "$ rate"],
+        rows,
+        title=(f"per-rank load (completed imbalance "
+               f"{balance.get('completed_imbalance', 0.0):.2f}, "
+               f"busy imbalance {balance.get('busy_imbalance', 0.0):.2f})")))
+    events = sh.get("autoscale_events", [])
+    if events:
+        lines.append(format_table(
+            ["t (ms)", "action", "active ranks"],
+            [(round(e["t"] * 1e3, 3), e["action"], e["active"])
+             for e in events],
+            title="autoscale events"))
     return "\n".join(lines)

@@ -132,6 +132,19 @@ class ServiceResult(SolveResult):
         request never reached a batch).
     cache_hit:
         Whether the batch reused a cached hierarchy (setup phase skipped).
+    rank:
+        Service rank that executed the request (always 0 for the
+        single-rank :class:`~repro.serve.service.SolveService`).
+    home_rank:
+        The rank the request's routing key hashes to on the consistent-hash
+        ring of :class:`~repro.serve.shard.ShardedSolveService` — where the
+        request arrived.  ``rank != home_rank`` means the request was
+        forwarded to a replica or a less-loaded rank.
+    net_seconds:
+        Modeled network time the sharded tier charged for this request:
+        forwarding the request (and, on first contact, the operator) to the
+        serving rank plus returning the result to the home rank.  Zero for
+        requests served on their home rank and for the single-rank service.
     """
 
     status: str = "completed"
@@ -141,6 +154,9 @@ class ServiceResult(SolveResult):
     solve_seconds: float = 0.0
     batch_size: int = 0
     cache_hit: bool = False
+    rank: int = 0
+    home_rank: int = 0
+    net_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -148,6 +164,11 @@ class ServiceResult(SolveResult):
         return self.status == "completed" and self.converged
 
     @property
+    def forwarded(self) -> bool:
+        """Whether the sharded tier served this request off its home rank."""
+        return self.rank != self.home_rank
+
+    @property
     def latency_seconds(self) -> float:
-        """End-to-end modeled latency: queue wait plus batch solve time."""
-        return self.wait_seconds + self.solve_seconds
+        """End-to-end modeled latency: network + queue wait + batch solve."""
+        return self.wait_seconds + self.solve_seconds + self.net_seconds

@@ -5,20 +5,27 @@ The serving layer over :mod:`repro.api` (see ``docs/serving.md``):
 * :class:`SolveService` — ``submit(A, b) -> Ticket`` / ``result(ticket)``,
   with a worker loop that coalesces same-fingerprint requests into blocked
   multi-RHS micro-batches;
-* :class:`ServiceConfig` — queue bound, batch cap ``k``, batch deadline,
-  machine model;
-* :class:`ServiceMetrics` — counters, latency histograms, batch-size
-  distribution, hierarchy-cache hit rate, merged kernel perf, JSON export;
+* :class:`ShardedSolveService` — N modeled service ranks behind a
+  consistent-hash router (:class:`HashRing`): same-pattern traffic stays
+  cache-warm on its home rank, replication/spill balances load, forwarding
+  is charged through the network model, with load shedding and an
+  autoscaler on the deterministic clock;
+* :class:`ServiceConfig` — every service knob (queue bound, batch cap
+  ``k``, batch deadline, machine model, sharding) in one frozen object;
+* :class:`ServiceMetrics` / :class:`ShardMetrics` — counters, latency
+  histograms, batch-size distribution, hierarchy-cache hit rate,
+  cache-locality hit rate, load balance, merged kernel perf, JSON export;
 * :class:`WorkloadSpec` / :func:`build` / :func:`named_workload` — seeded
   deterministic request streams over :mod:`repro.problems`
-  (``python -m repro serve-bench --workload tiny``).
+  (``python -m repro serve-bench --workload tiny --ranks 4``).
 """
 
 from ..results import SERVICE_STATUSES, ServiceResult
-from .metrics import Histogram, ServiceMetrics
+from .metrics import Histogram, ServiceMetrics, ShardMetrics
 from .queue import AdmissionQueue
 from .request import PRIORITIES, Request, Ticket, priority_rank
-from .service import ServiceConfig, SolveService
+from .service import ServiceConfig, SolveService, resolve_service_config
+from .shard import HashRing, ShardedSolveService, ShardTicket
 from .workload import (
     NAMED_WORKLOADS,
     Workload,
@@ -26,6 +33,7 @@ from .workload import (
     WorkloadSpec,
     build,
     named_workload,
+    widened,
 )
 
 __all__ = [
@@ -33,6 +41,7 @@ __all__ = [
     "ServiceResult",
     "Histogram",
     "ServiceMetrics",
+    "ShardMetrics",
     "AdmissionQueue",
     "PRIORITIES",
     "Request",
@@ -40,10 +49,15 @@ __all__ = [
     "priority_rank",
     "ServiceConfig",
     "SolveService",
+    "resolve_service_config",
+    "HashRing",
+    "ShardTicket",
+    "ShardedSolveService",
     "NAMED_WORKLOADS",
     "Workload",
     "WorkloadItem",
     "WorkloadSpec",
     "build",
     "named_workload",
+    "widened",
 ]

@@ -25,7 +25,7 @@ import json
 from ..perf.counters import PerfLog
 from ..perf.machine import MachineModel
 
-__all__ = ["Histogram", "ServiceMetrics"]
+__all__ = ["Histogram", "ServiceMetrics", "ShardMetrics"]
 
 #: Fixed histogram bucket edges (modeled seconds), geometric decades from
 #: 1 µs to 10 s.  Fixed edges keep snapshots comparable across runs and
@@ -183,6 +183,148 @@ class ServiceMetrics:
                 k: phases[k] for k in sorted(phases)
             }
         return snap
+
+    def to_json(self, **snapshot_kwargs) -> str:
+        """Deterministic JSON serialization of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(**snapshot_kwargs), indent=2,
+                          sort_keys=True)
+
+
+class ShardMetrics:
+    """Shard-tier health: routing, forwarding volume, locality, autoscale.
+
+    Each rank of a :class:`~repro.serve.shard.ShardedSolveService` keeps
+    its own :class:`ServiceMetrics`; this object records only what happens
+    *between* ranks — routing decisions, modeled forwarding traffic,
+    operator replication, load shedding, autoscaler actions — plus the
+    cache-locality tally.  :meth:`snapshot` merges the per-rank snapshots
+    with the shard-level view into one deterministic report.
+
+    Locality is counted when a result is redeemed (the return hop is
+    charged then), so the hit-rate denominator is redeemed completed
+    requests, not all completions.
+    """
+
+    def __init__(self) -> None:
+        # Routing.
+        self.routed = 0
+        self.forwarded = 0
+        self.shed = 0
+        #: Operators replicated to a non-home rank (first forward of a
+        #: fingerprint ships the matrix, later forwards only the vector).
+        self.shipments = 0
+        # Modeled forwarding traffic (request hop / result-return hop).
+        self.forward_bytes = 0
+        self.forward_seconds = 0.0
+        self.return_messages = 0
+        self.return_bytes = 0
+        self.return_seconds = 0.0
+        # Cache locality: completed requests served on their home rank,
+        # and the subset that also found a warm hierarchy there.
+        self.home_served = 0
+        self.home_warm = 0
+        self.redeemed_completed = 0
+        #: Autoscaler actions: {"t", "action" ("up"/"down"), "active"}.
+        self.autoscale_events: list[dict] = []
+
+    # -- recording ---------------------------------------------------------
+    def record_route(self, *, forwarded: bool, forward_bytes: int = 0,
+                     forward_seconds: float = 0.0,
+                     shipped: bool = False) -> None:
+        self.routed += 1
+        if forwarded:
+            self.forwarded += 1
+            self.forward_bytes += forward_bytes
+            self.forward_seconds += forward_seconds
+            if shipped:
+                self.shipments += 1
+
+    def record_shed(self) -> None:
+        self.routed += 1
+        self.shed += 1
+
+    def record_result(self, result, *, return_bytes: int = 0,
+                      return_seconds: float = 0.0) -> None:
+        """Tally a redeemed result: locality and the result-return hop."""
+        if result.status != "completed":
+            return
+        self.redeemed_completed += 1
+        if return_bytes:
+            self.return_messages += 1
+            self.return_bytes += return_bytes
+            self.return_seconds += return_seconds
+        if result.rank == result.home_rank:
+            self.home_served += 1
+            if result.cache_hit:
+                self.home_warm += 1
+
+    def record_autoscale(self, t: float, action: str, active: int) -> None:
+        self.autoscale_events.append(
+            {"t": t, "action": action, "active": active})
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self, *, per_rank: list[dict], virtual_seconds: float,
+                 active_ranks: int, replicas: int) -> dict:
+        """Aggregated sharded report over the per-rank service snapshots.
+
+        ``per_rank`` is one :meth:`ServiceMetrics.snapshot` per configured
+        rank (index = rank id); ``virtual_seconds`` the makespan (the
+        busiest rank's clock); ``active_ranks`` the autoscaler's current
+        worker count.
+        """
+        agg: dict[str, int] = {}
+        for snap in per_rank:
+            for key, val in snap["service"]["counters"].items():
+                agg[key] = agg.get(key, 0) + val
+        completed = [s["service"]["counters"]["completed"] for s in per_rank]
+        busy = [s["service"]["solve_seconds"]["sum"] for s in per_rank]
+        n_active = max(active_ranks, 1)
+
+        def imbalance(values: list[float]) -> float:
+            mean = sum(values) / n_active
+            return max(values) / mean if mean > 0 else 0.0
+
+        total_completed = sum(completed)
+        return {
+            "sharded": {
+                "ranks": len(per_rank),
+                "active_ranks": active_ranks,
+                "replicas": replicas,
+                "virtual_seconds": virtual_seconds,
+                "throughput_rps": (total_completed / virtual_seconds
+                                   if virtual_seconds > 0 else 0.0),
+                "counters": {
+                    **{k: agg[k] for k in sorted(agg)},
+                    "routed": self.routed,
+                    "forwarded": self.forwarded,
+                    "shed": self.shed,
+                    "shipments": self.shipments,
+                },
+                "locality": {
+                    "redeemed_completed": self.redeemed_completed,
+                    "home_served": self.home_served,
+                    "home_warm": self.home_warm,
+                    "hit_rate": (self.home_warm / self.redeemed_completed
+                                 if self.redeemed_completed else 0.0),
+                },
+                "network": {
+                    "forward_messages": self.forwarded,
+                    "forward_bytes": self.forward_bytes,
+                    "forward_seconds": self.forward_seconds,
+                    "return_messages": self.return_messages,
+                    "return_bytes": self.return_bytes,
+                    "return_seconds": self.return_seconds,
+                },
+                "load_balance": {
+                    "completed_per_rank": completed,
+                    "busy_seconds_per_rank": busy,
+                    "completed_imbalance": imbalance(completed),
+                    "busy_imbalance": imbalance(busy),
+                },
+                "autoscale_events": list(self.autoscale_events),
+            },
+            "ranks": per_rank,
+        }
 
     def to_json(self, **snapshot_kwargs) -> str:
         """Deterministic JSON serialization of :meth:`snapshot`."""

@@ -36,6 +36,12 @@ class AdmissionQueue:
         with self._lock:
             return len(self._slots)
 
+    @property
+    def full(self) -> bool:
+        """Whether the next ``offer`` would be refused (backpressure)."""
+        with self._lock:
+            return len(self._slots) >= self.capacity
+
     def offer(self, req: Request) -> bool:
         """Admit *req* if a slot is free; ``False`` means backpressure."""
         with self._lock:

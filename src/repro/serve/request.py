@@ -45,9 +45,16 @@ def priority_rank(priority: str) -> int:
 
 @dataclass(frozen=True)
 class Ticket:
-    """Opaque handle returned by ``submit``; redeem with ``result()``."""
+    """Opaque handle returned by ``submit``; redeem with ``result()``.
+
+    ``rank`` names the service rank holding the request: always 0 for the
+    single-rank :class:`~repro.serve.service.SolveService`; the rank the
+    router dispatched to for the sharded tier (−1 marks a request the
+    sharded admission layer resolved itself, e.g. load shedding).
+    """
 
     id: int
+    rank: int = 0
 
 
 @dataclass

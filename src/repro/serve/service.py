@@ -38,7 +38,8 @@ per column, PR 2).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -53,12 +54,22 @@ from .queue import AdmissionQueue
 from .request import Request, Ticket, priority_rank
 from .workload import Workload
 
-__all__ = ["ServiceConfig", "SolveService"]
+__all__ = ["ServiceConfig", "SolveService", "resolve_service_config"]
 
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Service knobs: admission, coalescing, and the machine model."""
+    """Every service knob in one frozen object — the single place the
+    serving tier's defaults are defined.
+
+    The first block configures one service rank (admission, coalescing,
+    machine model); the second configures the sharded tier
+    (:class:`~repro.serve.shard.ShardedSolveService`) and is ignored by a
+    plain single-rank :class:`SolveService`.  Constructor keywords on the
+    service classes that duplicate these fields are deprecated — pass a
+    ``ServiceConfig`` (the ``use-config-objects`` lint rule enforces this
+    for library code).
+    """
 
     #: Admission-queue capacity; submits beyond it are rejected.
     max_queue: int = 64
@@ -77,12 +88,87 @@ class ServiceConfig:
     default_maxiter: int | None = None
     default_priority: str = "batch"
 
+    # -- sharded tier (ShardedSolveService) --------------------------------
+    #: Modeled service ranks requests are sharded across.
+    ranks: int = 1
+    #: Candidate ranks per routing key on the consistent-hash ring: the
+    #: home rank plus ``replicas - 1`` successors a hot key may spill to.
+    replicas: int = 1
+    #: Virtual nodes per rank on the hash ring (more -> smoother balance).
+    ring_vnodes: int = 64
+    #: Load advantage a non-home candidate must show before a request is
+    #: forwarded off its home rank, in multiples of the request's own
+    #: operator nnz (0 -> pure least-loaded-by-work routing).
+    spill_penalty: int = 4
+    #: Load shedding: reject a request outright when every candidate
+    #: rank's queue is at least this deep (``None`` disables shedding, so
+    #: only a full admission queue pushes back).
+    shed_depth: int | None = None
+    #: Autoscaler: grow/shrink the active rank count from admission-queue
+    #: depth (disabled -> all ``ranks`` stay active).
+    autoscale: bool = False
+    #: Floor on active ranks while autoscaling.
+    min_ranks: int = 1
+    #: Activate a rank when mean queued requests per active rank exceeds
+    #: this; deactivate one when it drops below ``scale_down_depth``.
+    scale_up_depth: float = 8.0
+    scale_down_depth: float = 1.0
+
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.max_wait < 0:
             raise ValueError("max_wait must be >= 0")
         priority_rank(self.default_priority)
+        if self.ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        if not 1 <= self.replicas <= self.ranks:
+            raise ValueError(
+                f"replicas must be in [1, ranks={self.ranks}], "
+                f"got {self.replicas}")
+        if self.ring_vnodes < 1:
+            raise ValueError("ring_vnodes must be >= 1")
+        if self.spill_penalty < 0:
+            raise ValueError("spill_penalty must be >= 0")
+        if self.shed_depth is not None and self.shed_depth < 1:
+            raise ValueError("shed_depth must be >= 1 (or None to disable)")
+        if not 1 <= self.min_ranks <= self.ranks:
+            raise ValueError(
+                f"min_ranks must be in [1, ranks={self.ranks}], "
+                f"got {self.min_ranks}")
+        if self.scale_down_depth > self.scale_up_depth:
+            raise ValueError("scale_down_depth must be <= scale_up_depth")
+
+
+#: ServiceConfig field names — the keywords the deprecation shim accepts.
+_CONFIG_FIELDS = frozenset(f.name for f in fields(ServiceConfig))
+
+
+def resolve_service_config(config: ServiceConfig | None, legacy: dict,
+                           cls_name: str) -> ServiceConfig:
+    """Fold deprecated per-field constructor keywords into a ServiceConfig.
+
+    ``SolveService(max_batch=8)``-style calls keep working but emit a
+    :class:`DeprecationWarning`; mixing a config object with legacy
+    keywords is an error (two sources of truth).  New call sites must pass
+    ``ServiceConfig`` — the ``use-config-objects`` lint rule rejects the
+    legacy spelling in library code.
+    """
+    if not legacy:
+        return config if config is not None else ServiceConfig()
+    unknown = sorted(set(legacy) - _CONFIG_FIELDS)
+    if unknown:
+        raise TypeError(
+            f"{cls_name}() got unexpected keyword argument(s) {unknown}")
+    if config is not None:
+        raise TypeError(
+            f"pass {cls_name} a ServiceConfig or the legacy keyword(s) "
+            f"{sorted(legacy)}, not both")
+    warnings.warn(
+        f"{cls_name}({', '.join(sorted(legacy))}=...) is deprecated; pass "
+        f"{cls_name}(ServiceConfig(...)) instead",
+        DeprecationWarning, stacklevel=3)
+    return ServiceConfig(**legacy)
 
 
 class SolveService:
@@ -105,8 +191,9 @@ class SolveService:
     def __init__(self, config: ServiceConfig | None = None, *,
                  amg_config: AMGConfig | None = None,
                  machine: MachineModel | None = None,
-                 cache: HierarchyCache | None = None) -> None:
-        self.config = config or ServiceConfig()
+                 cache: HierarchyCache | None = None,
+                 **legacy) -> None:
+        self.config = resolve_service_config(config, legacy, "SolveService")
         self.amg_config = amg_config or single_node_config(
             nthreads=self.config.threads)
         self.machine = machine or HaswellModel(threads=self.config.threads)
@@ -226,6 +313,50 @@ class SolveService:
         """Drive the worker loop until the admission queue drains."""
         while self.step():
             pass
+
+    @property
+    def queue_depth(self) -> int:
+        """Currently queued (admitted, undispatched) requests."""
+        return len(self._queue)
+
+    @property
+    def queued_work(self) -> int:
+        """Total stored nonzeros across queued operators.
+
+        A cost proxy for the sharded router's load scoring: queue *depth*
+        treats a 3-D setup and a tiny 2-D solve as equal load, which
+        starves balance on heterogeneous traffic; summed nnz tracks the
+        actual setup/solve cost the queue represents.
+        """
+        return sum(r.A.nnz for r in self._queue.pending())
+
+    def drain_until(self, horizon: float) -> None:
+        """Run every worker step whose outcome no longer depends on
+        arrivals after *horizon*.
+
+        The scheduler is clairvoyant over the queued arrival schedule: a
+        micro-batch may pick up any same-key request arriving inside its
+        join window, so a batch must not dispatch until every arrival up
+        to its join deadline has been submitted.  The sharded tier submits
+        arrivals in time order and calls ``drain_until(next_arrival)``
+        between submissions, which yields bit-identical scheduling to
+        submitting the whole workload up front and then running — while
+        letting the router observe live queue depths.
+        """
+        while True:
+            with self._lock:
+                pending = self._queue.pending()
+                if not pending:
+                    return
+                now = max(self.now, min(r.arrival for r in pending))
+                if now > horizon:
+                    return
+                if not any(r.expired(now) for r in pending):
+                    ready = [r for r in pending if r.arrival <= now]
+                    head = min(ready, key=Request.dispatch_order)
+                    if max(now, head.arrival + self.config.max_wait) > horizon:
+                        return
+            self.step()
 
     # -- the worker loop ---------------------------------------------------
     def step(self) -> bool:

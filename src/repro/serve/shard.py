@@ -1,0 +1,449 @@
+"""Sharded multi-rank solve service with consistent-hash routing.
+
+:class:`ShardedSolveService` scales the single-rank
+:class:`~repro.serve.service.SolveService` out to ``ServiceConfig.ranks``
+modeled service ranks.  Each rank is a full, independent service — its own
+admission queue, :class:`~repro.amg.cache.HierarchyCache`, machine model,
+and :class:`~repro.serve.metrics.ServiceMetrics` — and a thin router in
+front decides which rank serves each request.
+
+**Routing.**  The routing key is the *pattern-tier* cache key
+(:func:`~repro.amg.cache.pattern_fingerprint` of the operator plus the
+config digest), hashed onto a consistent-hash ring (:class:`HashRing`,
+SHA-256 virtual nodes).  Same-pattern traffic — time stepping, Newton
+sequences, repeated operators — therefore lands on the same *home* rank,
+where the hierarchy is already warm (exact hit or numeric refresh), which
+is the whole point of sharding a setup-dominated workload.  Adding or
+removing a rank moves only ~1/N of the key space, so an autoscaling tier
+does not flush every cache.
+
+**Replication and spill.**  ``ServiceConfig.replicas`` widens each key's
+candidate set to the home rank plus the next ``replicas - 1`` distinct
+ring successors.  The router scores candidates by queue depth, charging
+non-home candidates ``spill_penalty`` extra (so a hot key spills off its
+home only under real load), breaking ties toward ranks whose cache is
+already warm for the key, then by candidate order.  Forwarding off the
+home rank is not free: the request hop (right-hand side, plus the full
+CSR operator the first time a given exact fingerprint reaches a rank) and
+the result-return hop are charged through the
+:class:`~repro.perf.network.NetworkModel` as modeled seconds and bytes —
+a forwarded request *arrives later* at its serving rank, and the network
+volume shows up in the metrics snapshot.
+
+**Shedding and autoscale.**  With ``shed_depth`` set, a request whose
+every candidate queue is at least that deep is rejected at the router
+(status ``rejected``, reason ``shed: ...``) without consuming rank
+capacity.  With ``autoscale=True`` the active rank count starts at
+``min_ranks`` and grows/shrinks one rank at a time from mean
+admission-queue depth, observed at arrival times on the deterministic
+clock; ring membership follows, and every action is recorded in the
+metrics.
+
+Everything runs on the same virtual clock as the single-rank service:
+identical seed + workload + config give bit-identical routing, results,
+and metrics JSON.  With ``ranks=1`` (and shedding/autoscale off) the
+service degenerates to exactly the single-rank scheduler — byte-identical
+per-rank metrics — because every request is home-routed with zero network
+cost and the workload is replayed through the same clairvoyant path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, insort
+from dataclasses import dataclass, replace
+
+from ..amg.cache import fingerprint
+from ..api import _as_rhs, _validate_operator, as_csr
+from ..config import AMGConfig, single_node_config
+from ..perf.network import FDRInfinibandModel, NetworkModel
+from ..results import ServiceResult
+from .metrics import ShardMetrics
+from .request import Ticket
+from .service import ServiceConfig, SolveService, resolve_service_config
+from .workload import Workload
+
+__all__ = ["HashRing", "ShardTicket", "ShardedSolveService"]
+
+#: Modeled wire size of a forwarded request or returned result carrying an
+#: n-vector of float64 payload: the vector plus a small framing envelope.
+_ENVELOPE_BYTES = 64
+
+
+def _vector_bytes(n: int) -> int:
+    return 8 * n + _ENVELOPE_BYTES
+
+
+def _operator_bytes(n: int, nnz: int) -> int:
+    """Wire size of a full CSR operator: data + indices (12 B/nnz) + indptr."""
+    return 12 * nnz + 8 * (n + 1)
+
+
+class HashRing:
+    """Consistent-hash ring with SHA-256 virtual nodes.
+
+    Each member rank owns ``vnodes`` points on a 64-bit ring; a key maps
+    to the rank owning the first point clockwise from the key's own hash.
+    With V virtual nodes per rank the load split is near-uniform, and
+    adding or removing one rank reassigns only ~1/N of the key space —
+    the property the ring-stability test pins down.
+    """
+
+    def __init__(self, ranks: tuple[int, ...] | list[int] = (), *,
+                 vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted (point, rank) pairs; ranks are small non-negative ints.
+        self._points: list[tuple[int, int]] = []
+        self._members: set[int] = set()
+        for rank in ranks:
+            self.add(rank)
+
+    @staticmethod
+    def _point(token: str) -> int:
+        digest = hashlib.sha256(token.encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(sorted(self._members))
+
+    def add(self, rank: int) -> None:
+        if rank in self._members:
+            return
+        self._members.add(rank)
+        for v in range(self.vnodes):
+            insort(self._points, (self._point(f"rank{rank}:{v}"), rank))
+
+    def remove(self, rank: int) -> None:
+        if rank not in self._members:
+            return
+        self._members.discard(rank)
+        self._points = [(p, r) for p, r in self._points if r != rank]
+
+    def lookup(self, key: str) -> int:
+        """The rank owning *key* (its home rank)."""
+        return self.successors(key, 1)[0]
+
+    def successors(self, key: str, n: int) -> list[int]:
+        """First *n* distinct ranks clockwise from *key*'s ring point.
+
+        Element 0 is the key's home rank; the rest are its replica
+        candidates, in deterministic ring order.
+        """
+        if not self._points:
+            raise ValueError("ring has no members")
+        n = min(n, len(self._members))
+        start = bisect_left(self._points, (self._point(key), -1))
+        out: list[int] = []
+        for i in range(len(self._points)):
+            rank = self._points[(start + i) % len(self._points)][1]
+            if rank not in out:
+                out.append(rank)
+                if len(out) == n:
+                    break
+        return out
+
+
+@dataclass(frozen=True)
+class ShardTicket:
+    """Sharded ticket: which rank holds the request, and whose key it is.
+
+    ``rank`` is the serving rank the router dispatched to (−1 when the
+    router resolved the request itself, e.g. load shedding); ``home_rank``
+    is the ring owner of the request's routing key.  They differ exactly
+    when the request was forwarded.
+    """
+
+    id: int
+    rank: int
+    home_rank: int
+
+
+class ShardedSolveService:
+    """N modeled service ranks behind one consistent-hash router.
+
+    Usage::
+
+        svc = ShardedSolveService(ServiceConfig(ranks=4, replicas=2))
+        t = svc.submit(A, b)
+        res = svc.result(t)             # res.rank / res.home_rank / net_seconds
+        print(svc.metrics_json())       # sharded + per-rank report
+
+    The constructor accepts the same deprecated per-field keywords as
+    :class:`~repro.serve.service.SolveService` (shimmed through
+    :func:`~repro.serve.service.resolve_service_config`).  All ranks share
+    one ``ServiceConfig`` and one AMG config, so a fingerprint computed on
+    any rank is valid on every rank.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 amg_config: AMGConfig | None = None,
+                 network: NetworkModel | None = None,
+                 **legacy) -> None:
+        self.config = resolve_service_config(config, legacy,
+                                             "ShardedSolveService")
+        self.amg_config = amg_config or single_node_config(
+            nthreads=self.config.threads)
+        self.network = network or FDRInfinibandModel()
+        #: One full service per rank, each with its own cache and metrics.
+        self.services = [
+            SolveService(self.config, amg_config=self.amg_config)
+            for _ in range(self.config.ranks)
+        ]
+        self.shard_metrics = ShardMetrics()
+        start = (self.config.min_ranks if self.config.autoscale
+                 else self.config.ranks)
+        #: Active rank ids, always a prefix ``range(k)`` of the fleet.
+        self._active = list(range(start))
+        self.ring = HashRing(self._active, vnodes=self.config.ring_vnodes)
+        #: (rank, local id) -> route record for result wrapping.
+        self._routes: dict[tuple[int, int], dict] = {}
+        self._wrapped: dict[tuple[int, int], ServiceResult] = {}
+        #: (rank, exact fingerprint) pairs whose operator already crossed
+        #: the wire to that rank — later forwards ship only the vector.
+        self._shipped: set[tuple[int, str]] = set()
+        #: Router-resolved (shed) results, keyed by shard-level id.
+        self._shed_results: dict[int, ServiceResult] = {}
+        self._next_shed_id = 0
+
+    # -- clocks and depth ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The fleet clock: the busiest rank's virtual time (makespan)."""
+        return max(svc.now for svc in self.services)
+
+    @property
+    def active_ranks(self) -> list[int]:
+        """Currently active rank ids (all of them unless autoscaling)."""
+        return list(self._active)
+
+    def queue_depths(self) -> list[int]:
+        """Admission-queue depth of every rank (index = rank id)."""
+        return [svc.queue_depth for svc in self.services]
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, A, b, *, config: AMGConfig | None = None,
+               method: str | None = None, tol: float | None = None,
+               maxiter: int | None = None, priority: str | None = None,
+               timeout: float | None = None,
+               arrival: float | None = None) -> ShardTicket:
+        """Route one solve to a rank; always returns a :class:`ShardTicket`.
+
+        The router picks the home rank by consistent-hashing the request's
+        pattern-tier key, widens to the replica candidate set, sheds if
+        every candidate is overloaded, and otherwise dispatches to the
+        best-scored candidate — charging modeled network time when that is
+        not the home rank (the request *arrives later* there).  Malformed
+        requests are delegated to a rank so they resolve to the same
+        structured ``rejected`` result a single-rank service produces.
+        """
+        t = self.now if arrival is None else float(arrival)
+        cfg = config or self.amg_config
+        if self.config.autoscale:
+            self._autoscale(t)
+        try:
+            A_csr = _validate_operator(as_csr(A))
+            _as_rhs(b, A_csr.nrows)
+        except (TypeError, ValueError):
+            # Un-routable request: any rank produces the canonical
+            # structured rejection.  Charged nowhere on the network.
+            rank = self._active[0]
+            ticket = self.services[rank].submit(
+                A, b, config=cfg, method=method, tol=tol, maxiter=maxiter,
+                priority=priority, timeout=timeout, arrival=t)
+            self._routes[(rank, ticket.id)] = {
+                "home": rank, "rank": rank, "forward_seconds": 0.0, "n": 0}
+            self.shard_metrics.record_route(forwarded=False)
+            return ShardTicket(ticket.id, rank, rank)
+
+        key = self.services[0].cache.pattern_key(A_csr, cfg)
+        candidates = self.ring.successors(
+            key, min(self.config.replicas, len(self._active)))
+        home = candidates[0]
+        depths = self.queue_depths()
+
+        if (self.config.shed_depth is not None
+                and all(depths[c] >= self.config.shed_depth
+                        for c in candidates)):
+            return self._shed(candidates, depths, priority)
+
+        # Load is queued *work* (summed nnz), not request count, so one
+        # queued 3-D setup outweighs a handful of tiny 2-D solves; the
+        # spill penalty is denominated in this request's own cost, so a
+        # request leaves its (cache-warm) home only when home holds at
+        # least spill_penalty times this request's work more than a
+        # replica.
+        work = [self.services[c].queued_work for c in range(len(depths))]
+
+        def score(c: int) -> tuple[int, int, int]:
+            spill = (0 if c == home
+                     else self.config.spill_penalty * A_csr.nnz)
+            warm = 0 if self.services[c].cache.has_pattern(key) else 1
+            return (work[c] + spill, warm, candidates.index(c))
+
+        rank = min(candidates, key=score)
+        fwd_seconds = 0.0
+        fwd_bytes = 0
+        shipped = False
+        if rank != home:
+            fwd_bytes = _vector_bytes(A_csr.nrows)
+            exact = fingerprint(A_csr, cfg)
+            if (rank, exact) not in self._shipped:
+                fwd_bytes += _operator_bytes(A_csr.nrows, A_csr.nnz)
+                self._shipped.add((rank, exact))
+                shipped = True
+            fwd_seconds = self.network.transfer_time(fwd_bytes)
+        self.shard_metrics.record_route(
+            forwarded=rank != home, forward_bytes=fwd_bytes,
+            forward_seconds=fwd_seconds, shipped=shipped)
+        ticket = self.services[rank].submit(
+            A_csr, b, config=cfg, method=method, tol=tol, maxiter=maxiter,
+            priority=priority, timeout=timeout, arrival=t + fwd_seconds)
+        self._routes[(rank, ticket.id)] = {
+            "home": home, "rank": rank, "forward_seconds": fwd_seconds,
+            "n": A_csr.nrows}
+        return ShardTicket(ticket.id, rank, home)
+
+    def _shed(self, candidates: list[int], depths: list[int],
+              priority: str | None) -> ShardTicket:
+        """Reject at the router: every candidate queue is too deep."""
+        self.shard_metrics.record_shed()
+        sid = self._next_shed_id
+        self._next_shed_id += 1
+        load = ", ".join(f"rank {c}: {depths[c]}" for c in candidates)
+        self._shed_results[sid] = ServiceResult(
+            x=None, iterations=0, residuals=[], converged=False,
+            degraded=True,
+            degraded_reason=(
+                f"rejected: shed: every candidate rank at or above "
+                f"shed_depth={self.config.shed_depth} ({load})"),
+            status="rejected", request_id=sid,
+            priority=priority or self.config.default_priority,
+            rank=-1, home_rank=candidates[0])
+        return ShardTicket(sid, -1, candidates[0])
+
+    def cancel(self, ticket: ShardTicket) -> bool:
+        """Withdraw a pending request on its serving rank."""
+        if ticket.rank < 0:
+            return False
+        return self.services[ticket.rank].cancel(Ticket(ticket.id))
+
+    # -- autoscaling --------------------------------------------------------
+    def _autoscale(self, t: float) -> None:
+        """Grow/shrink the active rank prefix from mean queue depth.
+
+        Observed at arrival times on the virtual clock, one action per
+        observation.  A deactivated rank finishes what it already queued
+        (it leaves the ring, so no new keys route to it); activation adds
+        the next rank id, moving ~1/N of the key space onto it.
+        """
+        depths = self.queue_depths()
+        mean = sum(depths[c] for c in self._active) / len(self._active)
+        if (mean > self.config.scale_up_depth
+                and len(self._active) < self.config.ranks):
+            new = len(self._active)
+            self._active.append(new)
+            self.ring.add(new)
+            self.shard_metrics.record_autoscale(t, "up", len(self._active))
+        elif (mean < self.config.scale_down_depth
+                and len(self._active) > self.config.min_ranks):
+            gone = self._active.pop()
+            self.ring.remove(gone)
+            self.shard_metrics.record_autoscale(t, "down", len(self._active))
+
+    # -- results ------------------------------------------------------------
+    def result(self, ticket: ShardTicket, *,
+               wait: bool = True) -> ServiceResult | None:
+        """The request's :class:`~repro.results.ServiceResult`.
+
+        Delegates to the serving rank, then wraps the result with the
+        route: ``rank``, ``home_rank``, and ``net_seconds`` (forward hop
+        plus, for completed forwarded requests, the result-return hop —
+        both charged through the network model).  Each result is wrapped
+        and counted in the shard metrics exactly once.
+        """
+        if ticket.rank < 0:
+            return self._shed_results[ticket.id]
+        route_key = (ticket.rank, ticket.id)
+        if route_key in self._wrapped:
+            return self._wrapped[route_key]
+        res = self.services[ticket.rank].result(Ticket(ticket.id), wait=wait)
+        if res is None:
+            return None
+        route = self._routes[route_key]
+        ret_bytes = 0
+        ret_seconds = 0.0
+        if route["rank"] != route["home"] and res.status == "completed":
+            ret_bytes = _vector_bytes(route["n"])
+            ret_seconds = self.network.transfer_time(ret_bytes)
+        wrapped = replace(
+            res, rank=route["rank"], home_rank=route["home"],
+            net_seconds=route["forward_seconds"] + ret_seconds)
+        self._wrapped[route_key] = wrapped
+        self.shard_metrics.record_result(
+            wrapped, return_bytes=ret_bytes, return_seconds=ret_seconds)
+        return wrapped
+
+    # -- driving the fleet --------------------------------------------------
+    def step(self) -> bool:
+        """One worker step on each rank; False when the whole fleet idles."""
+        progress = False
+        for svc in self.services:
+            progress |= svc.step()
+        return progress
+
+    def run(self) -> None:
+        """Drive every rank's worker loop until all queues drain."""
+        while self.step():
+            pass
+
+    def drain_until(self, horizon: float) -> None:
+        """Run all fleet work provably unaffected by arrivals past *horizon*."""
+        for svc in self.services:
+            svc.drain_until(horizon)
+
+    def run_workload(self, workload: Workload) -> list[ServiceResult]:
+        """Replay a generated workload through the router, in arrival order.
+
+        Arrivals are interleaved with draining (``drain_until`` up to each
+        arrival) so the router and autoscaler observe live queue depths —
+        the same depths a long-running service would see.  The clairvoyant
+        batch guard makes this interleaving bit-identical to submitting
+        everything up front; with ``ranks=1`` and shedding/autoscale off
+        the up-front path is taken directly, which keeps the single rank's
+        metrics byte-identical to a plain ``SolveService`` run.
+        """
+        spec = workload.spec
+        interleave = (self.config.ranks > 1
+                      or self.config.shed_depth is not None
+                      or self.config.autoscale)
+        tickets = []
+        for item in workload.items:
+            if interleave:
+                self.drain_until(item.arrival)
+            tickets.append(self.submit(
+                workload.matrices[item.matrix_index], item.b,
+                method=spec.method, tol=spec.tol, maxiter=spec.maxiter,
+                priority=item.priority, timeout=spec.timeout,
+                arrival=item.arrival))
+        self.run()
+        return [self.result(t, wait=False) for t in tickets]
+
+    # -- reporting ----------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Sharded report: aggregate + locality + per-rank snapshots."""
+        return self.shard_metrics.snapshot(
+            per_rank=[svc.metrics_snapshot() for svc in self.services],
+            virtual_seconds=self.now,
+            active_ranks=len(self._active),
+            replicas=self.config.replicas)
+
+    def metrics_json(self) -> str:
+        """Deterministic JSON of :meth:`metrics_snapshot`."""
+        return self.shard_metrics.to_json(
+            per_rank=[svc.metrics_snapshot() for svc in self.services],
+            virtual_seconds=self.now,
+            active_ranks=len(self._active),
+            replicas=self.config.replicas)

@@ -44,7 +44,7 @@ from ..sparse.csr import CSRMatrix
 from .request import PRIORITIES
 
 __all__ = ["WorkloadSpec", "WorkloadItem", "Workload", "build",
-           "named_workload", "NAMED_WORKLOADS"]
+           "named_workload", "widened", "NAMED_WORKLOADS"]
 
 def _laplace_3d_27pt_generic(n: int) -> CSRMatrix:
     """27-point Laplacian with seeded symmetric off-diagonal jitter.
@@ -199,9 +199,35 @@ def build(spec: WorkloadSpec) -> Workload:
     return Workload(spec=spec, matrices=matrices, items=items)
 
 
+def widened(spec: WorkloadSpec, *, copies: int = 4,
+            requests: int | None = None) -> WorkloadSpec:
+    """Widen *spec*'s key space for sharded runs.
+
+    Replicates every problem entry at ``copies`` consecutive sizes
+    (``size``, ``size+1``, ...), keeping weights, so the stream carries
+    ``copies``x as many distinct fingerprints.  A consistent-hash ring can
+    only balance as many ranks as there are keys — the three-fingerprint
+    ``mixed`` preset saturates at three ranks, but its widened form spreads
+    over a whole fleet.  ``requests`` optionally rescales the stream length
+    to keep per-key traffic comparable.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    problems = tuple(
+        {**p, "size": int(p["size"]) + d}
+        for p in spec.problems for d in range(copies))
+    d = {**asdict(spec), "problems": problems}
+    if requests is not None:
+        d["requests"] = requests
+    return WorkloadSpec.from_dict(d)
+
+
 #: CLI-addressable presets.  ``tiny`` is the CI smoke workload: small
 #: enough to run in seconds, mixed enough to exercise coalescing across
-#: two fingerprints and both priority classes.
+#: two fingerprints and both priority classes.  ``fleet`` is the sharded
+#: tier's scaling workload: a closed batch (every request at t=0) over
+#: many comparable-cost fingerprints, so the ring has enough keys to
+#: balance 8+ ranks and the makespan measures pure fleet throughput.
 NAMED_WORKLOADS: dict[str, WorkloadSpec] = {
     "tiny": WorkloadSpec(
         seed=0, requests=12, rate=2000.0,
@@ -227,6 +253,16 @@ NAMED_WORKLOADS: dict[str, WorkloadSpec] = {
             {"problem": "anisotropic", "size": 20, "weight": 1.0},
         ),
         priorities={"interactive": 1.0, "batch": 2.0, "bulk": 1.0},
+    ),
+    "fleet": WorkloadSpec(
+        seed=4, requests=192, rate=None,
+        problems=tuple(
+            [{"problem": "lap2d", "size": s, "weight": 1.0}
+             for s in range(20, 36)]
+            + [{"problem": "anisotropic", "size": s, "weight": 1.0}
+               for s in range(20, 28)]
+        ),
+        priorities={"batch": 1.0},
     ),
     # Implicit time stepping: one pattern, sixteen requests walking eight
     # coefficient steps — cold setup once, then numeric resetup
