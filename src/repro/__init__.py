@@ -69,7 +69,7 @@ from .api import (
 )
 from .results import ServiceResult
 from .serve import ServiceConfig, ShardedSolveService, SolveService
-from .faults import FaultEvent, FaultPlan, RetryPolicy
+from .faults import FaultEvent, FaultPlan, RetryPolicy, ShardFaultPlan
 from .config import (
     AMGConfig,
     HYPRE_BASE_FLAGS,
@@ -99,6 +99,7 @@ __all__ = [
     "RetryPolicy",
     "ServiceConfig",
     "ServiceResult",
+    "ShardFaultPlan",
     "ShardedSolveService",
     "SolveOptions",
     "SolveResult",

@@ -21,9 +21,13 @@ Commands
     combined service/kernel metrics report.  ``--ranks N`` shards the
     service across N modeled ranks behind the consistent-hash router
     (``--replicas``/``--shed-depth``/``--autoscale`` configure the tier)
-    and prints the fleet report instead.  ``--json PATH`` additionally
+    and prints the fleet report instead.  ``--chaos PLAN.json`` injects
+    seeded rank failures (crash/flap/slow windows) through the fault-
+    tolerant router — health-tracked failover, hedged retries via
+    ``--hedge-delay``, cache re-warm on rejoin — and appends a fault
+    lifecycle section to the report.  ``--json PATH`` additionally
     writes the deterministic metrics snapshot (bit-identical across runs
-    of the same workload and seed; CI diffs it).
+    of the same workload and seed, with or without chaos; CI diffs it).
 
 Examples::
 
@@ -36,6 +40,7 @@ Examples::
     python -m repro suite
     python -m repro serve-bench --workload tiny --seed 0
     python -m repro serve-bench --workload fleet --ranks 4 --replicas 2
+    python -m repro serve-bench --workload tiny --ranks 4 --chaos chaos.json
     python -m repro serve-bench --workload W.json --k 8 --json metrics.json
 """
 
@@ -231,6 +236,7 @@ def cmd_serve_bench(args) -> int:
     from pathlib import Path
 
     from .perf.report import format_service_report, format_shard_report
+    from .results import SERVICE_STATUSES
     from .serve import (ServiceConfig, ShardedSolveService, SolveService,
                         build, named_workload)
     from .serve.workload import WorkloadSpec
@@ -244,17 +250,25 @@ def cmd_serve_bench(args) -> int:
     else:
         spec = named_workload(args.workload, seed=args.seed)
 
+    plan = None
+    if args.chaos:
+        from .faults import ShardFaultPlan
+
+        plan = ShardFaultPlan.from_json_file(args.chaos)
+
     config = ServiceConfig(
         max_queue=args.queue, max_batch=args.k, max_wait=args.max_wait,
         threads=args.threads, ranks=args.ranks,
         replicas=min(args.replicas, args.ranks), shed_depth=args.shed_depth,
-        autoscale=args.autoscale, min_ranks=min(args.min_ranks, args.ranks))
+        autoscale=args.autoscale, min_ranks=min(args.min_ranks, args.ranks),
+        heartbeat_interval=args.heartbeat, hedge_delay=args.hedge_delay)
     # A plain single-rank request is served by SolveService itself so the
     # report (and --json bytes) stay exactly what this command has always
     # produced; any sharded-tier feature routes through the sharded front.
     sharded = (config.ranks > 1 or config.shed_depth is not None
-               or config.autoscale)
-    service = ShardedSolveService(config) if sharded else SolveService(config)
+               or config.autoscale or plan is not None)
+    service = (ShardedSolveService(config, fault_plan=plan) if sharded
+               else SolveService(config))
     results = service.run_workload(build(spec))
 
     print(f"workload      : {args.workload}  (seed={spec.seed}, "
@@ -271,9 +285,7 @@ def cmd_serve_bench(args) -> int:
     if args.json:
         Path(args.json).write_text(service.metrics_json() + "\n")
         print(f"metrics JSON  : wrote {args.json}")
-    ok = all(r is not None and r.status in ("completed", "rejected",
-                                            "timeout", "cancelled")
-             for r in results)
+    ok = all(r is not None and r.status in SERVICE_STATUSES for r in results)
     completed = [r for r in results if r.status == "completed"]
     return 0 if ok and all(r.converged or r.degraded for r in completed) else 1
 
@@ -369,6 +381,21 @@ def main(argv: list[str] | None = None) -> int:
                               "(starts at --min-ranks)")
     p_serve.add_argument("--min-ranks", type=int, default=1,
                          help="autoscaler floor (default 1)")
+    p_serve.add_argument("--chaos", default=None, metavar="PLAN.json",
+                         help="inject the rank failures described by a "
+                              "ShardFaultPlan JSON file: health-tracked "
+                              "failover, cache re-warm, and a faults "
+                              "section in the report (docs/robustness.md)")
+    p_serve.add_argument("--hedge-delay", type=float, default=None,
+                         metavar="S",
+                         help="hedge interactive requests still unresolved "
+                              "after S modeled seconds with one duplicate "
+                              "on another rank (default: no hedging)")
+    p_serve.add_argument("--heartbeat", type=float, default=1e-3,
+                         metavar="S",
+                         help="health-tracker heartbeat interval in modeled "
+                              "seconds (default 1e-3; only meaningful with "
+                              "--chaos or --hedge-delay)")
     p_serve.add_argument("--json", default=None, metavar="PATH",
                          help="write the deterministic metrics snapshot "
                               "JSON here")

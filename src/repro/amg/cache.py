@@ -224,12 +224,23 @@ class HierarchyCache:
             return entry[0]
 
     def put(self, A: CSRMatrix, config: AMGConfig, hierarchy: Hierarchy) -> None:
-        key = self.key(A, config)
-        pkey = self.pattern_key(A, config)
+        self.seed(self.key(A, config), self.pattern_key(A, config), hierarchy)
+
+    def seed(self, exact_key: str, pattern_key: str,
+             hierarchy: Hierarchy) -> None:
+        """Insert a pre-built hierarchy under explicit keys.
+
+        The state-transfer spelling of :meth:`put`: the sharded service's
+        cache re-warm copies hot entries from a surviving replica into a
+        rejoining rank's cache without re-deriving the keys from a matrix
+        it does not hold (the wire cost is charged separately through the
+        network model).  Cached hierarchies are frozen, so sharing one
+        object between two ranks' caches is safe.
+        """
         with self._lock:
-            self._entries[key] = (hierarchy, pkey)
-            self._entries.move_to_end(key)
-            self._patterns[pkey] = key
+            self._entries[exact_key] = (hierarchy, pattern_key)
+            self._entries.move_to_end(exact_key)
+            self._patterns[pattern_key] = exact_key
             while len(self._entries) > self.max_entries:
                 evicted_key, (_, evicted_pkey) = self._entries.popitem(last=False)
                 if self._patterns.get(evicted_pkey) == evicted_key:
@@ -237,6 +248,34 @@ class HierarchyCache:
                 self.evictions += 1
                 logger.info("evicted hierarchy %s (cache bound %d reached)",
                             evicted_key[:12], self.max_entries)
+
+    def peek_pattern(self, pattern_key: str) -> tuple[str, Hierarchy] | None:
+        """The newest ``(exact key, hierarchy)`` entry under *pattern_key*.
+
+        Touches no counters and moves no LRU state — the donor-side probe
+        of the cache re-warm: a rejoining rank copies the hot entry a
+        surviving replica holds, keyed exactly as the survivor keys it.
+        """
+        with self._lock:
+            exact = self._patterns.get(pattern_key)
+            if exact is None:
+                return None
+            entry = self._entries.get(exact)
+            if entry is None:
+                return None
+            return exact, entry[0]
+
+    def drop_all(self) -> None:
+        """Forget every entry but keep the hit/miss/eviction counters.
+
+        Models state loss (a crashed service rank loses its in-memory
+        hierarchies) without rewriting history: unlike :meth:`clear`, the
+        counters keep accumulating across the crash, so a rank's metrics
+        snapshot still reflects everything it did before dying.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._patterns.clear()
 
     def _pattern_lookup(self, A: CSRMatrix, config: AMGConfig) -> Hierarchy | None:
         """Find a refreshable same-pattern entry, or None on a pattern miss.

@@ -73,6 +73,8 @@ SERVICE_CONFIG_FIELDS = frozenset({
     "default_method", "default_tol", "default_maxiter", "default_priority",
     "ranks", "replicas", "ring_vnodes", "spill_penalty", "shed_depth",
     "autoscale", "min_ranks", "scale_up_depth", "scale_down_depth",
+    "heartbeat_interval", "suspect_after", "down_after", "hedge_delay",
+    "rewarm_top_k",
 })
 
 #: Modules whose public module-level functions are instrumented kernels

@@ -11,7 +11,12 @@ and gives the solvers the machinery to survive it:
   sequence-numbered acks, exponential backoff, and bounded retries whose
   cost is charged to the network model (:mod:`repro.faults.comm`);
 * :class:`ResidualGuard` — per-iteration NaN/Inf, divergence, and
-  stagnation detection used by every solver (:mod:`repro.faults.guards`).
+  stagnation detection used by every solver (:mod:`repro.faults.guards`);
+* :class:`ShardFaultPlan` — seeded crash/flap/slow windows for whole
+  modeled *service ranks* on the sharded tier's virtual clock, driving the
+  rank-failure lifecycle of
+  :class:`~repro.serve.shard.ShardedSolveService`
+  (:mod:`repro.faults.shard_plan`).
 
 ``FaultyComm`` (and the exception types) import the distributed stack, so
 they are loaded lazily — ``from repro.faults import FaultPlan`` stays
@@ -22,9 +27,10 @@ from __future__ import annotations
 
 from .guards import GuardLimits, ResidualGuard, nonfinite_columns
 from .plan import FaultEvent, FaultPlan, RetryPolicy
+from .shard_plan import ShardFaultPlan
 
 __all__ = [
-    "FaultPlan", "RetryPolicy", "FaultEvent",
+    "FaultPlan", "RetryPolicy", "FaultEvent", "ShardFaultPlan",
     "GuardLimits", "ResidualGuard", "nonfinite_columns",
     "FaultyComm", "CommFault", "RetriesExhausted", "RankFailure", "ACK_BYTES",
 ]

@@ -128,6 +128,17 @@ class NetworkModel:
         """
         return self.alpha + self.exchange_setup + nbytes / self.message_bw(nbytes)
 
+    def state_transfer_time(self, nbytes: float) -> float:
+        """Modeled seconds of a bulk state transfer (cache re-warm).
+
+        A rejoining service rank pulls whole hierarchies from a surviving
+        replica as one streamed transfer: a single setup handshake, then
+        the payload at the peak-bandwidth end of the ramp (state transfers
+        are large and contiguous, unlike the sporadic per-request hops of
+        :meth:`transfer_time`, so they always ride the full pipe).
+        """
+        return self.alpha + self.exchange_setup + nbytes / self.peak_bw
+
     def retry_penalty(self, timeout: float, attempt: int, backoff: float) -> float:
         """Sender-side seconds lost to one failed delivery attempt.
 

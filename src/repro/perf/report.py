@@ -210,4 +210,38 @@ def format_shard_report(snapshot: Mapping) -> str:
             [(round(e["t"] * 1e3, 3), e["action"], e["active"])
              for e in events],
             title="autoscale events"))
+    faults = sh.get("faults")
+    if faults:
+        hedges = faults.get("hedges", {})
+        rewarm = faults.get("rewarm", {})
+        health = faults.get("health", {})
+        lines.append(format_table(
+            ["fault counter", "value"],
+            [
+                ("failovers", faults.get("failovers", 0)),
+                ("evacuated (queued)", faults.get("evacuated", 0)),
+                ("lost in-flight", faults.get("lost_inflight", 0)),
+                ("failed (retries exhausted)", faults.get("failed", 0)),
+                ("retry backoff ms",
+                 round(faults.get("retry_backoff_seconds", 0.0) * 1e3, 3)),
+                ("failover bytes", faults.get("failover_bytes", 0)),
+                ("hedges issued/won/lost/cancelled",
+                 f"{hedges.get('issued', 0)}/{hedges.get('won', 0)}/"
+                 f"{hedges.get('lost', 0)}/{hedges.get('cancelled', 0)}"),
+                ("re-warm entries", rewarm.get("entries", 0)),
+                ("re-warm bytes", rewarm.get("bytes", 0)),
+                ("breaker transitions",
+                 faults.get("breaker_transitions", 0)),
+            ],
+            title=(f"fault lifecycle (availability "
+                   f"{health.get('availability', 1.0):.4f}, "
+                   f"{health.get('heartbeats_missed', 0)} of "
+                   f"{health.get('heartbeats', 0)} heartbeats missed)")))
+        transitions = health.get("transitions", [])
+        if transitions:
+            lines.append(format_table(
+                ["t (ms)", "rank", "state", "breaker"],
+                [(round(e["t"] * 1e3, 3), e["rank"], e["state"],
+                  e["breaker"]) for e in transitions],
+                title="health transitions"))
     return "\n".join(lines)

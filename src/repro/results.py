@@ -99,9 +99,13 @@ class DistSolveResult(SolveResult):
 
 
 #: Terminal states a service request can end in.  Every submitted request
-#: resolves to exactly one of these — admission-control pushback and
-#: timeouts are structured results, never unhandled exceptions.
-SERVICE_STATUSES = ("completed", "rejected", "timeout", "cancelled")
+#: resolves to exactly one of these — admission-control pushback, timeouts,
+#: and exhausted failover retries are structured results, never unhandled
+#: exceptions.  ``failed`` is reachable only through the sharded tier's
+#: fault lifecycle: the request survived admission but every failover
+#: attempt (rank deaths, retry budget) was exhausted before any rank could
+#: serve it.
+SERVICE_STATUSES = ("completed", "rejected", "timeout", "cancelled", "failed")
 
 
 @dataclass
@@ -143,8 +147,27 @@ class ServiceResult(SolveResult):
     net_seconds:
         Modeled network time the sharded tier charged for this request:
         forwarding the request (and, on first contact, the operator) to the
-        serving rank plus returning the result to the home rank.  Zero for
-        requests served on their home rank and for the single-rank service.
+        serving rank, returning the result to the home rank, plus — under a
+        fault plan — failover re-forwards, retry-backoff stalls, and the
+        hedge duplicate's forward hop.  Zero for requests served on their
+        home rank and for the single-rank service.
+    retries:
+        Router-level re-submission attempts this request needed (each one
+        charged a deterministic :class:`~repro.faults.plan.RetryPolicy`
+        backoff delay on the modeled clock).  0 on the no-fault path.
+    failovers:
+        Rank deaths this request survived: how many times its queued or
+        in-flight copy was evacuated from a dead rank and re-routed to a
+        ring successor.  0 on the no-fault path.
+    hedged:
+        True when the sharded tier issued a hedge duplicate for this
+        (interactive) request and the *duplicate* won — the result came
+        from the hedge rank, not the primary.
+    original_rank:
+        The rank the request was first dispatched to, recorded only when
+        failover moved it (``-1`` otherwise, meaning "never displaced"):
+        together with ``retries``/``failovers`` it makes re-runs auditable
+        — nothing is silently re-executed.
     """
 
     status: str = "completed"
@@ -157,6 +180,10 @@ class ServiceResult(SolveResult):
     rank: int = 0
     home_rank: int = 0
     net_seconds: float = 0.0
+    retries: int = 0
+    failovers: int = 0
+    hedged: bool = False
+    original_rank: int = -1
 
     @property
     def ok(self) -> bool:

@@ -9,7 +9,12 @@ The serving layer over :mod:`repro.api` (see ``docs/serving.md``):
   consistent-hash router (:class:`HashRing`): same-pattern traffic stays
   cache-warm on its home rank, replication/spill balances load, forwarding
   is charged through the network model, with load shedding and an
-  autoscaler on the deterministic clock;
+  autoscaler on the deterministic clock — and, under a
+  :class:`~repro.faults.ShardFaultPlan`, a full rank-failure lifecycle
+  (health-tracked failover, hedged retries, cache re-warm recovery);
+* :class:`HealthTracker` — heartbeat-driven ``up``/``suspect``/``down``/
+  ``rejoining`` rank states with per-rank circuit breakers, driving ring
+  membership under a fault plan;
 * :class:`ServiceConfig` — every service knob (queue bound, batch cap
   ``k``, batch deadline, machine model, sharding) in one frozen object;
 * :class:`ServiceMetrics` / :class:`ShardMetrics` — counters, latency
@@ -21,6 +26,7 @@ The serving layer over :mod:`repro.api` (see ``docs/serving.md``):
 """
 
 from ..results import SERVICE_STATUSES, ServiceResult
+from .health import HealthTracker, RankHealth
 from .metrics import Histogram, ServiceMetrics, ShardMetrics
 from .queue import AdmissionQueue
 from .request import PRIORITIES, Request, Ticket, priority_rank
@@ -39,6 +45,8 @@ from .workload import (
 __all__ = [
     "SERVICE_STATUSES",
     "ServiceResult",
+    "HealthTracker",
+    "RankHealth",
     "Histogram",
     "ServiceMetrics",
     "ShardMetrics",

@@ -1,0 +1,199 @@
+"""Deterministic rank-health tracking for the sharded service tier.
+
+The :class:`HealthTracker` turns a :class:`~repro.faults.shard_plan.ShardFaultPlan`
+into observable rank *states* the router can act on, the way a production
+fleet would: the router cannot see the plan, only missed heartbeats.
+Probes happen at fixed multiples of ``heartbeat_interval`` on the modeled
+clock, and every state transition is a pure function of the plan, the
+seed, and the tick index — two runs of the same (plan, workload) pair
+trace identical health histories.
+
+State machine per rank::
+
+    up --(suspect_after consecutive misses)--> suspect
+    suspect --(down_after consecutive misses)--> down      [breaker opens]
+    suspect --(successful probe)--> up
+    down --(successful probe)--> rejoining                 [breaker half-open]
+    rejoining --(re-warm done + successful probe)--> up    [breaker closes]
+    rejoining --(missed probe, e.g. a flap)--> down        [breaker re-opens]
+
+The circuit breaker shadows the state: ``closed`` for ``up``/``suspect``
+(the rank is routable — suspicion alone never sheds traffic, it is the
+early-warning signal hedging exploits), ``open`` for ``down`` (the router
+removes the rank from the hash ring and fails its work over), and
+``half_open`` for ``rejoining`` (the rank is back but cold; it re-enters
+the ring only after the cache re-warm completes, so it never takes full
+traffic with an empty cache).  The tracker records every breaker
+transition and accumulates per-rank unavailable time (``down`` +
+``rejoining``) for the availability metric.
+
+The tracker deliberately knows nothing about queues, failover, or
+re-warm mechanics — it reports transitions; the
+:class:`~repro.serve.shard.ShardedSolveService` acts on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..faults.shard_plan import ShardFaultPlan
+
+__all__ = ["HealthTracker", "RankHealth",
+           "UP", "SUSPECT", "DOWN", "REJOINING",
+           "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN"]
+
+#: Health states.
+UP, SUSPECT, DOWN, REJOINING = "up", "suspect", "down", "rejoining"
+#: Circuit-breaker states (closed = routable).
+BREAKER_CLOSED, BREAKER_OPEN, BREAKER_HALF_OPEN = ("closed", "open",
+                                                   "half_open")
+
+#: Breaker state implied by each health state.
+_BREAKER_OF = {UP: BREAKER_CLOSED, SUSPECT: BREAKER_CLOSED,
+               DOWN: BREAKER_OPEN, REJOINING: BREAKER_HALF_OPEN}
+
+
+class RankHealth:
+    """Mutable health record of one rank (internal to the tracker)."""
+
+    __slots__ = ("state", "missed", "unavailable_since",
+                 "unavailable_seconds", "rejoin_until")
+
+    def __init__(self) -> None:
+        self.state = UP
+        #: Consecutive missed heartbeats.
+        self.missed = 0
+        #: Modeled time the rank left the routable set (None while routable).
+        self.unavailable_since: float | None = None
+        #: Accumulated non-routable (down + rejoining) modeled seconds.
+        self.unavailable_seconds = 0.0
+        #: While rejoining: modeled time the cache re-warm completes.
+        self.rejoin_until = 0.0
+
+    @property
+    def breaker(self) -> str:
+        return _BREAKER_OF[self.state]
+
+    @property
+    def routable(self) -> bool:
+        """Whether the router may send new traffic to this rank."""
+        return self.state in (UP, SUSPECT)
+
+
+class HealthTracker:
+    """Heartbeat-driven health states for every rank of a sharded fleet."""
+
+    def __init__(self, plan: ShardFaultPlan, nranks: int, *,
+                 interval: float, suspect_after: int, down_after: int) -> None:
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if not 1 <= suspect_after <= down_after:
+            raise ValueError("need 1 <= suspect_after <= down_after")
+        self.plan = plan
+        self.nranks = nranks
+        self.interval = interval
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        #: One RNG for the whole tracker, consumed in tick-then-rank order
+        #: (one draw per alive rank inside a slow window), so slow-window
+        #: misses are identical across runs of the same plan.
+        self.rng = np.random.default_rng(plan.seed)
+        self.ranks = [RankHealth() for _ in range(nranks)]
+        self._tick_index = 0
+        self.heartbeats = 0
+        self.heartbeats_missed = 0
+        #: Every state change: {"t", "rank", "state", "breaker"}.
+        self.transitions: list[dict] = []
+
+    # -- clocking ------------------------------------------------------------
+    def next_tick(self) -> float:
+        """Modeled time of the next heartbeat round."""
+        return (self._tick_index + 1) * self.interval
+
+    # -- probing -------------------------------------------------------------
+    def _probe_missed(self, rank: int, t: float) -> bool:
+        """One heartbeat probe of *rank* at time *t* (True = missed)."""
+        self.heartbeats += 1
+        if self.plan.is_down(rank, t):
+            self.heartbeats_missed += 1
+            return True
+        miss = self.plan.miss_prob(rank, t)
+        if miss > 0.0 and float(self.rng.random()) < miss:
+            self.heartbeats_missed += 1
+            return True
+        return False
+
+    def _set_state(self, rank: int, t: float, state: str,
+                   events: list[dict]) -> None:
+        rec = self.ranks[rank]
+        if rec.state == state:
+            return
+        was_routable = rec.routable
+        rec.state = state
+        if was_routable and not rec.routable:
+            rec.unavailable_since = t
+        elif not was_routable and rec.routable:
+            rec.unavailable_seconds += t - rec.unavailable_since
+            rec.unavailable_since = None
+        event = {"t": t, "rank": rank, "state": state,
+                 "breaker": rec.breaker}
+        self.transitions.append(event)
+        events.append(event)
+
+    def tick(self, t: float) -> list[dict]:
+        """Run one heartbeat round at modeled time *t*.
+
+        Returns the state transitions this round caused (also appended to
+        :attr:`transitions`); the sharded service reacts to them — ring
+        membership, failover, cache re-warm — while the tracker only
+        observes.
+        """
+        self._tick_index += 1
+        events: list[dict] = []
+        for rank in range(self.nranks):
+            rec = self.ranks[rank]
+            missed = self._probe_missed(rank, t)
+            if missed:
+                rec.missed += 1
+                if rec.state in (UP, SUSPECT, REJOINING):
+                    if rec.missed >= self.down_after or rec.state == REJOINING:
+                        # A rejoining rank that misses a probe (a flap
+                        # striking mid-re-warm) goes straight back down.
+                        self._set_state(rank, t, DOWN, events)
+                    elif rec.missed >= self.suspect_after:
+                        self._set_state(rank, t, SUSPECT, events)
+            else:
+                rec.missed = 0
+                if rec.state == SUSPECT:
+                    self._set_state(rank, t, UP, events)
+                elif rec.state == DOWN:
+                    self._set_state(rank, t, REJOINING, events)
+                elif rec.state == REJOINING and t >= rec.rejoin_until:
+                    self._set_state(rank, t, UP, events)
+        return events
+
+    def set_rejoin_until(self, rank: int, t: float) -> None:
+        """Earliest modeled time a rejoining rank may be declared up
+        (set by the service to the cache re-warm completion time)."""
+        self.ranks[rank].rejoin_until = t
+
+    # -- reporting -----------------------------------------------------------
+    def unavailable_seconds(self, rank: int, now: float) -> float:
+        """Accumulated non-routable time of *rank* up to modeled *now*."""
+        rec = self.ranks[rank]
+        open_window = (now - rec.unavailable_since
+                       if rec.unavailable_since is not None else 0.0)
+        return rec.unavailable_seconds + max(open_window, 0.0)
+
+    def snapshot(self, now: float) -> dict:
+        """JSON-able health summary at modeled time *now*."""
+        down = [self.unavailable_seconds(r, now) for r in range(self.nranks)]
+        total = self.nranks * now
+        return {
+            "states": [rec.state for rec in self.ranks],
+            "heartbeats": self.heartbeats,
+            "heartbeats_missed": self.heartbeats_missed,
+            "unavailable_seconds_per_rank": down,
+            "availability": (1.0 - sum(down) / total) if total > 0 else 1.0,
+            "transitions": list(self.transitions),
+        }

@@ -226,6 +226,26 @@ class ShardMetrics:
         self.redeemed_completed = 0
         #: Autoscaler actions: {"t", "action" ("up"/"down"), "active"}.
         self.autoscale_events: list[dict] = []
+        # Fault lifecycle (counted only while a fault plan is active; the
+        # snapshot emits them only then, so no-fault JSON is unchanged).
+        self.failovers = 0
+        self.evacuated = 0
+        self.lost_inflight = 0
+        self.failed = 0
+        self.retry_backoff_seconds = 0.0
+        self.failover_bytes = 0
+        self.failover_seconds = 0.0
+        self.failover_shipments = 0
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.hedges_lost = 0
+        self.hedges_cancelled = 0
+        self.hedge_bytes = 0
+        self.hedge_seconds = 0.0
+        self.rewarm_events = 0
+        self.rewarm_entries = 0
+        self.rewarm_bytes = 0
+        self.rewarm_seconds = 0.0
 
     # -- recording ---------------------------------------------------------
     def record_route(self, *, forwarded: bool, forward_bytes: int = 0,
@@ -262,15 +282,108 @@ class ShardMetrics:
         self.autoscale_events.append(
             {"t": t, "action": action, "active": active})
 
+    # -- fault lifecycle ---------------------------------------------------
+    def record_displaced(self, kind: str) -> None:
+        """A request lost its rank: ``"queued"`` (evacuated from the dead
+        rank's admission queue) or ``"in_flight"`` (a clairvoyantly
+        scheduled result retracted because it finished past the death)."""
+        if kind == "queued":
+            self.evacuated += 1
+        else:
+            self.lost_inflight += 1
+
+    def record_failover(self, *, backoff_seconds: float, forward_bytes: int,
+                        forward_seconds: float, shipped: bool) -> None:
+        self.failovers += 1
+        self.retry_backoff_seconds += backoff_seconds
+        self.failover_bytes += forward_bytes
+        self.failover_seconds += forward_seconds
+        if shipped:
+            self.failover_shipments += 1
+
+    def record_failed(self) -> None:
+        self.failed += 1
+
+    def record_hedge_issued(self, *, forward_bytes: int,
+                            forward_seconds: float,
+                            shipped: bool = False) -> None:
+        """*shipped* is accepted for call-site symmetry with
+        :meth:`record_failover`; a dup's operator ship is already folded
+        into ``forward_bytes``."""
+        self.hedges_issued += 1
+        self.hedge_bytes += forward_bytes
+        self.hedge_seconds += forward_seconds
+
+    def record_hedge_won(self) -> None:
+        self.hedges_won += 1
+
+    def record_hedge_lost(self) -> None:
+        self.hedges_lost += 1
+
+    def record_hedge_cancelled(self) -> None:
+        self.hedges_cancelled += 1
+
+    def record_rewarm(self, *, entries: int, nbytes: int,
+                      seconds: float) -> None:
+        self.rewarm_events += 1
+        self.rewarm_entries += entries
+        self.rewarm_bytes += nbytes
+        self.rewarm_seconds += seconds
+
+    def faults_snapshot(self, health: dict) -> dict:
+        """The ``faults`` section of the sharded report.
+
+        *health* is a :meth:`HealthTracker.snapshot
+        <repro.serve.health.HealthTracker.snapshot>`; breaker transitions
+        are counted from its transition log (a health transition that
+        keeps the breaker state — e.g. ``up`` → ``suspect`` — is not one).
+        """
+        last: dict[int, str] = {}
+        breaker_transitions = 0
+        for ev in health.get("transitions", []):
+            prev = last.get(ev["rank"], "closed")
+            if ev["breaker"] != prev:
+                breaker_transitions += 1
+            last[ev["rank"]] = ev["breaker"]
+        return {
+            "failovers": self.failovers,
+            "evacuated": self.evacuated,
+            "lost_inflight": self.lost_inflight,
+            "failed": self.failed,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "failover_bytes": self.failover_bytes,
+            "failover_seconds": self.failover_seconds,
+            "failover_shipments": self.failover_shipments,
+            "hedges": {
+                "issued": self.hedges_issued,
+                "won": self.hedges_won,
+                "lost": self.hedges_lost,
+                "cancelled": self.hedges_cancelled,
+                "bytes": self.hedge_bytes,
+                "seconds": self.hedge_seconds,
+            },
+            "rewarm": {
+                "events": self.rewarm_events,
+                "entries": self.rewarm_entries,
+                "bytes": self.rewarm_bytes,
+                "seconds": self.rewarm_seconds,
+            },
+            "breaker_transitions": breaker_transitions,
+            "health": health,
+        }
+
     # -- reporting ---------------------------------------------------------
     def snapshot(self, *, per_rank: list[dict], virtual_seconds: float,
-                 active_ranks: int, replicas: int) -> dict:
+                 active_ranks: int, replicas: int,
+                 faults: dict | None = None) -> dict:
         """Aggregated sharded report over the per-rank service snapshots.
 
         ``per_rank`` is one :meth:`ServiceMetrics.snapshot` per configured
         rank (index = rank id); ``virtual_seconds`` the makespan (the
         busiest rank's clock); ``active_ranks`` the autoscaler's current
-        worker count.
+        worker count.  ``faults`` is a :meth:`faults_snapshot` and is
+        emitted only when given — a report without a fault plan stays
+        byte-identical to one produced before the fault lifecycle existed.
         """
         agg: dict[str, int] = {}
         for snap in per_rank:
@@ -285,7 +398,7 @@ class ShardMetrics:
             return max(values) / mean if mean > 0 else 0.0
 
         total_completed = sum(completed)
-        return {
+        out = {
             "sharded": {
                 "ranks": len(per_rank),
                 "active_ranks": active_ranks,
@@ -325,6 +438,9 @@ class ShardMetrics:
             },
             "ranks": per_rank,
         }
+        if faults is not None:
+            out["sharded"]["faults"] = faults
+        return out
 
     def to_json(self, **snapshot_kwargs) -> str:
         """Deterministic JSON serialization of :meth:`snapshot`."""

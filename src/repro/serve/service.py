@@ -114,6 +114,25 @@ class ServiceConfig:
     scale_up_depth: float = 8.0
     scale_down_depth: float = 1.0
 
+    # -- fault tolerance (sharded tier under a ShardFaultPlan) --------------
+    #: Heartbeat probe period, modeled seconds: the health tracker probes
+    #: every rank at fixed multiples of this on the virtual clock.
+    heartbeat_interval: float = 1e-3
+    #: Consecutive missed heartbeats before a rank is marked ``suspect``.
+    suspect_after: int = 1
+    #: Consecutive missed heartbeats before a rank is declared ``down``
+    #: (breaker opens; its work fails over to ring successors).
+    down_after: int = 3
+    #: Hedged requests: after this many modeled seconds without a result,
+    #: an ``interactive`` request is duplicated to one replica and the
+    #: first copy to finish wins (``None`` disables hedging).  Hedges fire
+    #: at heartbeat-tick granularity to keep the schedule deterministic.
+    hedge_delay: float | None = None
+    #: Cache re-warm breadth: a rejoining rank replays this many of the
+    #: hottest pattern fingerprints from a surviving replica before it
+    #: re-enters the ring (0 disables re-warm; the rank rejoins cold).
+    rewarm_top_k: int = 4
+
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -138,6 +157,17 @@ class ServiceConfig:
                 f"got {self.min_ranks}")
         if self.scale_down_depth > self.scale_up_depth:
             raise ValueError("scale_down_depth must be <= scale_up_depth")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if not 1 <= self.suspect_after <= self.down_after:
+            raise ValueError(
+                f"need 1 <= suspect_after <= down_after, got "
+                f"suspect_after={self.suspect_after} "
+                f"down_after={self.down_after}")
+        if self.hedge_delay is not None and self.hedge_delay <= 0:
+            raise ValueError("hedge_delay must be positive (or None)")
+        if self.rewarm_top_k < 0:
+            raise ValueError("rewarm_top_k must be >= 0")
 
 
 #: ServiceConfig field names — the keywords the deprecation shim accepts.
@@ -289,6 +319,39 @@ class SolveService:
                 status="cancelled", request_id=ticket.id,
                 priority=req.priority)
             return True
+
+    # -- crash primitives (used by the sharded tier's fault lifecycle) -----
+    def evacuate(self) -> list[Request]:
+        """Pull every queued request out of the admission queue.
+
+        The rank-death half of failover: when the sharded router declares
+        this rank down, its undispatched requests are not lost — they are
+        evacuated here and re-routed to ring successors.  The requests
+        leave with their metadata intact (the router re-submits them under
+        new arrival times); no results are recorded for them on this rank.
+        """
+        with self._lock:
+            pending = self._queue.pending()
+            return self._queue.take([r.id for r in pending])
+
+    def retract(self, request_id: int) -> ServiceResult | None:
+        """Take back a resolved result that a rank crash invalidated.
+
+        The worker loop is clairvoyant — it may already have resolved a
+        request whose modeled *finish* time lies beyond the instant the
+        rank died.  Those results never happened: the sharded tier retracts
+        them (removing the result and the ticket from this rank's maps) and
+        fails the request over.  Completion-side metrics recorded for a
+        retracted result are deliberately left in place: per-rank counters
+        describe work the rank *attempted*, and the fleet-level fault
+        section accounts for the loss.  Returns the retracted result, or
+        ``None`` if the request never resolved here.
+        """
+        with self._lock:
+            res = self._results.pop(request_id, None)
+            if res is not None:
+                self._known.discard(request_id)
+            return res
 
     # -- results -----------------------------------------------------------
     def result(self, ticket: Ticket, *, wait: bool = True) -> ServiceResult | None:
