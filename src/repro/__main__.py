@@ -28,6 +28,18 @@ Commands
     lifecycle section to the report.  ``--json PATH`` additionally
     writes the deterministic metrics snapshot (bit-identical across runs
     of the same workload and seed, with or without chaos; CI diffs it).
+    Under ``--check cheap`` (or stricter) the service also records the
+    ticket-lifecycle event log and runs the happens-before checker on it
+    after the workload drains (see docs/analysis.md).
+``verify-comm``
+    Build a distributed hierarchy on N simulated ranks and *statically*
+    verify its communication schedule — no solve is executed.  The
+    verifier reconstructs every level's send/recv graphs from the frozen
+    halos and colmaps, cross-checks them against independently recomputed
+    patterns, runs the compiled per-rank message programs through a
+    rendezvous deadlock detector, and prints the per-level message
+    count/volume matrix.  ``--json PATH`` writes the schedule snapshot
+    (deterministic; CI diffs it); exits non-zero on any finding.
 
 Examples::
 
@@ -42,6 +54,8 @@ Examples::
     python -m repro serve-bench --workload fleet --ranks 4 --replicas 2
     python -m repro serve-bench --workload tiny --ranks 4 --chaos chaos.json
     python -m repro serve-bench --workload W.json --k 8 --json metrics.json
+    python -m repro verify-comm --problem lap3d27 --size 12 --ranks 8
+    python -m repro verify-comm --problem lap2d --size 48 --ranks 4 --json s.json
 """
 
 from __future__ import annotations
@@ -271,6 +285,13 @@ def cmd_serve_bench(args) -> int:
                else SolveService(config))
     results = service.run_workload(build(spec))
 
+    from .analysis import check_event_log, checking
+    if checking("cheap"):
+        # The drained workload's ticket-lifecycle log must pass the
+        # happens-before checks (double completions, slot leaks, lost
+        # cancels); at 'off' the log is empty and this is skipped.
+        check_event_log(service.events)
+
     print(f"workload      : {args.workload}  (seed={spec.seed}, "
           f"{spec.requests} requests, rate="
           f"{spec.rate if spec.rate is not None else 'closed'})")
@@ -288,6 +309,35 @@ def cmd_serve_bench(args) -> int:
     ok = all(r is not None and r.status in SERVICE_STATUSES for r in results)
     completed = [r for r in results if r.status == "completed"]
     return 0 if ok and all(r.converged or r.degraded for r in completed) else 1
+
+
+def cmd_verify_comm(args) -> int:
+    from pathlib import Path
+
+    from .analysis.sched import (extract_schedule, format_schedule_report,
+                                 scan_schedule, schedule_to_json)
+    from .dist import DistAMGSolver, ParCSRMatrix, RowPartition, SimComm
+
+    A, _b = _build_problem(args.problem, args.size, args.seed)
+    cfg = _config(args)
+    nranks = args.ranks if args.ranks > 0 else 4
+    comm = SimComm(nranks)
+    part = RowPartition.uniform(A.nrows, nranks)
+    Ad = ParCSRMatrix.from_global(A, part)
+    solver = DistAMGSolver(comm, cfg)
+    solver.setup(Ad)
+
+    sched = extract_schedule(solver.hierarchy)
+    findings = scan_schedule(sched)
+    print(f"problem       : {args.problem}  (n={A.nrows}, nnz={A.nnz}, "
+          f"ranks={nranks})")
+    print(f"configuration : {'baseline' if args.baseline else 'optimized'}"
+          f", cycle={cfg.cycle_type}, smoother={cfg.smoother}")
+    print(format_schedule_report(sched, findings=findings))
+    if args.json:
+        Path(args.json).write_text(schedule_to_json(sched) + "\n")
+        print(f"schedule JSON : wrote {args.json}")
+    return 1 if findings else 0
 
 
 def cmd_suite(_args) -> int:
@@ -399,7 +449,25 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--json", default=None, metavar="PATH",
                          help="write the deterministic metrics snapshot "
                               "JSON here")
+    p_serve.add_argument("--check", default=None,
+                         choices=["off", "cheap", "full"],
+                         help="at cheap or stricter, record the ticket-"
+                              "lifecycle event log and run the happens-"
+                              "before checker after the workload drains "
+                              "(overrides REPRO_CHECK; default: off)")
     p_serve.set_defaults(func=cmd_serve_bench)
+
+    p_verify = sub.add_parser(
+        "verify-comm",
+        help="statically verify a distributed hierarchy's comm schedule")
+    _common(p_verify)
+    p_verify.add_argument("--ranks", type=int, default=4, metavar="N",
+                          help="simulated ranks to build the hierarchy on "
+                               "(default 4)")
+    p_verify.add_argument("--json", default=None, metavar="PATH",
+                          help="write the deterministic schedule snapshot "
+                               "JSON here")
+    p_verify.set_defaults(func=cmd_verify_comm)
 
     args = parser.parse_args(argv)
     if getattr(args, "check", None):

@@ -12,9 +12,23 @@ exchange topologies.  This package makes them checkable:
 * :func:`check_comm_trace` / :func:`scan_comm_trace` — post-hoc replay of
   a communicator's message log: unreceived sends, receives without sends,
   rank-divergent collective orders (deadlocks in a real MPI run), and
-  persistent-exchange topology drift.
-* :mod:`repro.analysis.lint` — the convention-enforcing AST lint, also
-  runnable as ``python tools/lint_repro.py src``.
+  persistent-exchange topology drift.  Checks a faulty trace makes
+  unjudgeable are reported as :class:`SkippedCheck` records.
+* :func:`extract_schedule` / :func:`check_schedule`
+  (:mod:`repro.analysis.sched`) — *static* communication-schedule
+  verification: rebuild every level's send/recv graphs from the frozen
+  halos and colmaps without executing a solve, then check unmatched
+  send/recv pairs, rendezvous deadlock cycles, and collective-order
+  divergence; :func:`message_matrix` / :func:`format_schedule_report`
+  emit the per-level, per-rank-pair count/volume matrices.
+* :class:`EventLog` / :func:`check_event_log`
+  (:mod:`repro.analysis.events`) — ticket-lifecycle event recording in
+  the serve tier plus a vector-clock happens-before checker
+  (double completions, queue-slot leaks, cancels lost across redirects,
+  results before their solve, run-to-run ordering divergence).
+* :mod:`repro.analysis.lint` — the convention-enforcing AST lint
+  (including the ``lockset`` lock-discipline rule), also runnable as
+  ``python tools/lint_repro.py src``.
 
 Everything is gated by the ``REPRO_CHECK`` level (``off``/``cheap``/
 ``full``; environment variable, :func:`set_check_level`, CLI ``--check``,
@@ -24,6 +38,7 @@ any level — see :mod:`repro.analysis.errors`.
 
 from .comm_trace import (
     CommTrace,
+    SkippedCheck,
     TraceMessage,
     check_comm_trace,
     persistent_patterns_of,
@@ -37,11 +52,27 @@ from .errors import (
     get_check_level,
     set_check_level,
 )
+from .events import (
+    EventLog,
+    ServiceEvent,
+    check_event_log,
+    diff_event_logs,
+    scan_event_log,
+)
 from .sanitizers import (
     check_csr,
     check_dist_hierarchy,
     check_hierarchy,
     check_parcsr,
+)
+from .sched import (
+    Schedule,
+    check_schedule,
+    extract_schedule,
+    format_schedule_report,
+    message_matrix,
+    scan_schedule,
+    schedule_to_json,
 )
 
 __all__ = [
@@ -57,7 +88,20 @@ __all__ = [
     "check_dist_hierarchy",
     "CommTrace",
     "TraceMessage",
+    "SkippedCheck",
     "persistent_patterns_of",
     "scan_comm_trace",
     "check_comm_trace",
+    "Schedule",
+    "extract_schedule",
+    "scan_schedule",
+    "check_schedule",
+    "message_matrix",
+    "format_schedule_report",
+    "schedule_to_json",
+    "EventLog",
+    "ServiceEvent",
+    "scan_event_log",
+    "check_event_log",
+    "diff_event_logs",
 ]

@@ -29,10 +29,20 @@ replays it and reports:
 
 :func:`check_comm_trace` raises a structured
 :class:`~repro.analysis.errors.InvariantViolation` for the first finding.
+
+A trace recorded under **injected faults** legitimately breaks two of the
+replays: dropped messages unbalance send/ack matching, and an exchange
+aborted mid-round (``CommFault``) leaves a partial persistent round.
+Those checks are not silently skipped — each skip is returned as a
+structured :class:`SkippedCheck` record (``scan_comm_trace(...,
+with_skips=True)``) and surfaced by :func:`check_comm_trace` as a
+``RuntimeWarning`` plus its return value, so a clean report can never be
+mistaken for a complete one.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from .errors import InvariantViolation
@@ -40,6 +50,7 @@ from .errors import InvariantViolation
 __all__ = [
     "TraceMessage",
     "CommTrace",
+    "SkippedCheck",
     "persistent_patterns_of",
     "scan_comm_trace",
     "check_comm_trace",
@@ -63,6 +74,19 @@ class TraceMessage:
     phase: str = ""
 
 
+@dataclass(frozen=True)
+class SkippedCheck:
+    """A replay check that could not run on this trace, with the reason.
+
+    ``check`` is the invariant-id family the skip disables (e.g.
+    ``"comm.unreceived_send"``); ``reason`` says why the trace makes that
+    family unjudgeable rather than merely clean.
+    """
+
+    check: str
+    reason: str
+
+
 @dataclass
 class CommTrace:
     """Neutral snapshot of a communicator's logged traffic.
@@ -79,6 +103,11 @@ class CommTrace:
     #: Whether the trace was produced under the ack/retry protocol
     #: (enables send/ack matching).
     reliable: bool = False
+    #: Whether faults actually fired while the trace was recorded (the
+    #: communicator logged at least one FaultEvent): send/ack matching and
+    #: persistent-round replay are unjudgeable on such a trace and are
+    #: reported as :class:`SkippedCheck` records instead of findings.
+    faulty: bool = False
 
     @classmethod
     def from_comm(cls, comm) -> "CommTrace":
@@ -93,6 +122,7 @@ class CommTrace:
             messages=msgs,
             collectives=[list(kinds) for _ in range(comm.nranks)],
             reliable=bool(getattr(comm, "supports_fault_injection", False)),
+            faulty=bool(getattr(comm, "events", ())),
         )
 
 
@@ -125,7 +155,8 @@ def scan_comm_trace(
     *,
     persistent_patterns: dict[str, list[list[tuple[int, int]]]] | None = None,
     max_findings: int = 64,
-) -> list[InvariantViolation]:
+    with_skips: bool = False,
+):
     """Replay *trace* (a :class:`CommTrace` or a communicator) and return
     every violation found, unraised.
 
@@ -134,10 +165,19 @@ def scan_comm_trace(
     :class:`~repro.dist.comm.PersistentExchange`); when given, every
     contiguous round of persistent traffic under that tag must replay one
     of them exactly.
+
+    With ``with_skips=True`` the return value is a ``(findings, skips)``
+    pair; checks the trace makes unjudgeable (faulty runs, see
+    :class:`SkippedCheck`) contribute a skip record instead of silently
+    reporting clean.
     """
     if not isinstance(trace, CommTrace):
         trace = CommTrace.from_comm(trace)
     findings: list[InvariantViolation] = []
+    skips: list[SkippedCheck] = []
+
+    def done(out):
+        return (out, skips) if with_skips else out
 
     def add(v: InvariantViolation) -> bool:
         findings.append(v)
@@ -151,20 +191,26 @@ def scan_comm_trace(
                 "comm.rank_range",
                 f"message {m.src}->{m.dst} (tag={m.tag!r}) is outside the "
                 f"rank range [0, {n})")):
-                return findings
+                return done(findings)
         elif m.src == m.dst:
             if add(_finding(
                 "comm.self_message",
                 f"rank {m.src} sent itself a message (tag={m.tag!r}); "
                 f"local data must not go through the wire",
                 rank=m.src)):
-                return findings
+                return done(findings)
 
     # -- reliable-protocol send/ack matching --------------------------------
     # Only tags that demonstrably ran the ack/retry protocol are matched:
     # a FaultyComm also carries plain logged traffic (setup-time exchanges,
     # coarse-grid gathers) that is never acknowledged by design.
-    if trace.reliable:
+    if trace.reliable and trace.faulty:
+        skips.append(SkippedCheck(
+            "comm.unreceived_send",
+            "faults fired during this run: injected drops and kills "
+            "legitimately unbalance send/ack matching, so missing acks "
+            "are not evidence of a schedule bug"))
+    elif trace.reliable:
         sends: dict[tuple[int, int, str], int] = {}
         acks: dict[tuple[int, int, str], int] = {}
         protocol_tags: set[str] = set()
@@ -190,14 +236,14 @@ def scan_comm_trace(
                     f"{s - a} of {s} message(s) {src}->{dst} (tag={tag!r}) "
                     f"were never acknowledged by the receiver",
                     rank=src)):
-                    return findings
+                    return done(findings)
             elif a > s:
                 if add(_finding(
                     "comm.recv_without_send",
                     f"rank {dst} acknowledged {a} message(s) {src}->{dst} "
                     f"(tag={tag!r}) but only {s} were sent",
                     rank=dst)):
-                    return findings
+                    return done(findings)
 
     # -- collective-order divergence ----------------------------------------
     seqs = trace.collectives
@@ -218,10 +264,16 @@ def scan_comm_trace(
                 f"rank 0 enters {a!r}, rank {p} enters {b!r} — this "
                 f"deadlocks a real MPI run",
                 rank=p)):
-                return findings
+                return done(findings)
 
     # -- persistent-pattern drift -------------------------------------------
-    if persistent_patterns:
+    if persistent_patterns and trace.faulty:
+        skips.append(SkippedCheck(
+            "comm.persistent_drift",
+            "faults fired during this run: an exchange aborted mid-round "
+            "(CommFault) leaves a partial persistent round, so the replay "
+            "cannot distinguish drift from a legitimate abort"))
+    elif persistent_patterns:
         for tag, patterns in persistent_patterns.items():
             stream = [
                 (m.src, m.dst)
@@ -245,19 +297,32 @@ def scan_comm_trace(
                         f"({stream[i][0]}->{stream[i][1]}) does not replay "
                         f"any frozen exchange pattern; persistent requests "
                         f"must keep their creation-time topology")):
-                        return findings
+                        return done(findings)
                     i += 1
-    return findings
+    return done(findings)
 
 
 def check_comm_trace(
     trace,
     *,
     persistent_patterns: dict[str, list[list[tuple[int, int]]]] | None = None,
-) -> None:
-    """Replay *trace* and raise the first violation found (if any)."""
-    findings = scan_comm_trace(
-        trace, persistent_patterns=persistent_patterns, max_findings=1
+) -> list[SkippedCheck]:
+    """Replay *trace*; raise the first violation, return the skips.
+
+    Checks the trace made unjudgeable (faulty runs) are surfaced twice:
+    as a ``RuntimeWarning`` naming each skipped invariant family, and as
+    the returned :class:`SkippedCheck` list — callers that log or assert
+    on coverage read the return value.
+    """
+    # Full scan (not max_findings=1): an early finding must not suppress
+    # the skip records of checks that come later in the replay.
+    findings, skips = scan_comm_trace(
+        trace, persistent_patterns=persistent_patterns, with_skips=True,
     )
+    for skip in skips:
+        warnings.warn(
+            f"comm-trace check {skip.check} skipped: {skip.reason}",
+            RuntimeWarning, stacklevel=2)
     if findings:
         raise findings[0]
+    return skips

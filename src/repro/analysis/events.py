@@ -1,0 +1,292 @@
+"""Ticket-lifecycle event log and happens-before checker for the serve tier.
+
+Under ``REPRO_CHECK=cheap`` (or stricter) the services record a structured
+event for every step of a request's life —
+``submit → admit → (route/forward) → batch → solve → result`` on the happy
+path, plus ``reject``/``cancel``/``timeout``/``evacuate``/``retract`` and
+the fault-lifecycle kinds (``failover``/``hedge``/``rewarm``/``health``).
+At ``off`` the :meth:`EventLog.record` gate is one comparison and the log
+stays empty, so solves, metrics, and ``serve-bench --json`` output remain
+byte-identical to an unchecked build (events never appear in metrics).
+
+:func:`scan_event_log` derives vector clocks — per-actor program order
+plus cross-actor edges through shared ticket ids (the router and the
+serving rank log under the same id) — and checks the orderings that a
+lock or queue bug would break:
+
+* ``events.double_completion`` — two terminal events for one ticket on
+  one actor (a ``retract`` legitimately resets the ticket; anything else
+  means a result raced a cancel or a timeout).
+* ``events.slot_leak`` — an admitted request whose queue slot is never
+  released by a dispatch, timeout, cancel, or evacuation.
+* ``events.lost_cancel`` — a cancel acknowledged by the router that is
+  nevertheless followed (in happens-before order) by a *completed*
+  delivery of the same ticket: the cancel was dropped across a redirect.
+* ``events.result_before_solve`` — a ``result`` event not preceded (in
+  vector-clock order) by its ``solve``.
+* ``events.unknown_kind`` — an event kind outside the documented
+  vocabulary (schema drift).
+
+:func:`diff_event_logs` compares two runs of the same workload and raises
+``events.order_divergence`` on the first differing event — the run-twice
+determinism contract, applied to scheduling decisions rather than final
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass
+
+from .errors import InvariantViolation, checking
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENTS_SCHEMA",
+    "ServiceEvent",
+    "EventLog",
+    "vector_clocks",
+    "scan_event_log",
+    "check_event_log",
+    "diff_event_logs",
+]
+
+#: Version tag stamped into every exported log (golden-file stability).
+EVENTS_SCHEMA = "repro.events/1"
+
+#: The documented event vocabulary; anything else is schema drift.
+EVENT_KINDS = frozenset({
+    "submit", "admit", "reject", "route", "forward", "shed",
+    "batch", "solve", "result", "cancel", "timeout", "evacuate",
+    "retract", "failover", "hedge", "rewarm", "deliver", "health",
+})
+
+#: Kinds that release the admission-queue slot taken by ``admit``.
+_SLOT_RELEASE = frozenset({"solve", "cancel", "timeout", "evacuate"})
+
+#: Terminal (completion-like) kinds for one actor's copy of a ticket.
+_TERMINAL = frozenset({"result", "cancel", "timeout", "reject"})
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One recorded lifecycle step.
+
+    ``actor`` is the logging component (``service``, ``router``,
+    ``rank3``, ...); ``ticket`` and ``rank`` are −1 when not applicable.
+    ``time`` is the virtual clock — deterministic, so it is part of the
+    golden run-twice contract.
+    """
+
+    seq: int
+    time: float
+    actor: str
+    kind: str
+    ticket: int = -1
+    rank: int = -1
+    detail: str = ""
+
+
+class EventLog:
+    """Append-only, lock-guarded event recorder, gated on ``REPRO_CHECK``.
+
+    The gate is re-evaluated per call (not frozen at construction) so a
+    CLI ``--check`` flag set after service construction still takes
+    effect; pass ``enabled=True``/``False`` to pin it (tests plant
+    violations with a pinned-on log regardless of the ambient level).
+    """
+
+    def __init__(self, *, enabled: bool | None = None) -> None:
+        self.events: list[ServiceEvent] = []
+        self._enabled = enabled
+        self._lock = threading.RLock()
+
+    @property
+    def enabled(self) -> bool:
+        return checking("cheap") if self._enabled is None else self._enabled
+
+    def record(self, actor: str, kind: str, *, time: float = 0.0,
+               ticket: int = -1, rank: int = -1, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.events.append(ServiceEvent(
+                seq=len(self.events), time=float(time), actor=actor,
+                kind=kind, ticket=int(ticket), rank=int(rank),
+                detail=detail))
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def snapshot(self) -> dict:
+        """JSON-ready document (schema-tagged, deterministic order)."""
+        return {"schema": EVENTS_SCHEMA,
+                "events": [asdict(e) for e in self.events]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+# -- vector clocks ----------------------------------------------------------
+
+def _actor_rank(ev: ServiceEvent) -> int:
+    """The rank an event belongs to: its ``rank`` field, else the rank
+    encoded in a ``rank<i>`` actor name (local ticket ids are only unique
+    per rank, so cross-actor identity needs the pair)."""
+    if ev.rank >= 0:
+        return ev.rank
+    if ev.actor.startswith("rank") and ev.actor[4:].isdigit():
+        return int(ev.actor[4:])
+    return -1
+
+
+def vector_clocks(events: list[ServiceEvent]) -> list[dict[str, int]]:
+    """One vector clock per event.
+
+    Happens-before is generated by (a) per-actor program order and (b)
+    cross-actor edges through shared ``(rank, ticket)`` identities — the
+    router logs a ticket under its owning rank (local ids are unique only
+    per rank), so an event on a ticket inherits the clock of the latest
+    earlier event on the same ticket, whichever actor recorded it.  The
+    recorded sequence is a valid linearization — recording happens under
+    the log's lock — so a single forward pass suffices.
+    """
+    actor_vc: dict[str, dict[str, int]] = {}
+    ticket_vc: dict[tuple[int, int], dict[str, int]] = {}
+    out: list[dict[str, int]] = []
+    for ev in events:
+        vc = dict(actor_vc.get(ev.actor, {}))
+        if ev.ticket >= 0:
+            key = (_actor_rank(ev), ev.ticket)
+            for actor, tick in ticket_vc.get(key, {}).items():
+                if tick > vc.get(actor, 0):
+                    vc[actor] = tick
+        vc[ev.actor] = vc.get(ev.actor, 0) + 1
+        actor_vc[ev.actor] = vc
+        if ev.ticket >= 0:
+            ticket_vc[(_actor_rank(ev), ev.ticket)] = vc
+        out.append(vc)
+    return out
+
+
+def _dominates(a: dict[str, int], b: dict[str, int]) -> bool:
+    """Whether clock *a* happens-after (or equals) clock *b*."""
+    return all(a.get(actor, 0) >= tick for actor, tick in b.items())
+
+
+# -- scanning ---------------------------------------------------------------
+
+def _scan_ticket(actor: str, ticket: int, evs: list[tuple[ServiceEvent, dict]],
+                 findings: list[InvariantViolation]) -> None:
+    """Per-(actor, ticket) lifecycle checks over its event chain."""
+    terminals: list[ServiceEvent] = []
+    solves: list[dict] = []
+    cancelled = False
+    open_slots = 0
+    for ev, vc in evs:
+        if ev.kind == "retract":
+            # A crash invalidated the completion: the lifecycle restarts.
+            terminals.clear()
+            continue
+        if ev.kind in _TERMINAL:
+            terminals.append(ev)
+        if ev.kind == "admit":
+            open_slots += 1
+        elif ev.kind in _SLOT_RELEASE and open_slots > 0:
+            open_slots -= 1
+        if ev.kind == "solve":
+            solves.append(vc)
+        if ev.kind == "cancel":
+            cancelled = True
+        if ev.kind == "result":
+            if not any(_dominates(vc, s) for s in solves):
+                findings.append(InvariantViolation(
+                    "events.result_before_solve",
+                    f"{actor} emitted result for ticket {ticket} with no "
+                    f"happens-before solve event",
+                    rank=ev.rank if ev.rank >= 0 else None,
+                    context=f"actor={actor}"))
+        if ev.kind == "deliver" and cancelled and ev.detail == "completed":
+            findings.append(InvariantViolation(
+                "events.lost_cancel",
+                f"ticket {ticket} was cancelled on {actor} but a "
+                f"'completed' result was still delivered — the cancel was "
+                f"lost across a redirect",
+                rank=ev.rank if ev.rank >= 0 else None,
+                context=f"actor={actor}"))
+    if len(terminals) > 1:
+        kinds = [e.kind for e in terminals]
+        findings.append(InvariantViolation(
+            "events.double_completion",
+            f"ticket {ticket} reached {len(terminals)} terminal events on "
+            f"{actor} ({', '.join(kinds)}); exactly one completion is "
+            f"allowed per lifecycle",
+            context=f"actor={actor}"))
+    if open_slots > 0:
+        findings.append(InvariantViolation(
+            "events.slot_leak",
+            f"ticket {ticket} was admitted on {actor} but its queue slot "
+            f"was never released (no solve/timeout/cancel/evacuate)",
+            context=f"actor={actor}"))
+
+
+def scan_event_log(log) -> list[InvariantViolation]:
+    """All lifecycle violations in a log (accepts an event list too)."""
+    events = list(log.events if isinstance(log, EventLog) else log)
+    findings: list[InvariantViolation] = []
+    clocks = vector_clocks(events)
+    chains: dict[tuple[str, int, int], list[tuple[ServiceEvent, dict]]] = {}
+    for ev, vc in zip(events, clocks):
+        if ev.kind not in EVENT_KINDS:
+            findings.append(InvariantViolation(
+                "events.unknown_kind",
+                f"event #{ev.seq} on {ev.actor} has unknown kind "
+                f"{ev.kind!r}; the schema vocabulary is frozen "
+                f"({EVENTS_SCHEMA})"))
+            continue
+        if ev.ticket >= 0:
+            key = (ev.actor, _actor_rank(ev), ev.ticket)
+            chains.setdefault(key, []).append((ev, vc))
+    for (actor, _rank, ticket), evs in sorted(chains.items()):
+        _scan_ticket(actor, ticket, evs, findings)
+    return findings
+
+
+def check_event_log(log) -> None:
+    """Raise the first lifecycle violation found in *log*."""
+    findings = scan_event_log(log)
+    if findings:
+        raise findings[0]
+
+
+def diff_event_logs(a, b) -> None:
+    """Raise ``events.order_divergence`` where two runs' logs differ.
+
+    Two replays of one (seed, workload, config) triple must produce the
+    same event sequence — same actors, kinds, tickets, ranks, and virtual
+    times.  The first divergence is reported with both sides.
+    """
+    ea = list(a.events if isinstance(a, EventLog) else a)
+    eb = list(b.events if isinstance(b, EventLog) else b)
+
+    def _key(ev: ServiceEvent) -> tuple:
+        return (ev.actor, ev.kind, ev.ticket, ev.rank, ev.time, ev.detail)
+
+    for i, (x, y) in enumerate(zip(ea, eb)):
+        if _key(x) != _key(y):
+            raise InvariantViolation(
+                "events.order_divergence",
+                f"runs diverge at event #{i}: "
+                f"first={x.actor}/{x.kind}(t={x.ticket}, r={x.rank}) vs "
+                f"second={y.actor}/{y.kind}(t={y.ticket}, r={y.rank}) — "
+                f"scheduling is not a pure function of the inputs")
+    if len(ea) != len(eb):
+        raise InvariantViolation(
+            "events.order_divergence",
+            f"runs diverge in length: {len(ea)} vs {len(eb)} events "
+            f"(extra events start at #{min(len(ea), len(eb))})")

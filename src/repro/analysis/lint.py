@@ -34,6 +34,15 @@ linters cannot see:
     ``SolveService`` / ``ShardedSolveService`` with the deprecated
     per-field keywords (``max_batch=...``, ``ranks=...``) is flagged.
     The keywords only exist as a migration shim for external callers.
+``lockset``
+    In any class that documents a lock by assigning ``self._lock``
+    (the serving tier, :class:`~repro.amg.cache.HierarchyCache`), every
+    write to a private (underscore) attribute — rebinding, subscript or
+    augmented assignment, deletion, or a mutating container-method call —
+    must happen lexically inside ``with self._lock``, or inside a private
+    method whose *every* call site holds the lock (a per-class fixpoint;
+    ``__init__`` is exempt as thread-confined).  Public attributes such as
+    the virtual clock are single-writer by design and out of scope.
 
 Waivers live in a JSON file (default ``tools/lint_waivers.json``) mapping
 rule id to a list of ``fnmatch`` patterns over ``path`` or
@@ -59,23 +68,31 @@ RULES = (
     "no-bare-except",
     "no-borrowed-mutation",
     "use-config-objects",
+    "lockset",
 )
 
 #: Service classes whose constructors carry the deprecated per-field
 #: keyword shim (see ``repro.serve.service.resolve_service_config``).
 _SERVICE_CLASSES = {"SolveService", "ShardedSolveService"}
 
-#: ``ServiceConfig`` field names — the deprecated constructor keywords.
-#: Kept as a literal so the lint stays a pure AST pass (no repro imports);
-#: ``tests/test_analysis.py`` pins it against the real dataclass fields.
-SERVICE_CONFIG_FIELDS = frozenset({
-    "max_queue", "max_batch", "max_wait", "cache_entries", "threads",
-    "default_method", "default_tol", "default_maxiter", "default_priority",
-    "ranks", "replicas", "ring_vnodes", "spill_penalty", "shed_depth",
-    "autoscale", "min_ranks", "scale_up_depth", "scale_down_depth",
-    "heartbeat_interval", "suspect_after", "down_after", "hedge_delay",
-    "rewarm_top_k",
-})
+
+def _service_config_fields() -> frozenset[str]:
+    """``ServiceConfig`` field names — the deprecated constructor keywords.
+
+    Introspected from the dataclass itself so the list can never drift
+    from :class:`~repro.serve.service.ServiceConfig` (it used to be a
+    hand-maintained literal); ``tests/test_shard.py`` keeps the pinning
+    test as a guard.  The *scanned* trees are still pure AST — only the
+    lint module's own import pulls in ``repro.serve``.
+    """
+    from dataclasses import fields
+
+    from ..serve.service import ServiceConfig
+
+    return frozenset(f.name for f in fields(ServiceConfig))
+
+
+SERVICE_CONFIG_FIELDS = _service_config_fields()
 
 #: Modules whose public module-level functions are instrumented kernels
 #: (matched as path suffixes, POSIX separators).
@@ -285,6 +302,159 @@ def _scan_borrowed_mutation(
 
 
 # ---------------------------------------------------------------------------
+# lockset (per-class lock-discipline analysis)
+# ---------------------------------------------------------------------------
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_CONTAINER = {
+    "append", "add", "clear", "discard", "extend", "insert", "move_to_end",
+    "pop", "popitem", "remove", "setdefault", "update",
+}
+
+
+def _self_private_attr(node: ast.AST) -> str | None:
+    """``self._x`` attribute name for a private (non-lock) attribute."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr.startswith("_")
+        and node.attr != "_lock"
+    ):
+        return node.attr
+    return None
+
+
+def _is_self_lock(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr == "_lock"
+    )
+
+
+def _lockset_writes(node: ast.AST) -> list[tuple[str, str]]:
+    """``(attr, why)`` pairs for shared-state writes performed by *node*."""
+    out: list[tuple[str, str]] = []
+
+    def tgt(t: ast.AST, why: str) -> None:
+        # self._x[...] = / del self._x[...]: unwrap one subscript layer.
+        inner = t.value if isinstance(t, ast.Subscript) else t
+        attr = _self_private_attr(inner)
+        if attr is not None:
+            out.append((attr, why))
+
+    if isinstance(node, ast.Assign):
+        for t in node.targets:
+            for el in (t.elts if isinstance(t, ast.Tuple) else [t]):
+                tgt(el, "assignment")
+    elif isinstance(node, ast.AugAssign):
+        tgt(node.target, "in-place update")
+    elif isinstance(node, ast.Delete):
+        for t in node.targets:
+            tgt(t, "deletion")
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATING_CONTAINER:
+            attr = _self_private_attr(node.func.value)
+            if attr is not None:
+                out.append((attr, f".{node.func.attr}() call"))
+    return out
+
+
+def _scan_class_lockset(
+    cls: ast.ClassDef, path: str, findings: list[LintFinding]
+) -> None:
+    methods = {
+        n.name: n for n in cls.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    owns_lock = any(
+        isinstance(sub, ast.Assign)
+        and any(_is_self_lock(t) for t in sub.targets)
+        for m in methods.values()
+        for sub in ast.walk(m)
+    )
+    if not owns_lock:
+        return
+
+    #: method -> unguarded (attr, why, lineno) writes
+    writes: dict[str, list[tuple[str, str, int]]] = {}
+    #: callee -> [(caller, caller held the lock at the call site)]
+    call_sites: dict[str, list[tuple[str, bool]]] = {}
+
+    def walk(node: ast.AST, method: str, in_lock: bool) -> None:
+        if isinstance(node, ast.With):
+            guarded = in_lock or any(
+                _is_self_lock(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                walk(item.context_expr, method, in_lock)
+            for child in node.body:
+                walk(child, method, guarded)
+            return
+        if not in_lock:
+            for attr, why in _lockset_writes(node):
+                writes.setdefault(method, []).append((attr, why, node.lineno))
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and node.func.attr in methods
+        ):
+            call_sites.setdefault(node.func.attr, []).append((method, in_lock))
+        for child in ast.iter_child_nodes(node):
+            walk(child, method, in_lock)
+
+    for name, m in methods.items():
+        for stmt in m.body:
+            walk(stmt, name, False)
+
+    # Fixpoint: a private helper is lock-held-on-entry iff every one of its
+    # self-call sites is lexically in-lock, in __init__ (thread-confined),
+    # or in another lock-held helper.  Public and dunder methods are
+    # externally callable, so they never qualify.
+    lock_held: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in methods:
+            if (
+                name in lock_held
+                or not name.startswith("_")
+                or name.startswith("__")
+            ):
+                continue
+            sites = call_sites.get(name)
+            if sites and all(
+                in_lock or caller == "__init__" or caller in lock_held
+                for caller, in_lock in sites
+            ):
+                lock_held.add(name)
+                changed = True
+
+    for name in sorted(writes):
+        if name == "__init__" or name in lock_held:
+            continue
+        for attr, why, lineno in writes[name]:
+            findings.append(LintFinding(
+                "lockset", path, lineno, f"{cls.name}.{name}",
+                f"{why} writes self.{attr} outside 'with self._lock' in a "
+                f"lock-guarded class; shared mutable state must be written "
+                f"under the documented lock (or only from lock-held "
+                f"private callers)"))
+
+
+def _scan_lockset(tree: ast.Module, path: str) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            _scan_class_lockset(node, path, findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # kernel-counts (cross-module charge analysis)
 # ---------------------------------------------------------------------------
 
@@ -456,6 +626,8 @@ def run_lint(
         modules[_module_key(path)] = (tree, str(path))
         simple = _scan_simple_rules(tree, str(path))
         findings.extend(f for f in simple if f.rule in active)
+        if "lockset" in active:
+            findings.extend(_scan_lockset(tree, str(path)))
     if "kernel-counts" in active:
         findings.extend(_scan_kernel_counts(modules))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))

@@ -1,0 +1,597 @@
+"""Static communication-schedule verification (no solve required).
+
+:func:`extract_schedule` walks a built
+:class:`~repro.dist.setup.DistHierarchy` — each level's
+:class:`~repro.dist.halo.HaloExchange` objects for ``A``/``P``/``R``, the
+communicator's registered :class:`~repro.dist.comm.PersistentExchange`
+requests, and the ParCSR ``colmap`` arrays — and reconstructs the per-level
+send/recv bipartite graph every halo round would execute.  Nothing runs and
+nothing is charged: :meth:`RowPartition.owner_of
+<repro.dist.partition.RowPartition.owner_of>` is uncharged, so extraction
+adds zero :class:`~repro.perf.counters.KernelRecord` entries.
+
+Each exchange carries four independently-derived views of the same graph:
+
+``implied``
+    recomputed fresh from the current colmaps (what the matrix *needs*),
+``declared``
+    the halo's frozen ``pattern`` (what the exchange *says* it does),
+``recvs``
+    rebuilt from ``recv_plan`` index lists (what the unpack side *posts*),
+``registered``
+    the persistent request registered on the communicator (what the
+    network *replays*), when one exists.
+
+:func:`scan_schedule` cross-checks the views (``sched.pattern_mismatch``,
+``sched.persistent_mismatch``, ``sched.unmatched_send`` /
+``sched.unmatched_recv``), then compiles the declared graph into one
+straight-line comm program per rank — non-blocking pre-posted receives
+followed by rendezvous sends, the schedule a real MPI port would execute —
+and runs it through a small abstract machine.  Ranks that can make no
+progress form a wait-for graph whose strongly connected components
+(Tarjan) are reported as ``sched.deadlock_cycle``.  Per-rank collective
+programs, when present, are checked for order divergence
+(``sched.collective_order``) exactly like the runtime comm-trace replay.
+
+The same extraction yields the per-level, per-rank-pair message
+count/volume matrix (:func:`message_matrix`, :func:`format_schedule_report`,
+:func:`schedule_to_json`) — the baseline artifact for the ROADMAP's
+node-aware aggregation item (Bienz et al., arXiv:1904.05838): deciding
+which messages to coalesce through node leaders starts from exactly this
+matrix.
+
+Exposed on the CLI as ``python -m repro verify-comm`` and hooked into
+``dist_build_hierarchy`` under ``REPRO_CHECK=full``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perf.counters import VAL_BYTES
+from .errors import InvariantViolation
+
+__all__ = [
+    "CommOp",
+    "ExchangeSchedule",
+    "Schedule",
+    "extract_schedule",
+    "scan_schedule",
+    "check_schedule",
+    "message_matrix",
+    "format_schedule_report",
+    "schedule_to_json",
+]
+
+Pattern = dict[tuple[int, int], int]
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One point-to-point operation in a rank's straight-line comm program.
+
+    ``blocking`` receives park the rank until a matching message arrived;
+    ``blocking`` sends use rendezvous semantics (they complete only against
+    a posted or simultaneously-reached receive — the MPI_Send-over-eager-
+    limit case that turns schedule bugs into real deadlocks).
+    """
+
+    kind: str  # "send" | "recv"
+    peer: int
+    tag: str
+    elems: int
+    blocking: bool
+
+
+@dataclass
+class ExchangeSchedule:
+    """One halo-exchange round: the bipartite send/recv graph, four ways.
+
+    All four pattern dicts map ``(src_rank, dst_rank) -> element count``;
+    ``registered`` is ``None`` for non-persistent exchanges.
+    """
+
+    level: int
+    operator: str  # "A" | "P" | "R"
+    tag: str
+    persistent: bool
+    bytes_per_elem: int
+    implied: Pattern
+    declared: Pattern
+    recvs: Pattern
+    registered: Pattern | None = None
+
+    @property
+    def pairs(self) -> int:
+        return sum(1 for (s, d) in self.declared if s != d)
+
+    @property
+    def round_bytes(self) -> int:
+        return sum(n * self.bytes_per_elem
+                   for (s, d), n in self.declared.items() if s != d)
+
+
+@dataclass
+class Schedule:
+    """A hierarchy's full static comm schedule.
+
+    ``collectives`` holds one ordered list of collective kinds per rank
+    (empty when extracted from a :class:`~repro.dist.comm.SimComm`, whose
+    collectives are process-wide by construction); ``programs`` holds one
+    straight-line :class:`CommOp` list per rank, compiled on demand by
+    :func:`scan_schedule` when left empty.
+    """
+
+    nranks: int
+    exchanges: list[ExchangeSchedule] = field(default_factory=list)
+    collectives: list[list[str]] = field(default_factory=list)
+    programs: list[list[CommOp]] = field(default_factory=list)
+
+    @property
+    def nlevels(self) -> int:
+        return 1 + max((ex.level for ex in self.exchanges), default=-1)
+
+
+# -- extraction -------------------------------------------------------------
+
+def _implied_pattern(A) -> Pattern:
+    """The send/recv graph the matrix's colmaps require, recomputed fresh."""
+    out: Pattern = {}
+    col_part = A.col_part
+    for p, blk in enumerate(A.blocks):
+        if len(blk.colmap) == 0:
+            continue
+        owners = col_part.owner_of(blk.colmap)
+        for q in np.unique(owners):
+            out[(int(q), p)] = int(np.count_nonzero(owners == q))
+    return out
+
+
+def _recv_pattern(halo) -> Pattern:
+    """The graph the unpack side posts, rebuilt from recv_plan lists."""
+    out: Pattern = {}
+    for p, plan in enumerate(halo.recv_plan):
+        for q, ids in plan:
+            out[(int(q), p)] = len(ids)
+    return out
+
+
+def _exchange_of(halo, matrix, *, level: int, operator: str,
+                 registry: list) -> ExchangeSchedule:
+    req = getattr(halo, "_persistent_req", None)
+    registered: Pattern | None = None
+    if req is not None:
+        registered = dict(req.pattern)
+        if not any(req is r for r in registry):
+            raise InvariantViolation(
+                "sched.unregistered_persistent",
+                f"persistent {operator}-halo request is not registered on "
+                f"the communicator (comm.persistent_requests)",
+                level=level, context=f"{operator} halo")
+    bytes_per_elem = int(req.bytes_per_elem) if req is not None else VAL_BYTES
+    return ExchangeSchedule(
+        level=level, operator=operator,
+        tag=getattr(req, "tag", "halo"),
+        persistent=bool(halo.persistent),
+        bytes_per_elem=bytes_per_elem,
+        implied=_implied_pattern(matrix),
+        declared=dict(halo.pattern),
+        recvs=_recv_pattern(halo),
+        registered=registered,
+    )
+
+
+def extract_schedule(hierarchy) -> Schedule:
+    """Static comm schedule of a built distributed hierarchy.
+
+    Walks every level's ``A``/``P``/``R`` halo exchanges without executing
+    any of them.  Raises ``sched.unregistered_persistent`` immediately if a
+    persistent halo lost its communicator registration; all other checks
+    are deferred to :func:`scan_schedule`.
+    """
+    comm = hierarchy.comm
+    registry = list(getattr(comm, "persistent_requests", ()))
+    sched = Schedule(nranks=comm.nranks)
+    for lvl_idx, lvl in enumerate(hierarchy.levels):
+        triples = (("A", lvl.halo, lvl.A),
+                   ("P", lvl.halo_P, lvl.P),
+                   ("R", lvl.halo_R, lvl.R))
+        for operator, halo, matrix in triples:
+            if halo is None or matrix is None:
+                continue
+            sched.exchanges.append(_exchange_of(
+                halo, matrix, level=lvl_idx, operator=operator,
+                registry=registry))
+    return sched
+
+
+# -- the deadlock machine ---------------------------------------------------
+
+def compile_programs(sched: Schedule) -> list[list[CommOp]]:
+    """One straight-line comm program per rank from the declared graphs.
+
+    For each exchange round, every rank first pre-posts its receives
+    (non-blocking) and then issues its sends in rendezvous mode, in
+    deterministic (peer, tag) order — the schedule shape a real MPI port
+    of the persistent halo exchange executes.
+    """
+    programs: list[list[CommOp]] = [[] for _ in range(sched.nranks)]
+    for ex in sched.exchanges:
+        uniq = f"{ex.tag}.L{ex.level}.{ex.operator}"
+        for (s, d), n in sorted(ex.declared.items()):
+            if s == d or not (0 <= d < sched.nranks):
+                continue
+            programs[d].append(CommOp("recv", s, uniq, n, blocking=False))
+        for (s, d), n in sorted(ex.declared.items()):
+            if s == d or not (0 <= s < sched.nranks):
+                continue
+            programs[s].append(CommOp("send", d, uniq, n, blocking=True))
+    return programs
+
+
+def _take(table: dict, key) -> bool:
+    n = table.get(key, 0)
+    if n <= 0:
+        return False
+    if n == 1:
+        del table[key]
+    else:
+        table[key] = n - 1
+    return True
+
+
+def _run_programs(programs: list[list[CommOp]]):
+    """Abstract execution of the per-rank comm programs.
+
+    Returns ``(pc, posted, arrived)``: the final program counter per rank
+    (short of the program length for blocked ranks), leftover posted
+    receives, and leftover in-flight messages — both keyed by
+    ``(src, dst, tag)``.
+    """
+    n = len(programs)
+    pc = [0] * n
+    posted: dict[tuple[int, int, str], int] = {}
+    arrived: dict[tuple[int, int, str], int] = {}
+    progress = True
+    while progress:
+        progress = False
+        for r in range(n):
+            while pc[r] < len(programs[r]):
+                op = programs[r][pc[r]]
+                if op.kind == "recv":
+                    key = (op.peer, r, op.tag)
+                    if _take(arrived, key):
+                        pass
+                    elif op.blocking:
+                        break
+                    else:
+                        posted[key] = posted.get(key, 0) + 1
+                else:
+                    key = (r, op.peer, op.tag)
+                    if not _take(posted, key):
+                        if op.blocking:
+                            # Rendezvous: completes only if the peer is
+                            # parked at the matching blocking receive.
+                            q = op.peer
+                            peer_op = (programs[q][pc[q]]
+                                       if 0 <= q < n and pc[q] < len(programs[q])
+                                       else None)
+                            if not (peer_op is not None
+                                    and peer_op.kind == "recv"
+                                    and peer_op.blocking
+                                    and peer_op.peer == r
+                                    and peer_op.tag == op.tag):
+                                break
+                        arrived[key] = arrived.get(key, 0) + 1
+                pc[r] += 1
+                progress = True
+    return pc, posted, arrived
+
+
+def _tarjan_sccs(nodes: list[int], edges: dict[int, list[int]]) -> list[list[int]]:
+    """Tarjan's strongly-connected components (iterative)."""
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(edges.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(edges.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(comp)
+    return sccs
+
+
+def _scan_deadlock(sched: Schedule, programs: list[list[CommOp]],
+                   findings: list[InvariantViolation]) -> None:
+    pc, posted, arrived = _run_programs(programs)
+    stuck = [r for r in range(sched.nranks) if pc[r] < len(programs[r])]
+    if stuck:
+        edges = {r: [programs[r][pc[r]].peer] for r in stuck}
+        in_cycle: set[int] = set()
+        for comp in _tarjan_sccs(stuck, edges):
+            single_self = (len(comp) == 1
+                           and comp[0] not in edges.get(comp[0], ()))
+            if single_self:
+                continue
+            cyc = sorted(comp)
+            ops = {r: programs[r][pc[r]] for r in cyc}
+            desc = ", ".join(
+                f"rank {r} blocked in {ops[r].kind}"
+                f"({'->' if ops[r].kind == 'send' else '<-'}"
+                f"{ops[r].peer}, tag={ops[r].tag})" for r in cyc)
+            findings.append(InvariantViolation(
+                "sched.deadlock_cycle",
+                f"rendezvous deadlock cycle over ranks {cyc}: {desc}",
+                context="wait-for SCC"))
+            in_cycle.update(comp)
+        for r in stuck:
+            if r in in_cycle:
+                continue
+            op = programs[r][pc[r]]
+            inv = ("sched.unmatched_send" if op.kind == "send"
+                   else "sched.unmatched_recv")
+            findings.append(InvariantViolation(
+                inv,
+                f"rank {r} blocks forever in {op.kind} "
+                f"(peer {op.peer}, tag={op.tag}, {op.elems} elems): "
+                f"the peer never issues the matching "
+                f"{'recv' if op.kind == 'send' else 'send'}",
+                rank=r))
+    for (s, d, tag), n in sorted(arrived.items()):
+        findings.append(InvariantViolation(
+            "sched.unmatched_send",
+            f"{n} message(s) {s}->{d} (tag={tag}) are sent but never "
+            f"received", rank=s))
+    for (s, d, tag), n in sorted(posted.items()):
+        findings.append(InvariantViolation(
+            "sched.unmatched_recv",
+            f"{n} receive(s) posted on rank {d} from {s} (tag={tag}) "
+            f"are never matched by a send", rank=d))
+
+
+# -- scanning ---------------------------------------------------------------
+
+def _diff_patterns(a: Pattern, b: Pattern) -> str:
+    """Short human description of how two pattern dicts differ."""
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    counts = sorted(k for k in set(a) & set(b) if a[k] != b[k])
+    parts = []
+    if only_a:
+        parts.append(f"pairs only in first: {only_a[:4]}")
+    if only_b:
+        parts.append(f"pairs only in second: {only_b[:4]}")
+    if counts:
+        parts.append("counts differ at: " + ", ".join(
+            f"{k}: {a[k]} != {b[k]}" for k in counts[:4]))
+    return "; ".join(parts) or "identical"
+
+
+def _scan_exchange(ex: ExchangeSchedule, nranks: int,
+                   findings: list[InvariantViolation]) -> None:
+    ctx = f"level {ex.level} {ex.operator}-halo"
+    for (s, d) in sorted(ex.declared):
+        if not (0 <= s < nranks and 0 <= d < nranks):
+            findings.append(InvariantViolation(
+                "sched.rank_range",
+                f"declared pattern pair ({s}, {d}) is outside "
+                f"[0, {nranks})", level=ex.level, context=ctx))
+        elif s == d:
+            findings.append(InvariantViolation(
+                "sched.self_message",
+                f"declared pattern holds self pair ({s}, {d}); local "
+                f"entries must not ride the wire", level=ex.level,
+                rank=s, context=ctx))
+    if ex.declared != ex.implied:
+        findings.append(InvariantViolation(
+            "sched.pattern_mismatch",
+            f"declared halo pattern disagrees with the graph the colmaps "
+            f"imply ({_diff_patterns(ex.declared, ex.implied)})",
+            level=ex.level, context=ctx))
+    # declared-side entries the unpack side never posts are orphan sends;
+    # recv_plan entries absent from the declared side are orphan receives.
+    for key in sorted(set(ex.declared) - set(ex.recvs)):
+        findings.append(InvariantViolation(
+            "sched.unmatched_send",
+            f"declared send {key[0]}->{key[1]} has no recv_plan entry on "
+            f"the receiving rank", level=ex.level, rank=key[0], context=ctx))
+    for key in sorted(set(ex.recvs) - set(ex.declared)):
+        findings.append(InvariantViolation(
+            "sched.unmatched_recv",
+            f"recv_plan expects {key[0]}->{key[1]} but the declared "
+            f"pattern never sends it", level=ex.level, rank=key[1],
+            context=ctx))
+    for key in sorted(set(ex.declared) & set(ex.recvs)):
+        if ex.declared[key] != ex.recvs[key]:
+            findings.append(InvariantViolation(
+                "sched.pattern_mismatch",
+                f"send/recv element counts disagree for {key}: declared "
+                f"{ex.declared[key]}, recv_plan {ex.recvs[key]}",
+                level=ex.level, context=ctx))
+    if ex.registered is not None and ex.registered != ex.declared:
+        findings.append(InvariantViolation(
+            "sched.persistent_mismatch",
+            f"registered persistent pattern drifted from the halo's "
+            f"declared pattern "
+            f"({_diff_patterns(ex.registered, ex.declared)})",
+            level=ex.level, context=ctx))
+
+
+def _scan_collectives(sched: Schedule,
+                      findings: list[InvariantViolation]) -> None:
+    progs = [p for p in sched.collectives if p]
+    if not progs or len(sched.collectives) < 2:
+        return
+    ref = sched.collectives[0]
+    for rank, prog in enumerate(sched.collectives[1:], start=1):
+        if prog == ref:
+            continue
+        upto = min(len(ref), len(prog))
+        at = next((i for i in range(upto) if ref[i] != prog[i]), upto)
+        a = ref[at] if at < len(ref) else "<none>"
+        b = prog[at] if at < len(prog) else "<none>"
+        findings.append(InvariantViolation(
+            "sched.collective_order",
+            f"rank {rank} diverges from rank 0 at collective #{at}: "
+            f"rank 0 issues {a!r}, rank {rank} issues {b!r} "
+            f"(deadlock in a real MPI run)", rank=rank))
+
+
+def scan_schedule(sched: Schedule, *,
+                  max_findings: int = 64) -> list[InvariantViolation]:
+    """All schedule violations, as a list (empty = verified clean)."""
+    findings: list[InvariantViolation] = []
+    for ex in sched.exchanges:
+        _scan_exchange(ex, sched.nranks, findings)
+        if len(findings) >= max_findings:
+            return findings[:max_findings]
+    programs = sched.programs or compile_programs(sched)
+    _scan_deadlock(sched, programs, findings)
+    _scan_collectives(sched, findings)
+    return findings[:max_findings]
+
+
+def check_schedule(sched) -> None:
+    """Raise the first schedule violation (accepts a hierarchy too)."""
+    if not isinstance(sched, Schedule):
+        sched = extract_schedule(sched)
+    findings = scan_schedule(sched, max_findings=1)
+    if findings:
+        raise findings[0]
+
+
+# -- the message count/volume matrix ----------------------------------------
+
+def message_matrix(sched: Schedule) -> dict:
+    """Per-level and aggregate per-rank-pair message count/byte matrices.
+
+    ``counts[s][d]`` is messages per full halo sweep (every exchange
+    executed once); ``bytes[s][d]`` the payload volume.  This is the
+    baseline artifact node-aware aggregation starts from: coalescing
+    decisions read exactly this matrix.
+    """
+    n = sched.nranks
+
+    def _zeros() -> dict:
+        return {"counts": [[0] * n for _ in range(n)],
+                "bytes": [[0] * n for _ in range(n)]}
+
+    total = _zeros()
+    levels: dict[int, dict] = {}
+    for ex in sched.exchanges:
+        ent = levels.setdefault(ex.level, _zeros())
+        for (s, d), elems in ex.declared.items():
+            if s == d or not (0 <= s < n and 0 <= d < n):
+                continue
+            nbytes = elems * ex.bytes_per_elem
+            for box in (ent, total):
+                box["counts"][s][d] += 1
+                box["bytes"][s][d] += nbytes
+    return {
+        "nranks": n,
+        "levels": [{"level": lvl, **levels[lvl]} for lvl in sorted(levels)],
+        "total": total,
+    }
+
+
+def format_schedule_report(sched: Schedule, *,
+                           findings: list[InvariantViolation] | None = None
+                           ) -> str:
+    """Human-readable schedule summary with the message-volume matrix."""
+    lines = [
+        f"static comm schedule : {sched.nranks} ranks, "
+        f"{sched.nlevels} levels, {len(sched.exchanges)} exchanges",
+        f"  {'level':>5} {'op':>2} {'tag':<6} {'persistent':>10} "
+        f"{'pairs':>6} {'bytes/round':>12}",
+    ]
+    for ex in sched.exchanges:
+        lines.append(
+            f"  {ex.level:>5} {ex.operator:>2} {ex.tag:<6} "
+            f"{'yes' if ex.persistent else 'no':>10} "
+            f"{ex.pairs:>6} {ex.round_bytes:>12}")
+    mat = message_matrix(sched)
+    lines.append("message volume matrix (bytes/round, all levels):")
+    header = "  from\\to " + "".join(f"{d:>10}" for d in range(sched.nranks))
+    lines.append(header)
+    for s in range(sched.nranks):
+        row = mat["total"]["bytes"][s]
+        lines.append(f"  {s:>7} " + "".join(
+            f"{v:>10}" if v else f"{'-':>10}" for v in row))
+    if findings is None:
+        return "\n".join(lines)
+    if findings:
+        lines.append(f"violations ({len(findings)}):")
+        for f in findings:
+            lines.append(f"  [{f.invariant}] {f.detail}")
+    else:
+        lines.append("schedule verified clean (no violations)")
+    return "\n".join(lines)
+
+
+def schedule_to_json(sched: Schedule, *,
+                     findings: list[InvariantViolation] | None = None
+                     ) -> str:
+    """Deterministic JSON artifact: exchanges + matrices (+ findings)."""
+    doc = {
+        "schema": "repro.sched/1",
+        "nranks": sched.nranks,
+        "nlevels": sched.nlevels,
+        "exchanges": [
+            {
+                "level": ex.level,
+                "operator": ex.operator,
+                "tag": ex.tag,
+                "persistent": ex.persistent,
+                "bytes_per_elem": ex.bytes_per_elem,
+                "pairs": ex.pairs,
+                "round_bytes": ex.round_bytes,
+            }
+            for ex in sched.exchanges
+        ],
+        "matrix": message_matrix(sched),
+    }
+    if findings is not None:
+        doc["violations"] = [
+            {"invariant": f.invariant, "detail": f.detail}
+            for f in findings
+        ]
+    return json.dumps(doc, indent=2, sort_keys=True)

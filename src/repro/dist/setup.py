@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis import check_dist_hierarchy, check_parcsr, checking
+from ..analysis.sched import check_schedule
 from ..config import AMGConfig
 from ..perf.counters import VAL_BYTES, count, phase
 from .comm import SimComm
@@ -226,4 +227,10 @@ def dist_build_hierarchy(
         # Per-level ParCSR + frozen-halo consistency, inter-level partition
         # plumbing; full adds per-block sortedness/finiteness sweeps.
         check_dist_hierarchy(hierarchy)
+    if checking("full"):
+        # Static comm-schedule verification: cross-check every frozen
+        # halo's declared/registered pattern against the colmaps and run
+        # the compiled per-rank comm programs through the deadlock machine
+        # (charges zero kernel records — owner_of is uncharged).
+        check_schedule(hierarchy)
     return hierarchy

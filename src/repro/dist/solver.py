@@ -179,10 +179,11 @@ class DistAMGSolver:
 
         def result(x, it, residuals, converged, *, degraded=False, reason=None):
             comm_events = list(comm.events[events_start:]) if faulty else []
-            if checking("full") and not (faulty and comm.events):
-                # Replay the message log (send/ack matching only applies on
-                # a fault-free trace: injected drops legitimately unbalance
-                # it) and pin persistent traffic to the frozen patterns.
+            if checking("full"):
+                # Replay the message log and pin persistent traffic to the
+                # frozen patterns.  On a faulty trace the scan itself skips
+                # what injected drops make unjudgeable (send/ack matching,
+                # persistent rounds) and reports each skip with its reason.
                 check_comm_trace(
                     comm, persistent_patterns=persistent_patterns_of(comm))
             return DistSolveResult(

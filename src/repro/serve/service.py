@@ -44,6 +44,7 @@ from dataclasses import dataclass, fields
 import numpy as np
 
 from ..amg.cache import HierarchyCache
+from ..analysis.events import EventLog
 from ..api import _as_rhs, _validate_operator, as_csr, fingerprint, setup
 from ..config import AMGConfig, single_node_config
 from ..perf.counters import collect
@@ -231,6 +232,12 @@ class SolveService:
             self.config.cache_entries)
         self.metrics = ServiceMetrics()
         self.now = 0.0
+        #: Ticket-lifecycle event log (``repro.analysis.events``): empty
+        #: unless ``REPRO_CHECK`` is at least ``cheap``, so the off-level
+        #: service stays byte-identical.  The sharded tier rebinds this to
+        #: one fleet-shared log with per-rank actor names.
+        self.events = EventLog()
+        self.event_actor = "service"
         self._queue = AdmissionQueue(self.config.max_queue)
         self._results: dict[int, ServiceResult] = {}
         self._known: set[int] = set()
@@ -271,6 +278,9 @@ class SolveService:
             self._known.add(rid)
             self.metrics.submitted += 1
             ticket = Ticket(rid)
+            t_arr = self.now if arrival is None else float(arrival)
+            self.events.record(self.event_actor, "submit", time=t_arr,
+                               ticket=rid, detail=priority)
             try:
                 priority_rank(priority)
                 A = _validate_operator(as_csr(A))
@@ -282,7 +292,7 @@ class SolveService:
             req = Request(
                 id=rid, A=A, b=b, config=cfg, method=method, tol=tol,
                 maxiter=maxiter, priority=priority,
-                arrival=self.now if arrival is None else float(arrival),
+                arrival=t_arr,
                 timeout=timeout,
                 key=(fingerprint(A, cfg), method, tol, maxiter),
             )
@@ -291,10 +301,14 @@ class SolveService:
                              reason=f"queue full "
                                     f"(capacity {self.config.max_queue})")
                 return ticket
+            self.events.record(self.event_actor, "admit", time=req.arrival,
+                               ticket=rid)
             self.metrics.sample_depth(len(self._queue))
         return ticket
 
     def _reject(self, ticket: Ticket, *, priority: str, reason: str) -> None:
+        self.events.record(self.event_actor, "reject", time=self.now,
+                           ticket=ticket.id, detail=reason.split(":")[0])
         self.metrics.rejected += 1
         self._results[ticket.id] = ServiceResult(
             x=None, iterations=0, residuals=[], converged=False,
@@ -312,6 +326,8 @@ class SolveService:
             req = self._queue.cancel(ticket.id)
             if req is None:
                 return False
+            self.events.record(self.event_actor, "cancel", time=self.now,
+                               ticket=ticket.id)
             self.metrics.cancelled += 1
             self._results[ticket.id] = ServiceResult(
                 x=None, iterations=0, residuals=[], converged=False,
@@ -332,7 +348,11 @@ class SolveService:
         """
         with self._lock:
             pending = self._queue.pending()
-            return self._queue.take([r.id for r in pending])
+            taken = self._queue.take([r.id for r in pending])
+            for req in taken:
+                self.events.record(self.event_actor, "evacuate",
+                                   time=self.now, ticket=req.id)
+            return taken
 
     def retract(self, request_id: int) -> ServiceResult | None:
         """Take back a resolved result that a rank crash invalidated.
@@ -351,6 +371,8 @@ class SolveService:
             res = self._results.pop(request_id, None)
             if res is not None:
                 self._known.discard(request_id)
+                self.events.record(self.event_actor, "retract",
+                                   time=self.now, ticket=request_id)
             return res
 
     # -- results -----------------------------------------------------------
@@ -462,6 +484,8 @@ class SolveService:
     def _expire(self, stale: list[Request], now: float) -> bool:
         """Resolve timed-out requests; True if any were expired."""
         for req in self._queue.take([r.id for r in stale]):
+            self.events.record(self.event_actor, "timeout", time=now,
+                               ticket=req.id)
             self.metrics.timed_out += 1
             self._results[req.id] = ServiceResult(
                 x=None, iterations=0, residuals=[], converged=False,
@@ -476,6 +500,11 @@ class SolveService:
     def _dispatch(self, batch: list[Request], start: float) -> None:
         """Run one coalesced micro-batch and resolve its tickets."""
         head = batch[0]
+        self.events.record(self.event_actor, "batch", time=start,
+                           ticket=head.id, detail=f"k={len(batch)}")
+        for req in batch:
+            self.events.record(self.event_actor, "solve", time=start,
+                               ticket=req.id)
         stats_before = self.cache.stats()
         hits_before = stats_before["hits"]
         refresh_before = stats_before.get("pattern_hits", 0)
@@ -505,6 +534,8 @@ class SolveService:
     def _resolve(self, req: Request, res: SolveResult, start: float,
                  t_batch: float, batch_size: int, cache_hit: bool) -> None:
         wait = start - req.arrival
+        self.events.record(self.event_actor, "result", time=start + t_batch,
+                           ticket=req.id)
         self.metrics.record_completion(wait, wait + t_batch, res.degraded)
         self._results[req.id] = ServiceResult(
             x=res.x, iterations=res.iterations, residuals=res.residuals,

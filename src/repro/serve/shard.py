@@ -79,6 +79,7 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass, replace
 
 from ..amg.cache import fingerprint
+from ..analysis.events import EventLog
 from ..api import _as_rhs, _validate_operator, as_csr
 from ..config import AMGConfig, single_node_config
 from ..faults.shard_plan import ShardFaultPlan
@@ -221,6 +222,14 @@ class ShardedSolveService:
             for _ in range(self.config.ranks)
         ]
         self.shard_metrics = ShardMetrics()
+        #: Fleet-shared ticket-lifecycle event log: the router and every
+        #: rank record into one sequence, so the happens-before checker
+        #: (``repro.analysis.events``) sees cross-actor edges.  Empty
+        #: unless ``REPRO_CHECK`` is at least ``cheap``.
+        self.events = EventLog()
+        for i, svc in enumerate(self.services):
+            svc.events = self.events
+            svc.event_actor = f"rank{i}"
         start = (self.config.min_ranks if self.config.autoscale
                  else self.config.ranks)
         #: Active rank ids, always a prefix ``range(k)`` of the fleet.
@@ -316,6 +325,8 @@ class ShardedSolveService:
                 rec.update(origin=(rank, ticket.id), net=0.0, retries=0,
                            failovers=0, original_rank=rank, local_arrival=t)
             self._routes[(rank, ticket.id)] = rec
+            self.events.record("router", "route", time=t, ticket=ticket.id,
+                               rank=rank, detail="invalid")
             self.shard_metrics.record_route(forwarded=False)
             return ShardTicket(ticket.id, rank, rank)
 
@@ -370,6 +381,12 @@ class ShardedSolveService:
                     "deadline": t + self.config.hedge_delay,
                     "fired": False, "dup": None}
         self._routes[(rank, ticket.id)] = rec
+        self.events.record("router", "route", time=t, ticket=ticket.id,
+                           rank=rank, detail=f"home=rank{home}")
+        if rank != home:
+            self.events.record("router", "forward", time=t,
+                               ticket=ticket.id, rank=rank,
+                               detail=f"off-home from rank{home}")
         return ShardTicket(ticket.id, rank, home)
 
     def _pick_rank(self, key: str, nnz: int, candidates: list[int]) -> int:
@@ -413,6 +430,8 @@ class ShardedSolveService:
         """Resolve a submit at the router when no rank can take it."""
         sid = self._next_shed_id
         self._next_shed_id += 1
+        self.events.record("router", "reject", time=self.now, ticket=sid,
+                           detail=status)
         self.shard_metrics.routed += 1
         if status == "failed":
             self.shard_metrics.failed += 1
@@ -430,6 +449,8 @@ class ShardedSolveService:
         self.shard_metrics.record_shed()
         sid = self._next_shed_id
         self._next_shed_id += 1
+        self.events.record("router", "shed", time=self.now, ticket=sid,
+                           detail=f"candidates={candidates}")
         load = ", ".join(f"rank {c}: {depths[c]}" for c in candidates)
         self._shed_results[sid] = ServiceResult(
             x=None, iterations=0, residuals=[], converged=False,
@@ -453,7 +474,11 @@ class ShardedSolveService:
         if ticket.rank < 0:
             return False
         if self._tracker is None:
-            return self.services[ticket.rank].cancel(Ticket(ticket.id))
+            ok = self.services[ticket.rank].cancel(Ticket(ticket.id))
+            if ok:
+                self.events.record("router", "cancel", time=self.now,
+                                   ticket=ticket.id, rank=ticket.rank)
+            return ok
         origin = (ticket.rank, ticket.id)
         if origin in self._wrapped or origin in self._router_results:
             return False
@@ -463,7 +488,11 @@ class ShardedSolveService:
             dup = entry["dup"]
             if self.services[dup[0]].cancel(Ticket(dup[1])):
                 self.shard_metrics.record_hedge_cancelled()
-        return self.services[cur[0]].cancel(Ticket(cur[1]))
+        ok = self.services[cur[0]].cancel(Ticket(cur[1]))
+        if ok:
+            self.events.record("router", "cancel", time=self.now,
+                               ticket=origin[1], rank=origin[0])
+        return ok
 
     # -- autoscaling --------------------------------------------------------
     def _autoscale(self, t: float) -> None:
@@ -519,6 +548,9 @@ class ShardedSolveService:
             res, rank=route["rank"], home_rank=route["home"],
             net_seconds=route["forward_seconds"] + ret_seconds)
         self._wrapped[route_key] = wrapped
+        self.events.record("router", "deliver", time=self.now,
+                           ticket=ticket.id, rank=ticket.rank,
+                           detail=wrapped.status)
         self.shard_metrics.record_result(
             wrapped, return_bytes=ret_bytes, return_seconds=ret_seconds)
         return wrapped
@@ -538,6 +570,9 @@ class ShardedSolveService:
         if origin in self._router_results:
             wrapped = self._router_results[origin]
             self._wrapped[origin] = wrapped
+            self.events.record("router", "deliver", time=self.now,
+                               ticket=origin[1], rank=origin[0],
+                               detail=wrapped.status)
             self.shard_metrics.record_result(wrapped)
             return wrapped
         cur = self._redirects.get(origin, origin)
@@ -588,6 +623,9 @@ class ShardedSolveService:
             hedged=hedged,
             original_rank=rec["original_rank"] if displaced else -1)
         self._wrapped[origin] = wrapped
+        self.events.record("router", "deliver", time=self.now,
+                           ticket=origin[1], rank=origin[0],
+                           detail=wrapped.status)
         if hedged and wrapped.status == "completed":
             self.shard_metrics.record_hedge_won()
         self.shard_metrics.record_result(
@@ -654,6 +692,8 @@ class ShardedSolveService:
         """React to health transitions: ring membership, failover, re-warm."""
         for ev in events:
             rank = ev["rank"]
+            self.events.record("router", "health", time=tau, rank=rank,
+                               detail=ev["state"])
             if ev["state"] == DOWN:
                 self._on_rank_down(rank, tau)
             elif ev["state"] == REJOINING:
@@ -739,6 +779,9 @@ class ShardedSolveService:
                 drec["retries"] = rec["retries"]
                 drec["failovers"] = rec["failovers"]
                 self._redirects[origin] = dup
+                self.events.record("router", "failover", time=tau,
+                                   ticket=origin[1], rank=origin[0],
+                                   detail=f"hedge promoted on rank{dup[0]}")
                 return
             reason = ("no routable ranks" if not members else
                       f"retry budget exhausted after {attempts} retries")
@@ -773,6 +816,9 @@ class ShardedSolveService:
             net=rec["net"] + backoff + fwd_seconds,
             local_arrival=new_arrival)
         self._redirects[origin] = new_key
+        self.events.record("router", "failover", time=tau,
+                           ticket=origin[1], rank=origin[0],
+                           detail=f"attempt {attempts + 1} to rank{target}")
         self.shard_metrics.record_failover(
             backoff_seconds=backoff, forward_bytes=nbytes,
             forward_seconds=fwd_seconds, shipped=shipped)
@@ -815,6 +861,8 @@ class ShardedSolveService:
                     entries += 1
                     break
         self._tracker.set_rejoin_until(rank, tau + seconds)
+        self.events.record("router", "rewarm", time=tau, rank=rank,
+                           detail=f"entries={entries}")
         self.shard_metrics.record_rewarm(
             entries=entries, nbytes=total_bytes, seconds=seconds)
 
@@ -866,6 +914,9 @@ class ShardedSolveService:
                 rec, rank=target, net=fwd_seconds,
                 local_arrival=tau + fwd_seconds, hedge_of=origin)
             entry.update(fired=True, dup=dup)
+            self.events.record("router", "hedge", time=tau,
+                               ticket=origin[1], rank=origin[0],
+                               detail=f"dup on rank{target}")
             self.shard_metrics.record_hedge_issued(
                 forward_bytes=nbytes, forward_seconds=fwd_seconds,
                 shipped=shipped)

@@ -731,6 +731,83 @@ class TestLint:
                          waivers={"no-bare-except": ["*/mod.py"]})
         assert [f.rule for f in out] == ["no-scipy"]
 
+    def test_lockset_flags_unlocked_writes(self, tmp_path):
+        out = _lint_file(tmp_path,
+                         "class Svc:\n"
+                         "    def __init__(self):\n"
+                         "        self._lock = Lock()\n"
+                         "        self._items = []\n"
+                         "        self._count = 0\n"
+                         "    def put(self, x):\n"
+                         "        self._items.append(x)\n"
+                         "    def bump(self):\n"
+                         "        self._count += 1\n"
+                         "    def drop(self, k):\n"
+                         "        del self._items[k]\n",
+                         rules={"lockset"})
+        assert [f.rule for f in out] == ["lockset"] * 3
+        assert {f.symbol for f in out} == {"Svc.put", "Svc.bump",
+                                           "Svc.drop"}
+        assert all("self._lock" in f.message for f in out)
+
+    def test_lockset_locked_writes_and_lock_held_helpers_ok(self, tmp_path):
+        # Writes under `with self._lock` are fine, and so are writes in a
+        # private helper whose every call site holds the lock (fixpoint).
+        src = ("class Svc:\n"
+               "    def __init__(self):\n"
+               "        self._lock = Lock()\n"
+               "        self._items = []\n"
+               "        self._reset()\n"
+               "    def put(self, x):\n"
+               "        with self._lock:\n"
+               "            self._items.append(x)\n"
+               "            self._store(x)\n"
+               "    def clear(self):\n"
+               "        with self._lock:\n"
+               "            self._reset()\n"
+               "    def _store(self, x):\n"
+               "        self._items.insert(0, x)\n"
+               "    def _reset(self):\n"
+               "        self._items = []\n")
+        assert _lint_file(tmp_path, src, rules={"lockset"}) == []
+
+    def test_lockset_helper_with_unlocked_call_site_is_flagged(self, tmp_path):
+        # One unlocked call site poisons the helper: its writes count.
+        src = ("class Svc:\n"
+               "    def __init__(self):\n"
+               "        self._lock = Lock()\n"
+               "        self._items = []\n"
+               "    def safe(self, x):\n"
+               "        with self._lock:\n"
+               "            self._store(x)\n"
+               "    def racy(self, x):\n"
+               "        self._store(x)\n"
+               "    def _store(self, x):\n"
+               "        self._items.append(x)\n")
+        out = _lint_file(tmp_path, src, rules={"lockset"})
+        assert [(f.rule, f.symbol) for f in out] == [("lockset",
+                                                      "Svc._store")]
+
+    def test_lockset_ignores_classes_without_a_lock(self, tmp_path):
+        src = ("class Plain:\n"
+               "    def __init__(self):\n"
+               "        self._items = []\n"
+               "    def put(self, x):\n"
+               "        self._items.append(x)\n")
+        assert _lint_file(tmp_path, src, rules={"lockset"}) == []
+
+    def test_lockset_ignores_public_attrs_and_init(self, tmp_path):
+        # Public attributes (the virtual clock, counters) are exempt by
+        # design, and __init__ is thread-confined.
+        src = ("class Svc:\n"
+               "    def __init__(self):\n"
+               "        self._lock = Lock()\n"
+               "        self._items = []\n"
+               "    def tick(self):\n"
+               "        self.now += 1.0\n"
+               "        self.events.append('tick')\n")
+        assert _lint_file(tmp_path, src, rules={"lockset"}) == []
+
     def test_syntax_error_reported(self, tmp_path):
         out = _lint_file(tmp_path, "def broken(:\n")
         assert [f.rule for f in out] == ["syntax"]

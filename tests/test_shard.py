@@ -84,6 +84,23 @@ def test_ring_remove_restores_prior_ownership():
     assert {k: ring.lookup(k) for k in _keys(256)} == before
 
 
+def test_ring_add_remove_add_restores_identical_vnode_ownership():
+    # Re-adding a departed rank must land every one of its virtual nodes
+    # back on exactly the same ring points (SHA-256 of "rank{r}:{v}" is a
+    # pure function of the token), so failover-then-rejoin restores the
+    # precise pre-failure ownership map, not merely a statistically
+    # similar one.
+    ring = HashRing(range(4))
+    points_before = list(ring._points)
+    lookups_before = {k: ring.lookup(k) for k in _keys(512)}
+    ring.remove(2)
+    assert all(r != 2 for _, r in ring._points)
+    ring.add(2)
+    assert list(ring._points) == points_before
+    assert ring.members == (0, 1, 2, 3)
+    assert {k: ring.lookup(k) for k in _keys(512)} == lookups_before
+
+
 def test_ring_successors_are_distinct_and_start_at_home():
     ring = HashRing(range(6))
     for key in _keys(32):
