@@ -118,6 +118,16 @@ def _config(args):
     return cfg
 
 
+def _topology(args, nranks: int):
+    """The ``--topology ppn=N`` knob as a NodeTopology (None = flat)."""
+    spec = getattr(args, "topology", None)
+    if not spec:
+        return None
+    from .topo import NodeTopology
+
+    return NodeTopology.parse(spec, nranks)
+
+
 def _solve_distributed(args, A, b, cfg) -> int:
     """``--ranks``/``--faults`` path: distributed AMG, optionally faulty."""
     from .dist import DistAMGSolver, ParCSRMatrix, ParVector, RowPartition, SimComm
@@ -137,9 +147,10 @@ def _solve_distributed(args, A, b, cfg) -> int:
     part = RowPartition.uniform(A.nrows, nranks)
     Ad = ParCSRMatrix.from_global(A, part)
     bd = ParVector.from_global(b, part)
-    solver = DistAMGSolver(comm, cfg)
+    topo = _topology(args, nranks)
+    net = topo.network(FDRInfinibandModel()) if topo else FDRInfinibandModel()
+    solver = DistAMGSolver(comm, cfg, topology=topo, net=net)
     machine = HaswellModel(threads=args.threads)
-    net = FDRInfinibandModel()
 
     with collect() as setup_log:
         solver.setup(Ad)
@@ -160,6 +171,12 @@ def _solve_distributed(args, A, b, cfg) -> int:
           f", cycle={cfg.cycle_type}, smoother={cfg.smoother}"
           f"{', faults=' + args.faults if args.faults else ''}")
     print(f"hierarchy     : {solver.hierarchy.num_levels} levels")
+    if topo:
+        agg = sum(1 for lvl in solver.hierarchy.levels
+                  if lvl.halo is not None and lvl.halo.node_aware)
+        print(f"topology      : {topo.ppn} ranks/node x {topo.nnodes} "
+              f"nodes, node-aware halos on {agg}/"
+              f"{solver.hierarchy.num_levels} levels")
     print(f"convergence   : {res.iterations} iterations, "
           f"converged={res.converged}, degraded={res.degraded}, "
           f"true relres={true_res:.2e}")
@@ -324,7 +341,8 @@ def cmd_verify_comm(args) -> int:
     comm = SimComm(nranks)
     part = RowPartition.uniform(A.nrows, nranks)
     Ad = ParCSRMatrix.from_global(A, part)
-    solver = DistAMGSolver(comm, cfg)
+    topo = _topology(args, nranks)
+    solver = DistAMGSolver(comm, cfg, topology=topo)
     solver.setup(Ad)
 
     sched = extract_schedule(solver.hierarchy)
@@ -332,7 +350,8 @@ def cmd_verify_comm(args) -> int:
     print(f"problem       : {args.problem}  (n={A.nrows}, nnz={A.nnz}, "
           f"ranks={nranks})")
     print(f"configuration : {'baseline' if args.baseline else 'optimized'}"
-          f", cycle={cfg.cycle_type}, smoother={cfg.smoother}")
+          f", cycle={cfg.cycle_type}, smoother={cfg.smoother}"
+          f"{f', topology=ppn={topo.ppn}' if topo else ''}")
     print(format_schedule_report(sched, findings=findings))
     if args.json:
         Path(args.json).write_text(schedule_to_json(sched) + "\n")
@@ -363,6 +382,10 @@ def _common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--threads", type=int, default=14)
     p.add_argument("--theta", type=float, default=0.25,
                    help="strength threshold")
+    p.add_argument("--topology", default=None, metavar="ppn=N",
+                   help="model N ranks per node (repro.topo): two-tier "
+                        "network pricing and node-aware halo aggregation "
+                        "on distributed runs (default: flat network)")
     p.add_argument("--check", default=None, choices=["off", "cheap", "full"],
                    help="run the repro.analysis invariant sanitizers at this "
                         "level (overrides the REPRO_CHECK environment "

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -103,6 +104,11 @@ class ExchangeSchedule:
     declared: Pattern
     recvs: Pattern
     registered: Pattern | None = None
+    #: Node-aware wire schedule: the ordered ``(tag, pattern)`` rounds the
+    #: exchange actually sends (gather / inter-node / scatter), when the
+    #: 3-step aggregation is active.  ``None`` = the declared pattern *is*
+    #: the wire schedule.
+    wire_rounds: list[tuple[str, Pattern]] | None = None
 
     @property
     def pairs(self) -> int:
@@ -112,6 +118,22 @@ class ExchangeSchedule:
     def round_bytes(self) -> int:
         return sum(n * self.bytes_per_elem
                    for (s, d), n in self.declared.items() if s != d)
+
+    @property
+    def wire_pairs(self) -> int:
+        """Messages actually put on the wire per sweep."""
+        if self.wire_rounds is None:
+            return self.pairs
+        return sum(1 for _, pat in self.wire_rounds
+                   for (s, d) in pat if s != d)
+
+    @property
+    def wire_bytes(self) -> int:
+        if self.wire_rounds is None:
+            return self.round_bytes
+        return sum(n * self.bytes_per_elem
+                   for _, pat in self.wire_rounds
+                   for (s, d), n in pat.items() if s != d)
 
 
 @dataclass
@@ -129,6 +151,11 @@ class Schedule:
     exchanges: list[ExchangeSchedule] = field(default_factory=list)
     collectives: list[list[str]] = field(default_factory=list)
     programs: list[list[CommOp]] = field(default_factory=list)
+    #: Node topology the hierarchy was built against (None = flat); drives
+    #: the node-flow conservation scan and the on/off-node matrix split.
+    #: ``Any`` by design: ``repro.topo`` sits outside the mypy-checked
+    #: tiers, and the scans only duck-type its rank-grouping methods.
+    topology: Any | None = None
 
     @property
     def nlevels(self) -> int:
@@ -171,6 +198,18 @@ def _exchange_of(halo, matrix, *, level: int, operator: str,
                 f"persistent {operator}-halo request is not registered on "
                 f"the communicator (comm.persistent_requests)",
                 level=level, context=f"{operator} halo")
+    wire_rounds: list[tuple[str, Pattern]] | None = None
+    node_ex = getattr(halo, "_node_exchange", None)
+    if node_ex is not None:
+        wire_rounds = [(tag, dict(pat)) for tag, pat in node_ex.rounds]
+        for round_req in (node_ex._reqs or ()):
+            if not any(round_req is r for r in registry):
+                raise InvariantViolation(
+                    "sched.unregistered_persistent",
+                    f"persistent node-aware round "
+                    f"(tag={round_req.tag}) of the {operator}-halo is not "
+                    f"registered on the communicator",
+                    level=level, context=f"{operator} halo")
     bytes_per_elem = int(req.bytes_per_elem) if req is not None else VAL_BYTES
     return ExchangeSchedule(
         level=level, operator=operator,
@@ -181,6 +220,7 @@ def _exchange_of(halo, matrix, *, level: int, operator: str,
         declared=dict(halo.pattern),
         recvs=_recv_pattern(halo),
         registered=registered,
+        wire_rounds=wire_rounds,
     )
 
 
@@ -194,7 +234,8 @@ def extract_schedule(hierarchy) -> Schedule:
     """
     comm = hierarchy.comm
     registry = list(getattr(comm, "persistent_requests", ()))
-    sched = Schedule(nranks=comm.nranks)
+    sched = Schedule(nranks=comm.nranks,
+                     topology=getattr(hierarchy, "topology", None))
     for lvl_idx, lvl in enumerate(hierarchy.levels):
         triples = (("A", lvl.halo, lvl.A),
                    ("P", lvl.halo_P, lvl.P),
@@ -216,19 +257,25 @@ def compile_programs(sched: Schedule) -> list[list[CommOp]]:
     For each exchange round, every rank first pre-posts its receives
     (non-blocking) and then issues its sends in rendezvous mode, in
     deterministic (peer, tag) order — the schedule shape a real MPI port
-    of the persistent halo exchange executes.
+    of the persistent halo exchange executes.  A node-aware exchange
+    compiles its *wire* rounds instead of the logical pattern, each round
+    under its own tag and in issue order (gather, inter-node, scatter) —
+    the 3-step schedule itself goes through the deadlock machine.
     """
     programs: list[list[CommOp]] = [[] for _ in range(sched.nranks)]
     for ex in sched.exchanges:
-        uniq = f"{ex.tag}.L{ex.level}.{ex.operator}"
-        for (s, d), n in sorted(ex.declared.items()):
-            if s == d or not (0 <= d < sched.nranks):
-                continue
-            programs[d].append(CommOp("recv", s, uniq, n, blocking=False))
-        for (s, d), n in sorted(ex.declared.items()):
-            if s == d or not (0 <= s < sched.nranks):
-                continue
-            programs[s].append(CommOp("send", d, uniq, n, blocking=True))
+        rounds = (ex.wire_rounds if ex.wire_rounds is not None
+                  else [(ex.tag, ex.declared)])
+        for tag, pattern in rounds:
+            uniq = f"{tag}.L{ex.level}.{ex.operator}"
+            for (s, d), n in sorted(pattern.items()):
+                if s == d or not (0 <= d < sched.nranks):
+                    continue
+                programs[d].append(CommOp("recv", s, uniq, n, blocking=False))
+            for (s, d), n in sorted(pattern.items()):
+                if s == d or not (0 <= s < sched.nranks):
+                    continue
+                programs[s].append(CommOp("send", d, uniq, n, blocking=True))
     return programs
 
 
@@ -456,6 +503,116 @@ def _scan_exchange(ex: ExchangeSchedule, nranks: int,
             level=ex.level, context=ctx))
 
 
+def _scan_wire(ex: ExchangeSchedule, topology,
+               findings: list[InvariantViolation]) -> None:
+    """Node-flow conservation of a 3-step wire schedule.
+
+    Every off-node logical pair must be carried end to end — gathered to
+    the source node's leader (unless the source *is* the leader), shipped
+    on exactly one inter-node leader pair, and scattered to the consuming
+    rank — and the aggregated element counts must conserve flow:
+    scatter-in equals the logical off-node demand per rank, and each
+    inter-node payload sits between the largest single contribution
+    (a union can't shrink below its largest member) and the plain sum
+    (deduplication can't inflate).
+    """
+    from ..topo.plan import GATHER_TAG, NODE_TAG, SCATTER_TAG
+
+    ctx = f"level {ex.level} {ex.operator}-halo wire"
+    rounds = dict(ex.wire_rounds or ())
+    direct = rounds.get(ex.tag, {})
+    gather = rounds.get(GATHER_TAG, {})
+    internode = rounds.get(NODE_TAG, {})
+    scatter = rounds.get(SCATTER_TAG, {})
+
+    on_node = {k: n for k, n in ex.declared.items()
+               if topology.on_node(*k) and k[0] != k[1]}
+    off_node = {k: n for k, n in ex.declared.items()
+                if not topology.on_node(*k)}
+    if direct != on_node:
+        findings.append(InvariantViolation(
+            "sched.node_flow",
+            f"direct wire round disagrees with the on-node part of the "
+            f"logical pattern ({_diff_patterns(direct, on_node)})",
+            level=ex.level, context=ctx))
+
+    # Per-pair end-to-end coverage.
+    demand: dict[int, int] = {}
+    inter_sum: dict[tuple[int, int], int] = {}
+    inter_max: dict[tuple[int, int], int] = {}
+    gather_sum: dict[int, int] = {}
+    gather_max: dict[int, int] = {}
+    for (q, p), n in sorted(off_node.items()):
+        leaders = (topology.leader_of(q), topology.leader_of(p))
+        hops = []
+        if q != leaders[0] and (q, leaders[0]) not in gather:
+            hops.append(f"gather {q}->{leaders[0]}")
+        if leaders not in internode:
+            hops.append(f"inter-node {leaders[0]}->{leaders[1]}")
+        if p != leaders[1] and (leaders[1], p) not in scatter:
+            hops.append(f"scatter {leaders[1]}->{p}")
+        if hops:
+            findings.append(InvariantViolation(
+                "sched.node_flow",
+                f"off-node pair ({q}, {p}) has no wire path: missing "
+                + ", ".join(hops), level=ex.level, context=ctx))
+        demand[p] = demand.get(p, 0) + n
+        inter_sum[leaders] = inter_sum.get(leaders, 0) + n
+        inter_max[leaders] = max(inter_max.get(leaders, 0), n)
+        if q != leaders[0]:
+            gather_sum[q] = gather_sum.get(q, 0) + n
+            gather_max[q] = max(gather_max.get(q, 0), n)
+
+    for p, n in sorted(demand.items()):
+        leader = topology.leader_of(p)
+        if p == leader:
+            continue  # the leader consumes straight out of its staging
+        got = scatter.get((leader, p), 0)
+        if got != n:
+            findings.append(InvariantViolation(
+                "sched.node_flow",
+                f"scatter {leader}->{p} carries {got} elems but rank {p}'s "
+                f"off-node demand is {n}", level=ex.level, context=ctx))
+    for leaders, hi in sorted(inter_sum.items()):
+        got = internode.get(leaders, 0)
+        lo = inter_max[leaders]
+        if not (lo <= got <= hi):
+            findings.append(InvariantViolation(
+                "sched.node_flow",
+                f"inter-node payload {leaders[0]}->{leaders[1]} is {got} "
+                f"elems, outside the dedup bounds [{lo}, {hi}]",
+                level=ex.level, context=ctx))
+    for q, hi in sorted(gather_sum.items()):
+        got = gather.get((q, topology.leader_of(q)), 0)
+        lo = gather_max[q]
+        if not (lo <= got <= hi):
+            findings.append(InvariantViolation(
+                "sched.node_flow",
+                f"gather {q}->{topology.leader_of(q)} stages {got} elems, "
+                f"outside the dedup bounds [{lo}, {hi}]",
+                level=ex.level, context=ctx))
+    # No wire round may invent pairs the logical pattern cannot explain.
+    for (s, d) in sorted(scatter):
+        if not topology.on_node(s, d):
+            findings.append(InvariantViolation(
+                "sched.node_flow",
+                f"scatter pair ({s}, {d}) crosses nodes", level=ex.level,
+                context=ctx))
+    for (s, d) in sorted(gather):
+        if not topology.on_node(s, d):
+            findings.append(InvariantViolation(
+                "sched.node_flow",
+                f"gather pair ({s}, {d}) crosses nodes", level=ex.level,
+                context=ctx))
+    for (s, d) in sorted(internode):
+        if topology.on_node(s, d) or not (topology.is_leader(s)
+                                          and topology.is_leader(d)):
+            findings.append(InvariantViolation(
+                "sched.node_flow",
+                f"inter-node pair ({s}, {d}) is not a leader-to-leader "
+                f"cross-node link", level=ex.level, context=ctx))
+
+
 def _scan_collectives(sched: Schedule,
                       findings: list[InvariantViolation]) -> None:
     progs = [p for p in sched.collectives if p]
@@ -482,6 +639,8 @@ def scan_schedule(sched: Schedule, *,
     findings: list[InvariantViolation] = []
     for ex in sched.exchanges:
         _scan_exchange(ex, sched.nranks, findings)
+        if sched.topology is not None and ex.wire_rounds is not None:
+            _scan_wire(ex, sched.topology, findings)
         if len(findings) >= max_findings:
             return findings[:max_findings]
     programs = sched.programs or compile_programs(sched)
@@ -508,12 +667,23 @@ def message_matrix(sched: Schedule) -> dict:
     executed once); ``bytes[s][d]`` the payload volume.  This is the
     baseline artifact node-aware aggregation starts from: coalescing
     decisions read exactly this matrix.
+
+    When the schedule carries a topology, each level entry (and the total)
+    additionally splits the *wire* traffic — the 3-step rounds where
+    aggregation is active, the logical pattern elsewhere — into an
+    ``on_node`` / ``off_node`` pair of count/byte scalars; without a
+    topology the output is byte-identical to before the split existed.
     """
     n = sched.nranks
+    topo = sched.topology
 
     def _zeros() -> dict:
-        return {"counts": [[0] * n for _ in range(n)],
-                "bytes": [[0] * n for _ in range(n)]}
+        box: dict[str, Any] = {"counts": [[0] * n for _ in range(n)],
+                               "bytes": [[0] * n for _ in range(n)]}
+        if topo is not None:
+            box["on_node"] = {"counts": 0, "bytes": 0}
+            box["off_node"] = {"counts": 0, "bytes": 0}
+        return box
 
     total = _zeros()
     levels: dict[int, dict] = {}
@@ -526,6 +696,18 @@ def message_matrix(sched: Schedule) -> dict:
             for box in (ent, total):
                 box["counts"][s][d] += 1
                 box["bytes"][s][d] += nbytes
+        if topo is None:
+            continue
+        rounds = (ex.wire_rounds if ex.wire_rounds is not None
+                  else [(ex.tag, ex.declared)])
+        for _, pattern in rounds:
+            for (s, d), elems in pattern.items():
+                if s == d or not (0 <= s < n and 0 <= d < n):
+                    continue
+                tier = "on_node" if topo.on_node(s, d) else "off_node"
+                for box in (ent, total):
+                    box[tier]["counts"] += 1
+                    box[tier]["bytes"] += elems * ex.bytes_per_elem
     return {
         "nranks": n,
         "levels": [{"level": lvl, **levels[lvl]} for lvl in sorted(levels)],
@@ -556,6 +738,22 @@ def format_schedule_report(sched: Schedule, *,
         row = mat["total"]["bytes"][s]
         lines.append(f"  {s:>7} " + "".join(
             f"{v:>10}" if v else f"{'-':>10}" for v in row))
+    if sched.topology is not None:
+        topo = sched.topology
+        lines.append(
+            f"node topology: {topo.nranks} ranks x {topo.ppn} per node "
+            f"= {topo.nnodes} nodes")
+        lines.append(
+            f"  {'level':>5} {'wire msgs':>10} {'on-node':>10} "
+            f"{'off-node':>10} {'off-node B':>12} {'aggregated':>10}")
+        for ent in mat["levels"]:
+            agg = any(ex.wire_rounds is not None for ex in sched.exchanges
+                      if ex.level == ent["level"])
+            on, off = ent["on_node"], ent["off_node"]
+            lines.append(
+                f"  {ent['level']:>5} {on['counts'] + off['counts']:>10} "
+                f"{on['counts']:>10} {off['counts']:>10} "
+                f"{off['bytes']:>12} {'yes' if agg else 'no':>10}")
     if findings is None:
         return "\n".join(lines)
     if findings:
@@ -571,24 +769,35 @@ def schedule_to_json(sched: Schedule, *,
                      findings: list[InvariantViolation] | None = None
                      ) -> str:
     """Deterministic JSON artifact: exchanges + matrices (+ findings)."""
+    def _exchange_doc(ex: ExchangeSchedule) -> dict:
+        doc = {
+            "level": ex.level,
+            "operator": ex.operator,
+            "tag": ex.tag,
+            "persistent": ex.persistent,
+            "bytes_per_elem": ex.bytes_per_elem,
+            "pairs": ex.pairs,
+            "round_bytes": ex.round_bytes,
+        }
+        if sched.topology is not None:
+            doc["node_aware"] = ex.wire_rounds is not None
+            doc["wire_pairs"] = ex.wire_pairs
+            doc["wire_bytes"] = ex.wire_bytes
+        return doc
+
     doc = {
         "schema": "repro.sched/1",
         "nranks": sched.nranks,
         "nlevels": sched.nlevels,
-        "exchanges": [
-            {
-                "level": ex.level,
-                "operator": ex.operator,
-                "tag": ex.tag,
-                "persistent": ex.persistent,
-                "bytes_per_elem": ex.bytes_per_elem,
-                "pairs": ex.pairs,
-                "round_bytes": ex.round_bytes,
-            }
-            for ex in sched.exchanges
-        ],
+        "exchanges": [_exchange_doc(ex) for ex in sched.exchanges],
         "matrix": message_matrix(sched),
     }
+    if sched.topology is not None:
+        doc["topology"] = {
+            "ppn": sched.topology.ppn,
+            "nnodes": sched.topology.nnodes,
+            "nranks": sched.topology.nranks,
+        }
     if findings is not None:
         doc["violations"] = [
             {"invariant": f.invariant, "detail": f.detail}

@@ -8,6 +8,7 @@ from .runner import (
     SingleNodeResult,
     bench_scale,
     machine_for,
+    net_scale,
     run_distributed,
     run_single_node,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "SingleNodeResult",
     "bench_scale",
     "machine_for",
+    "net_scale",
     "run_distributed",
     "run_single_node",
     "run_amgx",

@@ -180,6 +180,13 @@ class DistRunResult:
     comm_volume: float
     interp_comm_volume: float
     halo_messages: int
+    #: Node topology accounting (``ppn`` runs only; 0 = flat run).
+    ppn: int = 0
+    #: Wire messages / bytes that crossed a node boundary (all phases).
+    internode_messages: int = 0
+    internode_volume: float = 0.0
+    #: Levels whose A-halo adopted the 3-step aggregated schedule.
+    node_aware_levels: int = 0
 
     @property
     def setup_time(self) -> float:
@@ -221,9 +228,24 @@ def run_distributed(
     seed: int = 7,
     max_iter: int = 300,
     network_scale: float | None = None,
+    ppn: int | None = None,
 ) -> DistRunResult:
-    """Distributed setup + (FGMRES-preconditioned) solve on ``nodes`` nodes."""
-    nranks = nodes * RANKS_PER_NODE
+    """Distributed setup + (FGMRES-preconditioned) solve on ``nodes`` nodes.
+
+    ``ppn`` models that many ranks per node (instead of the flat default of
+    ``RANKS_PER_NODE`` ranks with no node structure): the run then prices
+    communication on the two-tier network and the halos may adopt the
+    node-aware 3-step schedule.  ``ppn=None`` is byte-identical to before
+    the topology subsystem existed.
+    """
+    topo = None
+    if ppn is not None:
+        from ..topo import NodeTopology
+
+        nranks = nodes * ppn
+        topo = NodeTopology(nranks, ppn)
+    else:
+        nranks = nodes * RANKS_PER_NODE
     part = (
         RowPartition.from_sizes(rank_sizes)
         if rank_sizes is not None
@@ -232,13 +254,14 @@ def run_distributed(
     comm = SimComm(nranks)
     Ap = ParCSRMatrix.from_global(A, part)
     machine = machine_for(config)
-    net = FDRInfinibandModel().scaled(
-        network_scale if network_scale is not None else net_scale()
-    )
+    scale = network_scale if network_scale is not None else net_scale()
+    base_net = FDRInfinibandModel()
+    net = (topo.network(base_net) if topo is not None else base_net).scaled(scale)
+
     b = np.random.default_rng(seed).standard_normal(A.nrows)
     bp = ParVector.from_global(b, part)
 
-    solver = DistAMGSolver(comm, config)
+    solver = DistAMGSolver(comm, config, topology=topo, net=net)
     solver.setup(Ap)
     n_setup_msgs = len(comm.messages)
     setup_compute = comm.compute_phase_makespan(machine)
@@ -273,6 +296,18 @@ def run_distributed(
 
     halo_msgs = sum(1 for m in comm.messages if m.event.tag == "halo")
 
+    internode_msgs = 0
+    internode_vol = 0.0
+    node_aware_levels = 0
+    if topo is not None:
+        for m in comm.messages:
+            if not topo.on_node(m.event.src, m.event.dst):
+                internode_msgs += 1
+                internode_vol += m.event.nbytes
+        node_aware_levels = sum(
+            1 for lvl in solver.hierarchy.levels
+            if lvl.halo is not None and lvl.halo.node_aware)
+
     return DistRunResult(
         label=label,
         nodes=nodes,
@@ -287,4 +322,8 @@ def run_distributed(
         comm_volume=comm.comm_volume(),
         interp_comm_volume=interp_vol,
         halo_messages=halo_msgs,
+        ppn=ppn or 0,
+        internode_messages=internode_msgs,
+        internode_volume=internode_vol,
+        node_aware_levels=node_aware_levels,
     )

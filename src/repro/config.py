@@ -117,6 +117,16 @@ class AMGConfig:
     #: size (one block per ~``gpu_rows_per_block`` rows) instead of being
     #: fixed — how a massively threaded GPU smoother behaves.  0 disables.
     gpu_rows_per_block: int = 0
+    #: Galerkin-product sparsification (arXiv:1512.04629): on coarse levels
+    #: drop offd entries with ``|a_ij| < sparsify_tol * max_k |a_ik|``,
+    #: lumping the dropped mass into the diagonal.  0.0 disables.  Setup
+    #: keeps the full operator, and the solve's guardrail reverts to it
+    #: (``DistHierarchy.desparsify``) when convergence suffers.
+    sparsify_tol: float = 0.0
+    #: Iteration budget of a sparsified hierarchy: a solve still
+    #: unconverged after this many iterations (or one that trips the
+    #: residual guard) reverts to the unsparsified operators and continues.
+    sparsify_fallback_iters: int = 25
     seed: int = 42
     flags: OptimizationFlags = field(default_factory=OptimizationFlags)
 

@@ -38,7 +38,8 @@ import numpy as np
 from ..perf.counters import PerfLog, collect, current_phase
 from ..perf.network import MessageEvent, NetworkModel
 
-__all__ = ["SimComm", "PersistentExchange", "CollectiveEvent"]
+__all__ = ["SimComm", "PersistentExchange", "NodeAwareExchange",
+           "CollectiveEvent"]
 
 
 @dataclass(frozen=True)
@@ -208,3 +209,46 @@ class PersistentExchange:
                     src, dst, count * width * self.bytes_per_elem,
                     persistent=True, tag=self.tag,
                 )
+
+
+class NodeAwareExchange:
+    """A multi-round wire schedule (the node-aware 3-step halo, §4.4-style).
+
+    ``rounds`` is an ordered list of ``(tag, pattern)`` wire rounds — the
+    on-node direct round plus the gather / inter-node / scatter rounds of a
+    :class:`~repro.topo.NodeAwarePlan`.  With ``persistent=True`` every
+    round is frozen into its own :class:`PersistentExchange` (so the §4.4
+    setup amortization and the comm-trace persistent-drift replay both see
+    each round as one frozen pattern); otherwise each :meth:`start` logs
+    the rounds' messages with the per-exchange setup cost.
+    """
+
+    def __init__(self, comm: SimComm,
+                 rounds: list[tuple[str, dict[tuple[int, int], int]]],
+                 *, bytes_per_elem: float = 8.0,
+                 persistent: bool = True) -> None:
+        self.comm = comm
+        self.persistent = persistent
+        self.bytes_per_elem = bytes_per_elem
+        self.rounds = [(tag, dict(pat)) for tag, pat in rounds if pat]
+        self._reqs = (
+            [PersistentExchange(comm, pat, bytes_per_elem=bytes_per_elem,
+                                tag=tag)
+             for tag, pat in self.rounds]
+            if persistent
+            else None
+        )
+
+    def start(self, *, width: int = 1) -> None:
+        """Log every round's messages, in round order."""
+        if self._reqs is not None:
+            for req in self._reqs:
+                req.start(width=width)
+            return
+        for tag, pat in self.rounds:
+            for (src, dst), count in pat.items():
+                if src != dst:
+                    self.comm.log_message(
+                        src, dst, count * width * self.bytes_per_elem,
+                        tag=tag,
+                    )

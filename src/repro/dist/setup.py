@@ -22,10 +22,14 @@ from .interp import dist_extended_i, dist_multipass, dist_two_stage_ei
 from .parcsr import ParCSRMatrix, ParVector
 from .pmis import dist_aggressive_pmis, dist_pmis, dist_random_measures
 from .smoothers import DistSmoother
+from .sparsify import sparsify_parcsr
 from .spgemm import dist_rap
 from .strength import dist_strength
 
 __all__ = ["DistLevel", "DistHierarchy", "dist_build_hierarchy"]
+
+_SMOOTHER_VARIANTS = {"hybrid_gs": "hybrid", "lex": "lex",
+                      "multicolor": "multicolor", "jacobi": "jacobi"}
 
 
 @dataclass
@@ -40,6 +44,9 @@ class DistLevel:
     R: ParCSRMatrix | None = None
     halo_R: HaloExchange | None = None
     smoother: DistSmoother | None = None
+    #: Full Galerkin operator kept while ``A`` is its sparsified form
+    #: (``sparsify_tol``); the guardrail's fallback swaps it back.
+    A_full: ParCSRMatrix | None = None
 
     @property
     def n(self) -> int:
@@ -101,6 +108,10 @@ class DistHierarchy:
     levels: list[DistLevel]
     coarse_solver: DistCoarseSolver
     config: AMGConfig
+    #: Node topology the halos were built against (None = flat).
+    topology: object | None = None
+    #: Network model used to price node-aware aggregation decisions.
+    net: object | None = None
 
     @property
     def num_levels(self) -> int:
@@ -109,11 +120,61 @@ class DistHierarchy:
     def operator_complexity(self) -> float:
         return sum(l.A.nnz for l in self.levels) / self.levels[0].A.nnz
 
+    @property
+    def sparsified(self) -> bool:
+        """Whether any level currently runs on a sparsified operator."""
+        return any(lvl.A_full is not None for lvl in self.levels)
+
+    def desparsify(self) -> bool:
+        """Revert every sparsified level to its full Galerkin operator.
+
+        The guardrail's fallback path: swaps ``A_full`` back in and
+        rebuilds the affected halos and smoothers.  The rebuilt exchanges
+        are non-persistent — a fallback is a one-off mid-solve event, and
+        re-freezing patterns would only recreate the setup cost the
+        original persistent requests already paid.  Returns whether
+        anything was reverted.
+        """
+        reverted = False
+        config = self.config
+        with phase("Resetup"):
+            for lvl in self.levels:
+                if lvl.A_full is None:
+                    continue
+                reverted = True
+                lvl.A = lvl.A_full
+                lvl.A_full = None
+                lvl.halo = build_halo(
+                    self.comm, lvl.A, persistent=False,
+                    topology=self.topology, net=self.net)
+                if lvl.smoother is not None:
+                    lvl.smoother = DistSmoother(
+                        self.comm, lvl.A, lvl.cf_parts,
+                        nthreads=config.nthreads,
+                        variant=_SMOOTHER_VARIANTS[config.smoother],
+                        optimized=config.flags.three_way_partition,
+                        persistent=False,
+                        seed=config.seed,
+                        topology=self.topology,
+                        net=self.net,
+                    )
+        return reverted
+
 
 def dist_build_hierarchy(
-    comm: SimComm, A0: ParCSRMatrix, config: AMGConfig | None = None
+    comm: SimComm, A0: ParCSRMatrix, config: AMGConfig | None = None,
+    *, topology=None, net=None,
 ) -> DistHierarchy:
+    """Build the distributed hierarchy.
+
+    ``topology`` (a :class:`repro.topo.NodeTopology`) enables node-aware
+    halo exchanges priced against ``net`` (default: the topology's two-tier
+    model); with no topology the build is byte-identical to before the
+    topology subsystem existed.
+    """
     config = config or AMGConfig()
+    if topology is not None and net is None:
+        net = topology.network()
     flags = config.flags
     levels: list[DistLevel] = [DistLevel(A=A0)]
 
@@ -199,30 +260,45 @@ def dist_build_hierarchy(
             break
 
     with phase("Setup_etc"):
+        if config.sparsify_tol > 0.0:
+            # Sparsify the intermediate coarse operators (not the finest —
+            # it is the user's matrix — and not the coarsest, whose gathered
+            # factorization / smoother the coarse solver owns a reference
+            # to).  The full operator stays on the level for the fallback.
+            for lvl in levels[1:-1]:
+                As, dropped = sparsify_parcsr(comm, lvl.A, config.sparsify_tol)
+                if dropped:
+                    lvl.A_full = lvl.A
+                    lvl.A = As
         for l, lvl in enumerate(levels):
-            lvl.halo = build_halo(comm, lvl.A, persistent=flags.persistent_comm)
+            lvl.halo = build_halo(comm, lvl.A, persistent=flags.persistent_comm,
+                                  topology=topology, net=net)
             if lvl.P is not None:
-                lvl.halo_P = build_halo(comm, lvl.P, persistent=flags.persistent_comm)
+                lvl.halo_P = build_halo(comm, lvl.P, persistent=flags.persistent_comm,
+                                        topology=topology, net=net)
                 if lvl.R is not None:
                     lvl.halo_R = build_halo(
-                        comm, lvl.R, persistent=flags.persistent_comm
+                        comm, lvl.R, persistent=flags.persistent_comm,
+                        topology=topology, net=net,
                     )
             if l < len(levels) - 1 or levels[-1].A.shape[0] > config.dense_coarse_threshold:
                 lvl.smoother = DistSmoother(
                     comm, lvl.A, lvl.cf_parts,
                     nthreads=config.nthreads,
-                    variant={"hybrid_gs": "hybrid", "lex": "lex",
-                             "multicolor": "multicolor", "jacobi": "jacobi"}[config.smoother],
+                    variant=_SMOOTHER_VARIANTS[config.smoother],
                     optimized=flags.three_way_partition,
                     persistent=flags.persistent_comm,
                     seed=config.seed,
+                    topology=topology,
+                    net=net,
                 )
         coarse = DistCoarseSolver(
             comm, levels[-1].A,
             dense_threshold=config.dense_coarse_threshold,
             nthreads=config.nthreads,
         )
-    hierarchy = DistHierarchy(comm, levels, coarse, config)
+    hierarchy = DistHierarchy(comm, levels, coarse, config,
+                              topology=topology, net=net)
     if checking():
         # Per-level ParCSR + frozen-halo consistency, inter-level partition
         # plumbing; full adds per-block sortedness/finiteness sweeps.

@@ -35,10 +35,13 @@ class DistSmoother:
         optimized: bool = True,
         persistent: bool = True,
         seed: int = 0,
+        topology=None,
+        net=None,
     ) -> None:
         self.comm = comm
         self.A = A
-        self.halo = build_halo(comm, A, persistent=persistent)
+        self.halo = build_halo(comm, A, persistent=persistent,
+                               topology=topology, net=net)
         self.local: list[HybridGSSmoother] = []
         for p in range(comm.nranks):
             with comm.on_rank(p):

@@ -135,13 +135,17 @@ def dist_vcycle(h: DistHierarchy, b: ParVector, level: int = 0) -> ParVector:
 class DistAMGSolver:
     """Distributed AMG: standalone solver or FGMRES preconditioner."""
 
-    def __init__(self, comm: SimComm, config: AMGConfig | None = None) -> None:
+    def __init__(self, comm: SimComm, config: AMGConfig | None = None, *,
+                 topology=None, net=None) -> None:
         self.comm = comm
         self.config = config or AMGConfig()
+        self.topology = topology
+        self.net = net
         self.hierarchy: DistHierarchy | None = None
 
     def setup(self, A: ParCSRMatrix) -> DistHierarchy:
-        self.hierarchy = dist_build_hierarchy(self.comm, A, self.config)
+        self.hierarchy = dist_build_hierarchy(
+            self.comm, A, self.config, topology=self.topology, net=self.net)
         return self.hierarchy
 
     def precondition(self, r: ParVector) -> ParVector:
@@ -245,7 +249,22 @@ class DistAMGSolver:
             if rn <= tol * ref:
                 return result(x, it, residuals, True)
             verdict = guard.check(rn)
-            if verdict is not None:
+            if h.sparsified and (
+                verdict is not None
+                or it >= self.config.sparsify_fallback_iters
+            ):
+                # Sparsification guardrail: a sparsified hierarchy that
+                # trips the residual guard or exhausts its iteration
+                # budget reverts to the full Galerkin operators and keeps
+                # iterating — the fine-level residual (computed against
+                # the never-sparsified A0) carries over unchanged.
+                h.desparsify()
+                trigger = verdict or "iteration budget"
+                solver_events.append(FaultEvent(
+                    "sparsify_fallback",
+                    detail=f"{trigger} at iteration {it}"))
+                guard = ResidualGuard(ref)
+            elif verdict is not None:
                 solver_events.append(FaultEvent(verdict, detail=f"iter {it}"))
                 return result(x, it, residuals, False, degraded=True,
                               reason=f"{verdict} at iteration {it}")

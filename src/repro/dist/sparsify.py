@@ -1,0 +1,89 @@
+"""Galerkin-product sparsification (Bienz et al., arXiv:1512.04629).
+
+Coarse-level Galerkin operators ``RAP`` densify: each coarsening roughly
+squares the stencil, and the fill lands disproportionately in the *offd*
+blocks — long-range couplings to other ranks that inflate the halo pattern
+(and, node-aware or not, the inter-node traffic) while contributing little
+to convergence.  This module drops the weak offd entries of a coarse
+operator and lumps the removed mass into the diagonal, preserving row sums
+(so the near-nullspace the interpolation was built for is still treated
+exactly).
+
+The trade is explicitly guarded: setup keeps the full operator alongside
+the sparsified one (``DistLevel.A_full``), and
+:meth:`~repro.dist.setup.DistHierarchy.desparsify` reverts every level when
+the solve's convergence guardrail decides sparsification cost too many
+iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import VAL_BYTES, count
+from .comm import SimComm
+from .parcsr import ParCSRMatrix, RankBlock
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["sparsify_parcsr"]
+
+
+def _row_abs_max(blk: CSRMatrix, nrows: int) -> np.ndarray:
+    out = np.zeros(nrows)
+    if blk.nnz:
+        np.maximum.at(out, blk.row_ids(), np.abs(blk.data))
+    return out
+
+
+def sparsify_parcsr(comm: SimComm, A: ParCSRMatrix,
+                    tol: float) -> tuple[ParCSRMatrix, int]:
+    """Drop weak offd entries of *A*, lumping them into the diagonal.
+
+    An offd entry ``a_ij`` is dropped when ``|a_ij| < tol * max_k |a_ik|``
+    (row-relative threshold over the whole row, diag and offd).  Dropped
+    values are added to ``a_ii``, so every row sum — and hence the action
+    on constant vectors — is preserved.  Returns the sparsified operator
+    (with a correspondingly shrunk ``colmap``) and the number of entries
+    dropped across all ranks.
+    """
+    blocks: list[RankBlock] = []
+    dropped_total = 0
+    for p, blk in enumerate(A.blocks):
+        offd = blk.offd
+        if offd.nnz == 0:
+            blocks.append(blk)
+            continue
+        with comm.on_rank(p):
+            thr = tol * np.maximum(_row_abs_max(blk.diag, blk.nrows),
+                                   _row_abs_max(offd, blk.nrows))
+            rid = offd.row_ids()
+            keep = np.abs(offd.data) >= thr[rid]
+            count("sparsify.filter",
+                  flops=2.0 * blk.nnz,
+                  bytes_read=blk.nnz * VAL_BYTES,
+                  bytes_written=int(keep.sum()) * VAL_BYTES)
+        dropped = int((~keep).sum())
+        if dropped == 0:
+            blocks.append(blk)
+            continue
+        dropped_total += dropped
+        # Lump the dropped mass into the diagonal entry of each row.
+        lump = np.zeros(blk.nrows)
+        np.add.at(lump, rid[~keep], offd.data[~keep])
+        diag = blk.diag.copy()
+        dmask = diag.indices == diag.row_ids()
+        diag.data[dmask] += lump[diag.row_ids()[dmask]]
+        # Recompress the offd block against the surviving columns.
+        used = np.unique(offd.indices[keep])
+        new_offd = CSRMatrix.from_coo(
+            (blk.nrows, len(used)),
+            rid[keep],
+            np.searchsorted(used, offd.indices[keep]),
+            offd.data[keep],
+            sum_duplicates=False,
+        )
+        blocks.append(RankBlock(diag=diag, offd=new_offd,
+                                colmap=blk.colmap[used]))
+    if dropped_total == 0:
+        return A, 0
+    return ParCSRMatrix(blocks, A.row_part, A.col_part), dropped_total

@@ -1,0 +1,192 @@
+"""Multi-step node-aware aggregation plan (Bienz et al., arXiv:1904.05838).
+
+Given the logical halo pattern — which vector entries every rank needs
+from every owner — and a :class:`~repro.topo.NodeTopology`, this module
+builds the **3-step** wire schedule that trades the many small inter-node
+messages of the flat exchange for one message per communicating *node*
+pair:
+
+1. **intra-node gather** — every non-leader rank sends the entries it owns
+   that any off-node rank needs to its node leader, once (deduplicated
+   across destination nodes: an entry needed by three remote nodes crosses
+   the node's memory bus once);
+2. **inter-node** — each leader sends one message per destination node,
+   carrying the union of entries any rank on that node needs (deduplicated
+   across the destination node's ranks — the communication the flat
+   exchange pays up to ``ppn``x redundantly);
+3. **intra-node scatter** — the destination leader forwards each local
+   rank its slice.
+
+Messages between ranks that share a node never aggregate; they stay
+direct on the cheap tier.  The plan records both candidate wire schedules
+and their modeled times under a
+:class:`~repro.topo.network.TwoTierNetworkModel`, and ``aggregated`` says
+which one won: coarse levels with many sub-``rampup`` messages aggregate,
+fine levels whose large surfaces already ride the bandwidth curve fall
+back to the flat exchange (the per-level policy of the ISSUE).  The
+*logical* pattern — who ultimately consumes what — is untouched either
+way, which is what keeps solve numerics bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perf.network import MessageEvent
+from .topology import NodeTopology
+
+__all__ = [
+    "GATHER_TAG",
+    "NODE_TAG",
+    "SCATTER_TAG",
+    "NodeAwarePlan",
+    "build_node_plan",
+]
+
+Pattern = dict[tuple[int, int], int]
+
+#: Wire-round tags of the 3-step schedule (the on-node direct round keeps
+#: the exchange's own tag).
+GATHER_TAG = "halo.gather"
+NODE_TAG = "halo.node"
+SCATTER_TAG = "halo.scatter"
+
+
+@dataclass
+class NodeAwarePlan:
+    """The two candidate wire schedules of one halo exchange."""
+
+    topology: NodeTopology
+    #: Logical pairs between same-node ranks (always sent direct).
+    on_node: Pattern
+    #: Logical pairs crossing nodes (the flat schedule's wire form).
+    off_node: Pattern
+    #: Step 1: rank -> own-node leader, deduplicated entry counts.
+    gather: Pattern
+    #: Step 2: leader -> leader, one pair per communicating node pair.
+    internode: Pattern
+    #: Step 3: destination leader -> consuming rank.
+    scatter: Pattern
+    #: Elements each leader stages while relaying (gather in + scatter
+    #: out) — the extra on-node copy traffic aggregation costs.
+    relay: dict[int, int] = field(default_factory=dict)
+    #: Whether the 3-step schedule beat the flat one under the model.
+    aggregated: bool = False
+    #: Modeled seconds of one flat / one aggregated exchange (width 1).
+    t_flat: float = 0.0
+    t_aggregated: float = 0.0
+
+    def wire_rounds(self, tag: str = "halo") -> list[tuple[str, Pattern]]:
+        """The rounds actually sent, in issue order (empty rounds elided)."""
+        if not self.aggregated:
+            rounds = [(tag, {**self.on_node, **self.off_node})]
+        else:
+            rounds = [(tag, self.on_node), (GATHER_TAG, self.gather),
+                      (NODE_TAG, self.internode), (SCATTER_TAG, self.scatter)]
+        return [(t, p) for t, p in rounds if p]
+
+    # -- summary numbers the bench reports --------------------------------
+    @property
+    def off_node_messages(self) -> int:
+        return len(self.off_node)
+
+    @property
+    def internode_messages(self) -> int:
+        return len(self.internode) if self.aggregated else len(self.off_node)
+
+    @property
+    def off_node_elems(self) -> int:
+        return sum(self.off_node.values())
+
+    @property
+    def internode_elems(self) -> int:
+        return (sum(self.internode.values()) if self.aggregated
+                else sum(self.off_node.values()))
+
+
+def _pattern_messages(patterns: list[Pattern], *, bytes_per_elem: int,
+                      persistent: bool) -> list[MessageEvent]:
+    return [
+        MessageEvent(s, d, n * bytes_per_elem, persistent)
+        for pat in patterns
+        for (s, d), n in pat.items()
+        if s != d
+    ]
+
+
+def build_node_plan(
+    needs: list[list[tuple[int, np.ndarray]]],
+    topology: NodeTopology,
+    *,
+    net=None,
+    bytes_per_elem: int = 8,
+    persistent: bool = True,
+) -> NodeAwarePlan:
+    """Build (and price) the 3-step plan for one logical halo pattern.
+
+    ``needs[p]`` lists ``(owner_rank, global_ids)`` pairs: the vector
+    entries rank *p* reads from each owner.  ``net`` prices the candidate
+    schedules (default: the topology's default two-tier model).
+    """
+    if net is None:
+        net = topology.network()
+    on_node: Pattern = {}
+    off_node: Pattern = {}
+    scatter: Pattern = {}
+    gather_ids: dict[int, list[np.ndarray]] = {}
+    inter_ids: dict[tuple[int, int], list[np.ndarray]] = {}
+
+    for p, plan in enumerate(needs):
+        vnode = topology.node_of(p)
+        off_elems = 0
+        for q, ids in plan:
+            if q == p or len(ids) == 0:
+                continue
+            if topology.on_node(q, p):
+                on_node[(int(q), p)] = len(ids)
+            else:
+                off_node[(int(q), p)] = len(ids)
+                off_elems += len(ids)
+                gather_ids.setdefault(int(q), []).append(ids)
+                inter_ids.setdefault((topology.node_of(int(q)), vnode),
+                                     []).append(ids)
+        if off_elems and p != topology.leader(vnode):
+            scatter[(topology.leader(vnode), p)] = off_elems
+
+    gather: Pattern = {}
+    for q in sorted(gather_ids):
+        leader = topology.leader_of(q)
+        if q == leader:
+            continue  # the leader's own entries are already staged
+        gather[(q, leader)] = int(
+            len(np.unique(np.concatenate(gather_ids[q]))))
+
+    internode: Pattern = {}
+    for (u, v) in sorted(inter_ids):
+        internode[(topology.leader(u), topology.leader(v))] = int(
+            len(np.unique(np.concatenate(inter_ids[(u, v)]))))
+
+    relay: dict[int, int] = {}
+    for (_q, leader), n in gather.items():
+        relay[leader] = relay.get(leader, 0) + n
+    for (leader, _p), n in scatter.items():
+        relay[leader] = relay.get(leader, 0) + n
+
+    plan_obj = NodeAwarePlan(
+        topology=topology, on_node=on_node, off_node=off_node,
+        gather=gather, internode=internode, scatter=scatter, relay=relay)
+    plan_obj.t_flat = net.exchange_time(
+        _pattern_messages([on_node, off_node], bytes_per_elem=bytes_per_elem,
+                          persistent=persistent),
+        topology.nranks)
+    plan_obj.t_aggregated = net.exchange_time(
+        _pattern_messages([on_node, gather, internode, scatter],
+                          bytes_per_elem=bytes_per_elem,
+                          persistent=persistent),
+        topology.nranks)
+    # Strict inequality: ppn=1 (3-step degenerates to the flat schedule)
+    # and tie cases keep the standard exchange, byte-identically.
+    plan_obj.aggregated = bool(off_node) and plan_obj.t_aggregated < plan_obj.t_flat
+    return plan_obj

@@ -1,0 +1,111 @@
+"""Node topology: ranks grouped into modeled nodes (arXiv:1904.05838 §2).
+
+The paper's Endeavor runs place 2 MPI ranks on every node (one per
+socket); all inter-rank traffic nevertheless pays the same FDR InfiniBand
+price in the flat :class:`~repro.perf.network.NetworkModel`.  Node-aware
+communication starts from the observation that the two tiers differ by an
+order of magnitude: messages between ranks on the *same* node move through
+shared memory, messages between nodes cross the network.  A
+:class:`NodeTopology` makes the grouping explicit — ``ppn`` consecutive
+ranks per modeled node, first rank of each node acting as its designated
+**leader** for the 3-step aggregated exchange — and is all the structural
+information the two-tier model and the node-aware halo exchange need.
+
+``ppn=1`` (every rank its own node, every message inter-node) is exactly
+the flat topology the rest of the repo has always modeled; consumers treat
+it as "no topology" so the modeled byte streams stay identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NodeTopology"]
+
+
+@dataclass(frozen=True)
+class NodeTopology:
+    """``ppn`` consecutive ranks per modeled node.
+
+    Rank *r* lives on node ``r // ppn``; the node's first rank
+    (``node * ppn``) is its leader.  The last node may be ragged when
+    ``ppn`` does not divide ``nranks``.
+    """
+
+    nranks: int
+    #: Ranks per node (the §5.1.2 Endeavor placement is ``ppn=2``).
+    ppn: int
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if not (1 <= self.ppn):
+            raise ValueError("ppn must be >= 1")
+
+    @classmethod
+    def parse(cls, spec: str, nranks: int) -> "NodeTopology":
+        """Build from a CLI spec: ``"ppn=4"`` or a bare integer ``"4"``."""
+        text = spec.strip()
+        if "=" in text:
+            key, _, value = text.partition("=")
+            if key.strip() != "ppn":
+                raise ValueError(
+                    f"unknown topology knob {key.strip()!r}; expected "
+                    f"'ppn=N'")
+            text = value
+        try:
+            ppn = int(text)
+        except ValueError:
+            raise ValueError(f"invalid topology spec {spec!r}; expected "
+                             f"'ppn=N'") from None
+        return cls(nranks=nranks, ppn=ppn)
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def nnodes(self) -> int:
+        return -(-self.nranks // self.ppn)
+
+    @property
+    def trivial(self) -> bool:
+        """One rank per node: node-aware aggregation cannot help."""
+        return self.ppn == 1
+
+    def node_of(self, rank):
+        """Node id of a rank (scalar or ndarray, vectorized)."""
+        return rank // self.ppn
+
+    def ranks_on(self, node: int) -> range:
+        return range(node * self.ppn, min((node + 1) * self.ppn, self.nranks))
+
+    def leader(self, node: int) -> int:
+        """The node's designated aggregation rank (its first rank)."""
+        return node * self.ppn
+
+    def is_leader(self, rank: int) -> bool:
+        return rank % self.ppn == 0
+
+    def leader_of(self, rank: int) -> int:
+        return (rank // self.ppn) * self.ppn
+
+    def on_node(self, src: int, dst: int) -> bool:
+        """Whether two ranks share a node (intra-node link)."""
+        return src // self.ppn == dst // self.ppn
+
+    def node_sizes(self) -> np.ndarray:
+        """Ranks per node (the last node may be ragged)."""
+        sizes = np.full(self.nnodes, self.ppn, dtype=np.int64)
+        sizes[-1] = self.nranks - (self.nnodes - 1) * self.ppn
+        return sizes
+
+    # -- models ------------------------------------------------------------
+    def network(self, base=None):
+        """A :class:`~repro.topo.network.TwoTierNetworkModel` over this
+        topology; *base* supplies the inter-node tier (default: the scaled
+        FDR InfiniBand model the benches use unscaled — callers scale)."""
+        from ..perf.network import FDRInfinibandModel
+        from .network import TwoTierNetworkModel
+
+        return TwoTierNetworkModel.from_base(
+            base if base is not None else FDRInfinibandModel(), self)

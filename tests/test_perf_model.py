@@ -164,6 +164,34 @@ class TestNetworkModel:
         )
         assert net.allreduce_time(1) == 0.0
 
+    def test_message_bw_monotone_and_continuous_at_knee(self):
+        net = FDRInfinibandModel()
+        sizes = np.linspace(0.0, 2.0 * net.rampup_bytes, 257)
+        bws = [net.message_bw(s) for s in sizes]
+        assert all(b1 <= b2 for b1, b2 in zip(bws, bws[1:]))
+        assert bws[0] == net.small_msg_bw
+        # The quadratic ramp meets the peak exactly at the knee — no jump.
+        assert net.message_bw(net.rampup_bytes) == net.peak_bw
+        just_below = net.message_bw(net.rampup_bytes * (1 - 1e-9))
+        assert just_below == pytest.approx(net.peak_bw, rel=1e-6)
+
+    def test_scaled_divides_fixed_costs_keeps_bandwidths(self):
+        net = FDRInfinibandModel()
+        s = net.scaled(8.0)
+        assert s.peak_bw == net.peak_bw
+        assert s.small_msg_bw == net.small_msg_bw
+        assert s.alpha == pytest.approx(net.alpha / 8)
+        assert s.exchange_setup == pytest.approx(net.exchange_setup / 8)
+        assert s.persistent_create == pytest.approx(net.persistent_create / 8)
+        assert s.rampup_bytes == max(net.rampup_bytes / 8, 4096)
+
+    def test_exchange_time_degenerate_patterns(self):
+        net = FDRInfinibandModel()
+        assert net.exchange_time([], 4) == 0.0
+        assert net.exchange_time([], 0) == 0.0
+        # A single-rank "pattern" has nobody to exchange with.
+        assert net.exchange_time([], 1) == 0.0
+
 
 class TestReporting:
     def test_format_table(self):

@@ -1,0 +1,377 @@
+"""Tests for ``repro.topo``: node topology, two-tier network, node-aware
+halo aggregation, sparsification guardrail, and the node-flow scan."""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.sched import extract_schedule, message_matrix, scan_schedule
+from repro.config import multi_node_config
+from repro.dist import (
+    DistAMGSolver,
+    ParCSRMatrix,
+    ParVector,
+    RowPartition,
+    SimComm,
+)
+from repro.dist.halo import build_halo
+from repro.dist.sparsify import sparsify_parcsr
+from repro.perf import FDRInfinibandModel
+from repro.problems import laplace_2d_5pt, laplace_3d_27pt
+from repro.sparse.csr import CSRMatrix
+from repro.topo import (
+    GATHER_TAG,
+    NODE_TAG,
+    SCATTER_TAG,
+    NodeTopology,
+    TwoTierNetworkModel,
+    build_node_plan,
+)
+
+
+def _ids(findings):
+    return [f.invariant for f in findings]
+
+
+def _solve(A, nranks, *, topo=None, config=None, tol=1e-8, seed=3):
+    part = RowPartition.uniform(A.nrows, nranks)
+    comm = SimComm(nranks)
+    solver = DistAMGSolver(comm, config or multi_node_config("ei"),
+                           topology=topo)
+    solver.setup(ParCSRMatrix.from_global(A, part))
+    b = np.random.default_rng(seed).standard_normal(A.nrows)
+    res = solver.solve(ParVector.from_global(b, part), tol=tol)
+    return comm, solver, res
+
+
+class TestNodeTopology:
+    def test_parse_forms(self):
+        t = NodeTopology.parse("ppn=4", 16)
+        assert (t.nranks, t.ppn) == (16, 4)
+        assert NodeTopology.parse(" 2 ", 8).ppn == 2
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            NodeTopology.parse("nodes=4", 16)
+        with pytest.raises(ValueError):
+            NodeTopology.parse("ppn=fast", 16)
+        with pytest.raises(ValueError):
+            NodeTopology(0, 2)
+        with pytest.raises(ValueError):
+            NodeTopology(4, 0)
+
+    def test_structure(self):
+        t = NodeTopology(8, 4)
+        assert t.nnodes == 2 and not t.trivial
+        assert t.node_of(5) == 1
+        assert list(t.ranks_on(1)) == [4, 5, 6, 7]
+        assert t.leader(1) == 4 and t.leader_of(6) == 4
+        assert t.is_leader(4) and not t.is_leader(5)
+        assert t.on_node(4, 7) and not t.on_node(3, 4)
+
+    def test_ragged_last_node(self):
+        t = NodeTopology(10, 4)
+        assert t.nnodes == 3
+        assert list(t.node_sizes()) == [4, 4, 2]
+        assert list(t.ranks_on(2)) == [8, 9]
+
+    def test_ppn1_is_trivial(self):
+        assert NodeTopology(6, 1).trivial
+
+
+class TestTwoTierNetwork:
+    def test_from_base_keeps_inter_tier(self):
+        base = FDRInfinibandModel()
+        net = NodeTopology(8, 4).network(base)
+        assert isinstance(net, TwoTierNetworkModel)
+        assert net.peak_bw == base.peak_bw
+        assert net.alpha == base.alpha
+        assert "4 ranks/node" in net.name
+
+    def test_intra_node_messages_cheaper(self):
+        from repro.perf import MessageEvent
+
+        net = NodeTopology(8, 4).network()
+        intra = net.message_time(MessageEvent(0, 1, 8000, True))
+        inter = net.message_time(MessageEvent(0, 4, 8000, True))
+        assert intra < inter
+
+    def test_requires_topology(self):
+        with pytest.raises(ValueError):
+            TwoTierNetworkModel.from_base(FDRInfinibandModel(), None)
+
+    def test_hierarchical_allreduce(self):
+        base = FDRInfinibandModel()
+        topo = NodeTopology(16, 4)
+        net = topo.network(base)
+        # 2*ceil(log2 ppn) cheap rounds + ceil(log2 nnodes) wire rounds
+        # beats ceil(log2 P) all-wire rounds.
+        assert net.allreduce_time(16) < base.allreduce_time(16)
+        assert net.allreduce_time(1) == 0.0
+
+    def test_scaled_composes_through_subclass(self):
+        net = NodeTopology(8, 4).network()
+        s = net.scaled(8.0)
+        assert isinstance(s, TwoTierNetworkModel)
+        assert s.intra_alpha == pytest.approx(net.intra_alpha / 8)
+        assert s.intra_peak_bw == net.intra_peak_bw
+        assert s.alpha == pytest.approx(net.alpha / 8)
+        assert s.peak_bw == net.peak_bw
+
+
+class TestNodePlan:
+    # 8 ranks, 2 nodes of 4.  Ranks 4 and 5 both read entries from rank 0;
+    # their id sets overlap, so dedup matters on gather and inter-node.
+    def _needs(self, nranks=8):
+        needs = [[] for _ in range(nranks)]
+        needs[4] = [(0, np.array([0, 1, 2])), (1, np.array([10]))]
+        needs[5] = [(0, np.array([1, 2, 3]))]
+        needs[6] = [(7, np.array([70, 71]))]  # on-node, stays direct
+        return needs
+
+    def test_three_step_shapes_and_dedup(self):
+        topo = NodeTopology(8, 4)
+        plan = build_node_plan(self._needs(), topo)
+        assert plan.on_node == {(7, 6): 2}
+        assert plan.off_node == {(0, 4): 3, (1, 4): 1, (0, 5): 3}
+        # Rank 0 is its node's leader: its entries are already staged, so
+        # only rank 1 gathers; rank 0's union {0,1,2,3} + rank 1's {10}
+        # cross the wire once, deduplicated across destination ranks.
+        assert plan.gather == {(1, 0): 1}
+        assert plan.internode == {(0, 4): 5}
+        # Destination leader (4) consumes in place; rank 5 gets its slice.
+        assert plan.scatter == {(4, 5): 3}
+        assert plan.relay == {0: 1, 4: 3}
+
+    def test_wire_rounds_ordered_and_tagged(self):
+        topo = NodeTopology(8, 4)
+        plan = build_node_plan(self._needs(), topo)
+        plan.aggregated = True
+        tags = [t for t, _ in plan.wire_rounds()]
+        assert tags == ["halo", GATHER_TAG, NODE_TAG, SCATTER_TAG]
+        plan.aggregated = False
+        [(tag, flat)] = plan.wire_rounds()
+        assert tag == "halo"
+        assert flat == {**plan.on_node, **plan.off_node}
+
+    def test_summary_counts(self):
+        topo = NodeTopology(8, 4)
+        plan = build_node_plan(self._needs(), topo)
+        assert plan.off_node_messages == 3
+        assert plan.off_node_elems == 7
+        if plan.aggregated:
+            assert plan.internode_messages == 1
+            assert plan.internode_elems == 5
+        else:
+            assert plan.internode_messages == plan.off_node_messages
+
+    def test_leader_to_leader_tie_stays_flat(self):
+        # One off-node pair between two leaders: the 3-step schedule
+        # degenerates to the flat one (no gather, no scatter), t_agg ==
+        # t_flat, and the strict policy keeps the flat exchange.
+        topo = NodeTopology(8, 4)
+        needs = [[] for _ in range(8)]
+        needs[4] = [(0, np.array([0, 1]))]
+        plan = build_node_plan(needs, topo)
+        assert plan.gather == {} and plan.scatter == {}
+        assert plan.t_aggregated == pytest.approx(plan.t_flat)
+        assert not plan.aggregated
+
+    def test_many_small_pairs_aggregate(self):
+        # Every rank of node 1 reads a small slice from every rank of
+        # node 0: 16 tiny wire messages flat vs 1 aggregated.
+        topo = NodeTopology(8, 4)
+        needs = [[] for _ in range(8)]
+        for p in range(4, 8):
+            needs[p] = [(q, np.arange(4)) for q in range(4)]
+        plan = build_node_plan(needs, topo)
+        assert plan.off_node_messages == 16
+        assert plan.aggregated
+        assert plan.internode == {(0, 4): 4}  # union of identical slices
+        assert plan.t_aggregated < plan.t_flat
+
+
+class TestNodeAwareHalo:
+    def test_solve_bit_identical(self):
+        A = laplace_3d_27pt(10)
+        _, _, flat = _solve(A, 8)
+        comm, solver, node = _solve(A, 8, topo=NodeTopology(8, 4))
+        assert any(lvl.halo.node_aware for lvl in solver.hierarchy.levels
+                   if lvl.halo is not None)
+        assert flat.residuals == node.residuals
+        assert flat.iterations == node.iterations
+        for a, b in zip(flat.x.parts, node.x.parts):
+            assert np.array_equal(a, b)
+
+    def test_aggregation_reroutes_wire_traffic(self):
+        A = laplace_3d_27pt(10)
+        c_flat, _, _ = _solve(A, 8)
+        c_node, _, _ = _solve(A, 8, topo=NodeTopology(8, 4))
+        tags = {m.event.tag for m in c_node.messages}
+        assert GATHER_TAG in tags or NODE_TAG in tags
+        flat_tags = {m.event.tag for m in c_flat.messages}
+        assert NODE_TAG not in flat_tags
+
+    def test_ppn1_byte_identical(self):
+        A = laplace_2d_5pt(16)
+        c_flat, _, r_flat = _solve(A, 4)
+        c_triv, _, r_triv = _solve(A, 4, topo=NodeTopology(4, 1))
+        assert r_flat.residuals == r_triv.residuals
+        assert [(m.event.src, m.event.dst, m.event.nbytes, m.event.tag)
+                for m in c_flat.messages] == \
+               [(m.event.src, m.event.dst, m.event.nbytes, m.event.tag)
+                for m in c_triv.messages]
+
+    def test_topology_rank_mismatch_rejected(self):
+        A = laplace_2d_5pt(8)
+        part = RowPartition.uniform(A.nrows, 4)
+        comm = SimComm(4)
+        Ap = ParCSRMatrix.from_global(A, part)
+        with pytest.raises(ValueError):
+            build_halo(comm, Ap, persistent=True,
+                       topology=NodeTopology(8, 2))
+
+    def test_empty_external_keeps_dtype(self):
+        # Diagonal matrix: no rank needs anything — the fallback arrays
+        # must still carry the input dtype (the dtype-less np.empty bug).
+        A = CSRMatrix.from_dense(np.diag(np.arange(1.0, 9.0)))
+        part = RowPartition.uniform(8, 4)
+        comm = SimComm(4)
+        halo = build_halo(comm, ParCSRMatrix.from_global(A, part),
+                          persistent=True)
+        x = ParVector.from_global(np.arange(8.0), part)
+        x.parts = [p.astype(np.float32) for p in x.parts]
+        ext = halo(x)
+        assert all(e.dtype == np.float32 for e in ext)
+
+
+class TestSparsify:
+    def test_row_sums_preserved(self):
+        A = laplace_3d_27pt(6)
+        part = RowPartition.uniform(A.nrows, 4)
+        comm = SimComm(4)
+        Ap = ParCSRMatrix.from_global(A, part)
+        before = Ap.to_global()
+        As, dropped = sparsify_parcsr(comm, Ap, 0.3)
+        after = As.to_global()
+        assert dropped > 0
+        assert after.nnz < before.nnz
+        np.testing.assert_allclose(
+            after.to_dense().sum(axis=1), before.to_dense().sum(axis=1),
+            rtol=1e-12, atol=1e-12)
+
+    def test_zero_drop_returns_input(self):
+        A = laplace_2d_5pt(8)
+        part = RowPartition.uniform(A.nrows, 2)
+        comm = SimComm(2)
+        Ap = ParCSRMatrix.from_global(A, part)
+        As, dropped = sparsify_parcsr(comm, Ap, 1e-12)
+        assert dropped == 0 and As is Ap
+
+    def test_guardrail_fallback_bounds_iterations(self):
+        # Needs >= 3 levels: only intermediate operators sparsify.
+        A = laplace_3d_27pt(10)
+        cfg = multi_node_config("ei")
+        ref = _solve(A, 4, config=cfg)[2]
+
+        aggressive = replace(multi_node_config("ei"), sparsify_tol=0.5,
+                             sparsify_fallback_iters=10)
+        comm, solver, res = _solve(A, 4, config=aggressive)
+        assert solver.hierarchy is not None
+        assert res.converged
+        # The guardrail must fire before iterations run away: either the
+        # sparsified hierarchy converged on its own within the budget, or
+        # the fallback reverted to the full operators and finished.
+        events = [e.kind for e in res.fault_events]
+        if res.iterations > aggressive.sparsify_fallback_iters:
+            assert "sparsify_fallback" in events
+            assert not solver.hierarchy.sparsified
+        assert res.iterations <= aggressive.sparsify_fallback_iters + \
+            ref.iterations + 5
+
+    def test_fallback_restores_full_operator(self):
+        A = laplace_3d_27pt(10)
+        cfg = replace(multi_node_config("ei"), sparsify_tol=0.4)
+        part = RowPartition.uniform(A.nrows, 4)
+        comm = SimComm(4)
+        solver = DistAMGSolver(comm, cfg)
+        solver.setup(ParCSRMatrix.from_global(A, part))
+        h = solver.hierarchy
+        assert h.sparsified
+        full_nnz = [lvl.A_full.nnz for lvl in h.levels
+                    if lvl.A_full is not None]
+        assert h.desparsify()
+        assert not h.sparsified
+        restored = [lvl.A.nnz for lvl in h.levels][1:1 + len(full_nnz)]
+        assert restored == full_nnz
+        assert not h.desparsify()  # idempotent
+
+
+class TestSchedNodeFlow:
+    def _node_sched(self):
+        A = laplace_3d_27pt(10)
+        part = RowPartition.uniform(A.nrows, 8)
+        comm = SimComm(8)
+        topo = NodeTopology(8, 4)
+        solver = DistAMGSolver(comm, multi_node_config("ei"), topology=topo)
+        solver.setup(ParCSRMatrix.from_global(A, part))
+        h = solver.hierarchy
+        aware = [lvl.halo for lvl in h.levels
+                 if lvl.halo is not None and lvl.halo.node_aware]
+        assert aware, "fixture must produce a node-aware level"
+        return h, aware[0]
+
+    def test_clean_hierarchy_verifies(self):
+        h, _ = self._node_sched()
+        sched = extract_schedule(h)
+        assert sched.topology is h.topology
+        assert scan_schedule(sched) == []
+
+    def test_tampered_internode_count_flagged(self):
+        h, halo = self._node_sched()
+        rounds = halo._node_exchange.rounds
+        for i, (tag, pat) in enumerate(rounds):
+            if tag == NODE_TAG:
+                (pair, n), *_ = sorted(pat.items())
+                pat = dict(pat)
+                pat[pair] = n + 1000
+                rounds[i] = (tag, pat)
+                break
+        ids = _ids(scan_schedule(extract_schedule(h)))
+        assert "sched.node_flow" in ids
+
+    def test_offnode_scatter_pair_flagged(self):
+        h, halo = self._node_sched()
+        rounds = halo._node_exchange.rounds
+        for i, (tag, pat) in enumerate(rounds):
+            if tag == SCATTER_TAG and pat:
+                (src, dst), n = sorted(pat.items())[0]
+                pat = dict(pat)
+                del pat[(src, dst)]
+                pat[(src, (dst + 4) % 8)] = n  # crosses the node boundary
+                rounds[i] = (tag, pat)
+                break
+        ids = _ids(scan_schedule(extract_schedule(h)))
+        assert "sched.node_flow" in ids
+
+    def test_message_matrix_split_only_with_topology(self):
+        A = laplace_2d_5pt(12)
+        part = RowPartition.uniform(A.nrows, 4)
+        comm = SimComm(4)
+        solver = DistAMGSolver(comm, multi_node_config("ei"))
+        solver.setup(ParCSRMatrix.from_global(A, part))
+        mat = message_matrix(extract_schedule(solver.hierarchy))
+        assert "on_node" not in mat["levels"][0]
+
+        h, _ = self._node_sched()
+        mat = message_matrix(extract_schedule(h))
+        ent = mat["levels"][0]
+        assert ent["on_node"]["counts"] + ent["off_node"]["counts"] > 0
+
+    def test_allreduce_rounds_match_model(self):
+        # Sanity-pin the hierarchical round count used by the model.
+        topo = NodeTopology(16, 4)
+        assert 2 * math.ceil(math.log2(topo.ppn)) == 4
+        assert math.ceil(math.log2(topo.nnodes)) == 2
