@@ -1,0 +1,288 @@
+"""Real wall-clock timing of the plan-driven solve phase (ISSUE 10).
+
+Every other benchmark in this directory reports *modeled* time — the
+machine model applied to the structural kernel counts.  This one holds a
+stopwatch to the Python harness itself: each tier-1-representative path is
+executed with the precompiled :class:`repro.amg.solveplan.SolvePlan`
+engaged (``REPRO_SOLVEPLAN=on``, the default) and again with the plans
+bypassed (``REPRO_SOLVEPLAN=off``), timing both with
+``time.perf_counter``.
+
+The hard invariant of the plan layer is checked in the same breath: for
+every path the **modeled** outputs — record count, flops, bytes, branches,
+modeled seconds, iteration counts — must be bit-identical between the two
+modes.  The plans may only change how fast the simulation runs, never what
+it computes.
+
+Paths: ``solve`` (single-RHS PCG+AMG), ``solve_many`` (blocked 8-RHS),
+``serve`` (the ``tiny`` serving workload end-to-end), ``setup`` (hierarchy
+build, including plan compilation — the price of planning), and
+``refresh`` (same-pattern numeric resetup).  The acceptance aggregate is
+over the solve-phase paths (``solve``, ``solve_many``, ``serve``): summed
+plan-off wall time over summed plan-on wall time must be >= 2x.
+
+Run as a script:
+
+    python benchmarks/bench_wallclock.py                  # report + BENCH_wallclock.json
+    python benchmarks/bench_wallclock.py --smoke          # CI-sized problems
+    python benchmarks/bench_wallclock.py --json OUT.json  # full results (has wall fields)
+    python benchmarks/bench_wallclock.py --modeled-json OUT.json
+
+``--modeled-json`` writes only the modeled fields — wall-clock numbers are
+machine noise and are excluded — so two runs must produce identical bytes
+(the CI determinism smoke cmp's them).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+SOLVE_PHASE_PATHS = ("solve", "solve_many", "serve")
+ALL_PATHS = SOLVE_PHASE_PATHS + ("setup", "refresh")
+
+
+def _modeled_totals(log, machine, extra=None):
+    """The modeled fingerprint of one path run — must not depend on the mode."""
+    out = {
+        "records": len(log.records),
+        "flops": sum(r.flops for r in log.records),
+        "bytes_read": sum(r.bytes_read for r in log.records),
+        "bytes_written": sum(r.bytes_written for r in log.records),
+        "branches": sum(r.branches for r in log.records),
+        "modeled_seconds": machine.log_time(log),
+    }
+    if extra:
+        out.update(extra)
+    return out
+
+
+def _time(body, reps):
+    """Best-of-``reps`` wall time of ``body`` (ignoring its return value)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        body()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _build_paths(smoke):
+    """Construct the benchmark paths; returns ``{name: run_fn}``.
+
+    Each ``run_fn()`` executes the path once under a fresh collector and
+    returns ``(modeled_totals, body)`` where ``body`` is the timeable
+    closure (state already warmed so lazy plan caches do not pollute the
+    timing of either mode).
+    """
+    from repro.amg import build_hierarchy
+    from repro.amg.solver import AMGSolver
+    from repro.bench import machine_for
+    from repro.config import single_node_config
+    from repro.perf import collect
+    from repro.serve import ServiceConfig, SolveService, build, named_workload
+    from repro.serve.workload import PROBLEM_BUILDERS
+
+    size = 8 if smoke else 14
+    k = 4 if smoke else 8
+    config = single_node_config(True)
+    machine = machine_for(config)
+
+    def problem():
+        A = PROBLEM_BUILDERS["lap3d27g"](size)
+        rng = np.random.default_rng(7)
+        b = rng.standard_normal(A.nrows)
+        return A, b
+
+    def path_solve():
+        A, b = problem()
+        s = AMGSolver(config)
+        s.setup(A)
+        body = lambda: s.solve(b, tol=1e-8)
+        with collect() as log:
+            res = body()
+        return _modeled_totals(log, machine,
+                               {"iterations": res.iterations}), body
+
+    def path_solve_many():
+        A, b = problem()
+        rng = np.random.default_rng(11)
+        B = rng.standard_normal((A.nrows, k))
+        s = AMGSolver(config)
+        s.setup(A)
+        body = lambda: s.solve_many(B, tol=1e-8)
+        with collect() as log:
+            results = body()
+        return _modeled_totals(log, machine, {
+            "iterations": sum(r.iterations for r in results)}), body
+
+    def path_serve():
+        spec = named_workload("tiny", seed=0)
+        svc_config = ServiceConfig(max_batch=k)
+
+        def body():
+            service = SolveService(svc_config)
+            return service.run_workload(build(spec))
+
+        with collect() as log:
+            results = body()
+        return _modeled_totals(log, machine, {
+            "requests": len(results),
+            "statuses": sorted(r.status for r in results)}), body
+
+    def path_setup():
+        A, _ = problem()
+        body = lambda: build_hierarchy(A, config)
+        with collect() as log:
+            body()
+        return _modeled_totals(log, machine), body
+
+    def path_refresh():
+        A, _ = problem()
+        steps = [A.data * (1.0 + 0.02 * t) for t in range(1, 4)]
+        h = build_hierarchy(A, config, capture_plan=True)
+
+        def body():
+            from repro.sparse import CSRMatrix
+
+            cur = h
+            for data in steps:
+                cur = cur.refresh(CSRMatrix(
+                    A.shape, A.indptr, A.indices, data))
+            return cur
+
+        with collect() as log:
+            body()
+        return _modeled_totals(log, machine), body
+
+    return {
+        "solve": path_solve,
+        "solve_many": path_solve_many,
+        "serve": path_serve,
+        "setup": path_setup,
+        "refresh": path_refresh,
+    }
+
+
+def run(smoke=False, reps=None) -> dict:
+    """Time every path under both modes; assert modeled bit-identity."""
+    reps = reps if reps is not None else (1 if smoke else 3)
+    prev = os.environ.get("REPRO_SOLVEPLAN")
+    modeled = {}
+    wall = {"on": {}, "off": {}}
+    try:
+        for mode in ("on", "off"):
+            os.environ["REPRO_SOLVEPLAN"] = mode
+            paths = _build_paths(smoke)
+            for name in ALL_PATHS:
+                totals, body = paths[name]()
+                if name in modeled:
+                    if modeled[name] != totals:
+                        raise AssertionError(
+                            f"modeled outputs differ between plan modes for "
+                            f"path {name!r}:\n  on : {modeled[name]}\n"
+                            f"  off: {totals}")
+                else:
+                    modeled[name] = totals
+                wall[mode][name] = _time(body, reps)
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_SOLVEPLAN", None)
+        else:
+            os.environ["REPRO_SOLVEPLAN"] = prev
+
+    per_path = {
+        name: {
+            "wall_on_seconds": wall["on"][name],
+            "wall_off_seconds": wall["off"][name],
+            "speedup": wall["off"][name] / wall["on"][name],
+        }
+        for name in ALL_PATHS
+    }
+    agg_on = sum(wall["on"][p] for p in SOLVE_PHASE_PATHS)
+    agg_off = sum(wall["off"][p] for p in SOLVE_PHASE_PATHS)
+    return {
+        "smoke": smoke,
+        "reps": reps,
+        "solve_phase_paths": list(SOLVE_PHASE_PATHS),
+        "modeled": modeled,
+        "modeled_identical": True,   # run() raises otherwise
+        "paths": per_path,
+        "aggregate": {
+            "wall_on_seconds": agg_on,
+            "wall_off_seconds": agg_off,
+            "speedup": agg_off / agg_on,
+        },
+    }
+
+
+def modeled_view(res: dict) -> dict:
+    """The deterministic subset: everything except wall-clock numbers."""
+    return {
+        "smoke": res["smoke"],
+        "solve_phase_paths": res["solve_phase_paths"],
+        "modeled": res["modeled"],
+        "modeled_identical": res["modeled_identical"],
+    }
+
+
+def _report(res: dict) -> str:
+    from repro.perf import format_table
+
+    rows = []
+    for name in ALL_PATHS:
+        p = res["paths"][name]
+        tag = "solve-phase" if name in SOLVE_PHASE_PATHS else "setup-phase"
+        rows.append([
+            name, tag,
+            f"{p['wall_off_seconds'] * 1e3:.1f} ms",
+            f"{p['wall_on_seconds'] * 1e3:.1f} ms",
+            f"{p['speedup']:.2f}x",
+        ])
+    a = res["aggregate"]
+    rows.append(["aggregate (solve-phase)", "",
+                 f"{a['wall_off_seconds'] * 1e3:.1f} ms",
+                 f"{a['wall_on_seconds'] * 1e3:.1f} ms",
+                 f"{a['speedup']:.2f}x"])
+    table = format_table(
+        ["path", "kind", "plan off", "plan on", "off/on"],
+        rows,
+        title="Wall-clock: planned solve schedules vs per-sweep re-derivation",
+    )
+    return "\n".join([
+        table,
+        "",
+        f"modeled outputs bit-identical across modes: "
+        f"{res['modeled_identical']}",
+    ])
+
+
+if __name__ == "__main__":
+    import argparse
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="wall-clock benchmark of the SolvePlan layer")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small problems, single rep (CI)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timing repetitions per path (best-of)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write full results (incl. wall clock) to PATH")
+    parser.add_argument("--modeled-json", metavar="PATH",
+                        help="write only the deterministic modeled fields")
+    args = parser.parse_args()
+
+    result = run(smoke=args.smoke, reps=args.reps)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n")
+    if args.modeled_json:
+        Path(args.modeled_json).write_text(
+            json.dumps(modeled_view(result), indent=2, sort_keys=True) + "\n")
+    if not args.json and not args.modeled_json and not args.smoke:
+        # Seed the perf trajectory: the default run records its numbers.
+        out = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+        out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(_report(result))

@@ -35,13 +35,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..perf.counters import IDX_BYTES, PTR_BYTES, VAL_BYTES, count
+from ..planexec import plan_enabled
 from ..sparse.csr import CSRMatrix
-from ..sparse.ops import segment_sum
+from ..sparse.ops import gather_range_indices, segment_sum
 from ..sparse.transpose import balanced_nnz_partition
 
 __all__ = [
     "GSSchedule",
     "build_gs_schedule",
+    "schedule_with_values",
     "gs_sweep",
     "gs_sweep_multi",
     "gs_sweep_reference",
@@ -82,6 +84,12 @@ class GSSchedule:
     e_lower: np.ndarray
     diag: np.ndarray
     nnz: int
+    #: Position of each packed entry in ``A.data`` (and of each packed row's
+    #: diagonal; ``-1`` = structurally missing).  Lets a same-pattern numeric
+    #: refresh regather ``e_vals``/``diag`` without re-running the wavefront
+    #: analysis (:func:`schedule_with_values`).
+    e_entry: np.ndarray | None = None
+    diag_entry: np.ndarray | None = None
 
     @property
     def nlevels(self) -> int:
@@ -134,7 +142,13 @@ def build_gs_schedule(
     local_id = np.full(n, -1, dtype=np.int64)
     local_id[rows_sel] = np.arange(m)
 
-    lr, cols, vals = A.row_slice_arrays(rows_sel)
+    # Expanded row_slice_arrays that also keeps the global entry positions
+    # (``idx``) so the schedule records where its values live in ``A.data``.
+    counts = A.indptr[rows_sel + 1] - A.indptr[rows_sel]
+    idx = gather_range_indices(A.indptr[rows_sel], counts)
+    lr = np.repeat(np.arange(m), counts)
+    cols = A.indices[idx]
+    vals = A.data[idx]
     grows = rows_sel[lr]
     off = cols != grows
     same_block = in_range[cols] & (block_of[cols] == block_of[grows])
@@ -204,6 +218,8 @@ def build_gs_schedule(
     diag = np.zeros(m)
     dsel = ~off
     diag[pos_in_pack[lr[dsel]]] = vals[dsel]
+    diag_entry = np.full(m, -1, dtype=np.int64)
+    diag_entry[pos_in_pack[lr[dsel]]] = idx[dsel]
 
     return GSSchedule(
         rows=rows_packed,
@@ -216,6 +232,36 @@ def build_gs_schedule(
         e_lower=e_lower_p,
         diag=diag,
         nnz=int(keep.sum()) + int(dsel.sum()),
+        e_entry=idx[keep][e_order],
+        diag_entry=diag_entry,
+    )
+
+
+def schedule_with_values(sched: GSSchedule, A: CSRMatrix) -> GSSchedule:
+    """*sched* regathered over the (same-pattern) values of *A*.
+
+    Numeric-resetup companion of :func:`build_gs_schedule`: every index
+    array is shared with *sched*; only ``e_vals`` and ``diag`` are rebuilt,
+    via the recorded ``e_entry``/``diag_entry`` gather maps.
+    """
+    if sched.e_entry is None or sched.diag_entry is None:
+        raise ValueError("schedule has no entry maps; rebuild it instead")
+    diag = np.zeros(sched.nrows)
+    has = sched.diag_entry >= 0
+    diag[has] = A.data[sched.diag_entry[has]]
+    return GSSchedule(
+        rows=sched.rows,
+        level_row_ptr=sched.level_row_ptr,
+        e_ptr=sched.e_ptr,
+        e_cols=sched.e_cols,
+        e_vals=A.data[sched.e_entry],
+        e_out=sched.e_out,
+        e_local=sched.e_local,
+        e_lower=sched.e_lower,
+        diag=diag,
+        nnz=sched.nnz,
+        e_entry=sched.e_entry,
+        diag_entry=sched.diag_entry,
     )
 
 
@@ -690,10 +736,14 @@ class HybridGSSmoother:
         #: operator, §3.2); the baseline pays a per-row classification test.
         self.cf_contiguous = cf_contiguous or cf_marker is None
         self.nthreads = 1 if variant == "lex" else nthreads
+        self.seed = seed
         self.diag = A.diagonal()
         n = A.nrows
         self._schedules: dict[tuple[str, bool], GSSchedule] = {}
         self.color: np.ndarray | None = None
+        #: Compiled solve plan (:class:`repro.amg.solveplan.SmootherPlan`),
+        #: attached by ``attach_solve_plan``; ``None`` = legacy execution.
+        self._plan = None
 
         if variant == "jacobi":
             self.groups: list[np.ndarray] = []
@@ -728,6 +778,48 @@ class HybridGSSmoother:
             count("gs.lex_schedule_setup", bytes_read=2 * A.nnz * IDX_BYTES,
                   branches=float(A.nnz), phase="Setup_etc")
 
+    @classmethod
+    def from_numeric(cls, old: "HybridGSSmoother", A: CSRMatrix) -> "HybridGSSmoother":
+        """Same-pattern numeric rebuild of *old* over the values of *A*.
+
+        Shares every pattern-derived structure (groups, thread blocks,
+        wavefront schedules, coloring) and regathers only the numerics —
+        the smoother counterpart of :meth:`repro.amg.Hierarchy.refresh`.
+        Bit-identical to constructing a fresh smoother with the same
+        arguments (the shared structures are pure functions of the frozen
+        sparsity and seed).
+        """
+        new = cls.__new__(cls)
+        new.A = A
+        new.variant = old.variant
+        new.optimized = old.optimized
+        new.cf_contiguous = old.cf_contiguous
+        new.nthreads = old.nthreads
+        new.seed = old.seed
+        new.diag = A.diagonal()
+        new._schedules = {}
+        new.color = old.color
+        new._plan = None
+        new.groups = old.groups
+        if old.variant in ("jacobi", "multicolor"):
+            return new
+        if old.variant == "l1_jacobi":
+            new.l1diag = l1_diagonal(A)
+            return new
+        if old.variant == "chebyshev":
+            # Value-dependent: the power iteration must re-run (same seed
+            # => same result as a from-scratch rebuild).
+            new.lam_max = estimate_lambda_max(A, new.diag, seed=old.seed)
+            return new
+        for key, sched in old._schedules.items():
+            if sched.e_entry is not None:
+                new._schedules[key] = schedule_with_values(sched, A)
+            else:
+                gi = int(key[0][1:])
+                blk = block_of_rows(A.nrows, new.nthreads, A, old.groups[gi])
+                new._schedules[key] = build_gs_schedule(A, blk, forward=key[1])
+        return new
+
     # -- sweeps ----------------------------------------------------------
     def _sweep_groups(self, x, b, group_order, forward, zero_guess):
         for gi in group_order:
@@ -753,6 +845,8 @@ class HybridGSSmoother:
 
     def presmooth(self, x: np.ndarray, b: np.ndarray, *, zero_guess: bool = False) -> np.ndarray:
         """Forward sweep, C points first (updates ``x`` in place)."""
+        if self._plan is not None and plan_enabled():
+            return self._plan.presmooth(x, b, zero_guess=zero_guess)
         if self.variant == "jacobi":
             x[:] = jacobi_sweep(self.A, x, b, self.diag, weight=self.JACOBI_WEIGHT)
             return x
@@ -767,6 +861,8 @@ class HybridGSSmoother:
 
     def postsmooth(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Backward sweep, F points first (updates ``x`` in place)."""
+        if self._plan is not None and plan_enabled():
+            return self._plan.postsmooth(x, b)
         if self.variant == "jacobi":
             x[:] = jacobi_sweep(self.A, x, b, self.diag, weight=self.JACOBI_WEIGHT)
             return x
@@ -787,6 +883,8 @@ class HybridGSSmoother:
         Column *j* reproduces :meth:`presmooth` on ``(X[:, j], B[:, j])``
         exactly; the counted matrix stream is shared across columns.
         """
+        if self._plan is not None and plan_enabled():
+            return self._plan.presmooth_multi(X, B, zero_guess=zero_guess)
         if self.variant == "jacobi":
             X[:] = jacobi_sweep_multi(self.A, X, B, self.diag,
                                       weight=self.JACOBI_WEIGHT)
@@ -804,6 +902,8 @@ class HybridGSSmoother:
 
     def postsmooth_multi(self, X: np.ndarray, B: np.ndarray) -> np.ndarray:
         """Blocked backward sweep over an ``(n, k)`` iterate block."""
+        if self._plan is not None and plan_enabled():
+            return self._plan.postsmooth_multi(X, B)
         if self.variant == "jacobi":
             X[:] = jacobi_sweep_multi(self.A, X, B, self.diag,
                                       weight=self.JACOBI_WEIGHT)

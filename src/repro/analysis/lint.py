@@ -34,6 +34,15 @@ linters cannot see:
     ``SolveService`` / ``ShardedSolveService`` with the deprecated
     per-field keywords (``max_batch=...``, ``ranks=...``) is flagged.
     The keywords only exist as a migration shim for external callers.
+``no-count-in-hot-loop``
+    No per-iteration performance counting in the compute tree: a
+    ``count(...)`` call lexically inside a ``for``/``while`` body under
+    ``sparse``/``amg``/``dist`` charges the model once per Python
+    iteration — the pattern the SolvePlan layer exists to eliminate.
+    Hot paths must precompute a record template (``make_record`` +
+    ``count_record``) or bulk-append (``count_batch``); loops that are
+    genuinely per-invocation (per-rank setup, leader staging) carry a
+    justified waiver.
 ``lockset``
     In any class that documents a lock by assigning ``self._lock``
     (the serving tier, :class:`~repro.amg.cache.HierarchyCache`), every
@@ -68,8 +77,12 @@ RULES = (
     "no-bare-except",
     "no-borrowed-mutation",
     "use-config-objects",
+    "no-count-in-hot-loop",
     "lockset",
 )
+
+#: Path fragments of the compute tree scanned by ``no-count-in-hot-loop``.
+_HOT_TREES = ("repro/sparse/", "repro/amg/", "repro/dist/")
 
 #: Service classes whose constructors carry the deprecated per-field
 #: keyword shim (see ``repro.serve.service.resolve_service_config``).
@@ -299,6 +312,46 @@ def _scan_borrowed_mutation(
                 f"{why} mutates {name}, a CSR array borrowed through a "
                 f"parameter; CSR constructors share array references, so "
                 f"copy before mutating"))
+
+
+# ---------------------------------------------------------------------------
+# no-count-in-hot-loop (per-iteration model charges in the compute tree)
+# ---------------------------------------------------------------------------
+
+def _scan_count_in_loop(tree: ast.Module, path: str) -> list[LintFinding]:
+    """Flag ``count(...)`` calls lexically inside ``for``/``while`` bodies."""
+    if not any(frag in Path(path).as_posix() for frag in _HOT_TREES):
+        return []
+    findings: list[LintFinding] = []
+    scopes: list[str] = []
+
+    def visit(node: ast.AST, loop_depth: int) -> None:
+        entered = False
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            scopes.append(node.name)
+            entered = True
+            # A nested def starts a fresh call boundary: its body only runs
+            # per loop iteration if the closure is *called* there, which the
+            # call-site scan sees.
+            loop_depth = 0
+        if isinstance(node, ast.Call) and _call_target_names(node) == "count":
+            if loop_depth > 0:
+                findings.append(LintFinding(
+                    "no-count-in-hot-loop", path, node.lineno,
+                    ".".join(scopes),
+                    "count() inside a loop body charges the model once per "
+                    "Python iteration; precompute a template "
+                    "(make_record + count_record) or bulk-append "
+                    "(count_batch)"))
+        child_depth = loop_depth + (1 if isinstance(node, (ast.For, ast.While))
+                                    else 0)
+        for child in ast.iter_child_nodes(node):
+            visit(child, child_depth)
+        if entered:
+            scopes.pop()
+
+    visit(tree, 0)
+    return findings
 
 
 # ---------------------------------------------------------------------------
@@ -626,6 +679,8 @@ def run_lint(
         modules[_module_key(path)] = (tree, str(path))
         simple = _scan_simple_rules(tree, str(path))
         findings.extend(f for f in simple if f.rule in active)
+        if "no-count-in-hot-loop" in active:
+            findings.extend(_scan_count_in_loop(tree, str(path)))
         if "lockset" in active:
             findings.extend(_scan_lockset(tree, str(path)))
     if "kernel-counts" in active:

@@ -35,7 +35,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..perf.counters import VAL_BYTES, count
+from ..perf.counters import VAL_BYTES, KernelRecord, count, count_record, make_record
+from ..planexec import plan_enabled
 from .comm import NodeAwareExchange, PersistentExchange, SimComm
 from .parcsr import ParCSRMatrix, ParVector
 
@@ -68,6 +69,12 @@ class HaloExchange:
             needs.append(need)
         self.pattern = pattern
         self.total_elems = sum(pattern.values())
+        # Per-rank external-entry counts are frozen with the pattern; the
+        # pack/unpack traffic records are pure functions of (rank, width)
+        # and are cached per width (plan-table counting).
+        self._ext_n = [sum(len(ids) for _, ids in plan)
+                       for plan in self.recv_plan]
+        self._pack_recs: dict[int, list[KernelRecord]] = {}
 
         # Node-aware 3-step aggregation (repro.topo): adopted only when the
         # modeled two-tier time beats the flat schedule; ppn=1 and losing
@@ -137,6 +144,17 @@ class HaloExchange:
         else:
             for (src, dst), n in self.pattern.items():
                 self.comm.log_message(src, dst, n * width * VAL_BYTES, tag="halo")
+        pack_recs = None
+        if plan_enabled():
+            pack_recs = self._pack_recs.get(width)
+            if pack_recs is None:
+                pack_recs = [
+                    make_record("halo.pack_unpack",
+                                bytes_read=n * width * VAL_BYTES,
+                                bytes_written=n * width * VAL_BYTES)
+                    for n in self._ext_n
+                ]
+                self._pack_recs[width] = pack_recs
         ext = []
         for p in range(self.comm.nranks):
             pieces = [x.parts[q][ids] for q, ids in self.recv_plan[p]]
@@ -149,10 +167,13 @@ class HaloExchange:
                 ext.append(np.empty((0, width), dtype=dtype) if multi
                            else np.empty(0, dtype=dtype))
             # Sender-side pack + receiver-side unpack traffic.
-            n = len(ext[-1])
             with self.comm.on_rank(p):
-                count("halo.pack_unpack", bytes_read=n * width * VAL_BYTES,
-                      bytes_written=n * width * VAL_BYTES)
+                if pack_recs is not None:
+                    count_record(pack_recs[p])
+                else:
+                    n = len(ext[-1])
+                    count("halo.pack_unpack", bytes_read=n * width * VAL_BYTES,
+                          bytes_written=n * width * VAL_BYTES)
         return ext
 
 

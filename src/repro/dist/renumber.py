@@ -106,13 +106,27 @@ def renumber_parallel(
     old_colmap = np.asarray(old_colmap, dtype=np.int64)
     n = len(queries)
 
-    # Stage 1: thread-private hash filters (per-chunk dedup).
-    chunks = np.array_split(queries, max(nthreads, 1))
-    survivors = [np.unique(c) for c in chunks if len(c)]
+    # Stage 1: thread-private hash filters (per-chunk dedup), vectorized as
+    # one lexsort over (chunk id, query) with a first-occurrence mask —
+    # identical survivor multiset to per-chunk np.unique without a Python
+    # loop over threads.
+    t = max(nthreads, 1)
+    if n:
+        # np.array_split boundaries: the first n % t chunks get one extra.
+        size, extra = divmod(n, t)
+        sizes = np.full(t, size, dtype=np.int64)
+        sizes[:extra] += 1
+        chunk_of = np.repeat(np.arange(t, dtype=np.int64), sizes)
+        order = np.lexsort((queries, chunk_of))
+        qs, cs = queries[order], chunk_of[order]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        first[1:] = (qs[1:] != qs[:-1]) | (cs[1:] != cs[:-1])
+        survivors_flat = qs[first]
+    else:
+        survivors_flat = queries
     # Stage 2: duplicate-eliminating parallel merge.
-    merged = (
-        np.unique(np.concatenate(survivors)) if survivors else np.empty(0, np.int64)
-    )
+    merged = np.unique(survivors_flat)
     # Stage 3: partitioned reverse map (executed via the shared helper —
     # results are identical; the stages above establish the counted cost).
     res = _finish(old_colmap, queries)

@@ -12,11 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..amg.smoothers import HybridGSSmoother
-from ..perf.counters import VAL_BYTES, count
+from ..perf.counters import VAL_BYTES, count, count_record
+from ..planexec import plan_enabled
 from ..sparse.spmv import spmv
 from .comm import SimComm
 from .halo import build_halo
 from .parcsr import ParCSRMatrix, ParVector
+from .solveplan import plan_dist_smoother
 
 __all__ = ["DistSmoother"]
 
@@ -55,6 +57,10 @@ class DistSmoother:
                         seed=seed + p,
                     )
                 )
+        # Compile the per-rank solve plans (and the frozen gs.offd_sub
+        # record table) up front; execution of the planned paths is gated
+        # by REPRO_SOLVEPLAN at sweep time.
+        plan_dist_smoother(self)
 
     def _offd_rhs(self, b: ParVector, x: ParVector, *, zero_guess: bool) -> list[np.ndarray]:
         """``b - A_offd x_ext`` per rank (the Jacobi boundary term)."""
@@ -67,9 +73,12 @@ class DistSmoother:
             with self.comm.on_rank(p):
                 if blk.offd.nnz:
                     rhs = b.parts[p] - spmv(blk.offd, x_ext[p], kernel="gs.offd")
-                    count("gs.offd_sub", flops=blk.nrows,
-                          bytes_read=blk.nrows * VAL_BYTES,
-                          bytes_written=blk.nrows * VAL_BYTES)
+                    if plan_enabled():
+                        count_record(self._offd_recs[p])
+                    else:
+                        count("gs.offd_sub", flops=blk.nrows,
+                              bytes_read=blk.nrows * VAL_BYTES,
+                              bytes_written=blk.nrows * VAL_BYTES)
                 else:
                     rhs = b.parts[p].copy()
             out.append(rhs)

@@ -1,0 +1,56 @@
+"""Distributed counterpart of :mod:`repro.amg.solveplan`.
+
+The distributed solve phase reuses the node-level machinery per rank, so
+most of the planning is delegation: every rank's local
+:class:`~repro.amg.smoothers.HybridGSSmoother` gets its compiled
+:class:`~repro.amg.solveplan.SmootherPlan`, and the per-rank traffic
+records whose fields are pure functions of the frozen partition (the
+``gs.offd_sub`` boundary-term update, the halo pack/unpack maps cached on
+:class:`~repro.dist.halo.HaloExchange`) are prebuilt once instead of being
+re-derived every sweep on every rank.
+
+Everything here is gated by ``REPRO_SOLVEPLAN`` at execution time (the
+plans are attached unconditionally — attachment is pure pattern
+arithmetic and emits no perf records).
+"""
+
+from __future__ import annotations
+
+from ..amg.solveplan import compile_smoother_plan
+from ..perf.counters import VAL_BYTES, make_record
+
+__all__ = ["plan_dist_smoother", "attach_dist_solve_plan"]
+
+
+def plan_dist_smoother(sm) -> None:
+    """Compile the solve plans of a :class:`~repro.dist.smoothers.DistSmoother`.
+
+    Attaches a :class:`~repro.amg.solveplan.SmootherPlan` to each rank's
+    local smoother and prebuilds the per-rank ``gs.offd_sub`` records (the
+    boundary Jacobi term's traffic depends only on the frozen row
+    partition).  Idempotent and silent.
+    """
+    for local in sm.local:
+        compile_smoother_plan(local)
+    if getattr(sm, "_offd_recs", None) is None:
+        sm._offd_recs = [
+            make_record("gs.offd_sub", flops=blk.nrows,
+                        bytes_read=blk.nrows * VAL_BYTES,
+                        bytes_written=blk.nrows * VAL_BYTES)
+            for blk in sm.A.blocks
+        ]
+
+
+def attach_dist_solve_plan(hierarchy) -> None:
+    """Attach solve plans throughout a :class:`~repro.dist.setup.DistHierarchy`.
+
+    Covers every level's :class:`~repro.dist.smoothers.DistSmoother` and the
+    coarse solver's smoother (when the coarsest level is solved by sweeps
+    rather than a gathered dense factorization).
+    """
+    for lvl in hierarchy.levels:
+        if lvl.smoother is not None:
+            plan_dist_smoother(lvl.smoother)
+    coarse_sm = getattr(hierarchy.coarse_solver, "smoother", None)
+    if coarse_sm is not None:
+        plan_dist_smoother(coarse_sm)

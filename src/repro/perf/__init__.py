@@ -16,7 +16,10 @@ from .counters import (
     active_log,
     collect,
     count,
+    count_batch,
+    count_record,
     current_phase,
+    make_record,
     phase,
 )
 from .machine import HaswellModel, K40cModel, MachineModel
@@ -40,7 +43,10 @@ __all__ = [
     "active_log",
     "collect",
     "count",
+    "count_batch",
+    "count_record",
     "current_phase",
+    "make_record",
     "phase",
     "MachineModel",
     "HaswellModel",

@@ -26,7 +26,7 @@ the pattern-reuse numeric resetup of :meth:`repro.amg.Hierarchy.refresh`
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = [
     "IDX_BYTES",
@@ -37,6 +37,9 @@ __all__ = [
     "collect",
     "phase",
     "count",
+    "count_batch",
+    "count_record",
+    "make_record",
     "active_log",
     "current_phase",
 ]
@@ -141,6 +144,32 @@ class PerfLog:
         )
         self.records.append(rec)
         return rec
+
+    def count_batch(self, kernel: str, n: int, **kw) -> None:
+        """Record *n* identical kernel invocations in one bulk append.
+
+        The record *stream* is indistinguishable from *n* individual
+        :meth:`add` calls with the same arguments — per-record machine-model
+        costs (launch overhead, sequential time summation) and all
+        aggregations see the same sequence — but the Python-side cost is one
+        record construction instead of *n*.  The appended entries alias one
+        :class:`KernelRecord` instance; records are treated as immutable
+        once logged.
+        """
+        if n <= 0:
+            return
+        rec = self.add(kernel, **kw)
+        if n > 1:
+            self.records.extend([rec] * (n - 1))
+
+    def add_record(self, rec: KernelRecord) -> None:
+        """Append a prebuilt record, retagging phase/level if the current
+        stacks differ from the template's (plan-table fast path)."""
+        ph = _PHASE_STACK[-1] if _PHASE_STACK else "unattributed"
+        lv = _LEVEL_STACK[-1] if _LEVEL_STACK else None
+        if rec.phase != ph or rec.level != lv:
+            rec = replace(rec, phase=ph, level=lv)
+        self.records.append(rec)
 
     # -- phase management ------------------------------------------------
     @property
@@ -259,3 +288,60 @@ def count(kernel: str, **kw) -> None:
     log = active_log()
     if log is not None:
         log.add(kernel, **kw)
+
+
+def count_batch(kernel: str, n: int, **kw) -> None:
+    """Record *n* identical invocations into the active log (no-op otherwise).
+
+    See :meth:`PerfLog.count_batch`: the stream equals *n* ``count`` calls.
+    """
+    log = active_log()
+    if log is not None:
+        log.count_batch(kernel, n, **kw)
+
+
+def count_record(rec: KernelRecord) -> None:
+    """Append a prebuilt (plan-table) record into the active log.
+
+    Solve plans precompute each kernel invocation's traffic once from the
+    frozen sparsity (:func:`make_record`); the hot loop then just appends.
+    Phase/level are retagged from the live stacks when they differ from the
+    template, so the resulting stream is identical to an equivalent
+    :func:`count` call.
+    """
+    log = active_log()
+    if log is not None:
+        log.add_record(rec)
+
+
+def make_record(
+    kernel: str,
+    *,
+    flops: float = 0.0,
+    bytes_read: float = 0.0,
+    bytes_written: float = 0.0,
+    branches: float = 0.0,
+    mispredicts: float | None = None,
+    parallel: bool = True,
+    phase: str = "unattributed",
+    level: int | None = None,
+) -> KernelRecord:
+    """Build a template :class:`KernelRecord` without logging it.
+
+    Field semantics match :meth:`PerfLog.add` (including the default
+    mispredict estimate), so a template appended via :func:`count_record`
+    is byte-for-byte what the equivalent :func:`count` call would record.
+    """
+    if mispredicts is None:
+        mispredicts = branches * DEFAULT_MISPREDICT_RATE
+    return KernelRecord(
+        phase=phase,
+        kernel=kernel,
+        flops=float(flops),
+        bytes_read=float(bytes_read),
+        bytes_written=float(bytes_written),
+        branches=float(branches),
+        mispredicts=float(mispredicts),
+        parallel=parallel,
+        level=level,
+    )

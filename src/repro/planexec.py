@@ -1,0 +1,24 @@
+"""Solve-plan execution gate.
+
+``REPRO_SOLVEPLAN=off`` disables the plan-driven solve-phase execution paths
+(compiled GS sweeps, prebound transfer kernels, plan-table counting) and
+falls back to the legacy per-sweep code.  Both paths are bit-identical in
+iterates and in the recorded :class:`repro.perf.PerfLog` stream; the gate
+exists so benchmarks can measure the wall-clock delta and tests can compare
+the two executions directly.
+
+This lives at the package top level (not under ``repro.amg``) because the
+low-level ``sparse``/``dist`` kernels consult it too and must not import the
+AMG layer.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["plan_enabled"]
+
+
+def plan_enabled() -> bool:
+    """Whether plan-driven solve execution is on (default: on)."""
+    return os.environ.get("REPRO_SOLVEPLAN", "on").lower() != "off"

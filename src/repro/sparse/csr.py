@@ -135,8 +135,13 @@ class CSRMatrix:
         return np.diff(self.indptr)
 
     def row_ids(self) -> np.ndarray:
-        """Per-entry row ids (cached)."""
-        if self._row_ids is None or len(self._row_ids) != self.nnz:
+        """Per-entry row ids, memoized for the life of the (frozen) matrix.
+
+        Matrices are structurally immutable once built, so the cache never
+        goes stale on its own; code paths that do rebuild structure in place
+        call :meth:`invalidate_cache`.
+        """
+        if self._row_ids is None:
             self._row_ids = row_ids_from_indptr(self.indptr)
         return self._row_ids
 

@@ -64,7 +64,9 @@ def spmv(A: CSRMatrix, x: np.ndarray, *, kernel: str = "spmv") -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     if x.shape[0] != A.ncols:
         raise ValueError(f"dimension mismatch: A is {A.shape}, x has {x.shape[0]}")
-    y = segment_sum(A.data * x[A.indices], A.row_ids(), A.nrows)
+    t = x[A.indices]
+    np.multiply(A.data, t, out=t)  # reuse the gather's buffer
+    y = segment_sum(t, A.row_ids(), A.nrows)
     br, bw = spmv_traffic(A.nrows, A.nnz)
     count(kernel, flops=2 * A.nnz, bytes_read=br, bytes_written=bw)
     return y
@@ -135,7 +137,9 @@ def spmv_identity_block_transposed(
     if cperm is None:
         y += xf[:nc]
     else:
-        np.add.at(y, cperm, xf[:nc])
+        # cperm is a permutation (no duplicate targets), so fancy-indexed
+        # += is exact — same one-add-per-element as the np.add.at scatter.
+        y[cperm] += xf[:nc]
     br, bw = spmv_traffic(nc, P_F.nnz)
     count(
         "spmv.restrict_idblock",
@@ -170,7 +174,9 @@ def residual(A: CSRMatrix, x: np.ndarray, b: np.ndarray, *, fused_norm: bool = F
     """
     b = np.asarray(b, dtype=np.float64)
     if fused_norm:
-        y = segment_sum(A.data * np.asarray(x, dtype=np.float64)[A.indices], A.row_ids(), A.nrows)
+        t = np.asarray(x, dtype=np.float64)[A.indices]
+        np.multiply(A.data, t, out=t)
+        y = segment_sum(t, A.row_ids(), A.nrows)
         r = b - y
         nrm = float(np.sqrt(r @ r))
         br, bw = spmv_traffic(A.nrows, A.nnz)
@@ -292,12 +298,13 @@ def spmv_identity_block_transposed_multi(
     XF = Xf[nc:]
     Y = np.empty((nc, k))
     for j in range(k):
-        y = segment_sum(P_F.data * XF[rid, j], P_F.indices, nc)
-        if cperm is None:
-            y += Xf[:nc, j]
-        else:
-            np.add.at(y, cperm, Xf[:nc, j])
-        Y[:, j] = y
+        Y[:, j] = segment_sum(P_F.data * XF[rid, j], P_F.indices, nc)
+    # One add per element per column, exactly as the per-column scatter
+    # (cperm is a permutation), but batched over the block.
+    if cperm is None:
+        Y += Xf[:nc]
+    else:
+        Y[cperm] += Xf[:nc]
     br, bw = spmv_multi_traffic(nc, P_F.nnz, k)
     count(
         "spmv.restrict_idblock",

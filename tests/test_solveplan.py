@@ -1,0 +1,230 @@
+"""The SolvePlan layer (ISSUE 10): planned execution must be invisible.
+
+Contract under test (docs/architecture.md, docs/performance_model.md):
+
+* executing through the precompiled per-level solve schedules
+  (``REPRO_SOLVEPLAN=on``, the default) produces bit-identical iterates,
+  residual histories, and PerfLog record streams to the legacy per-sweep
+  re-derivation (``REPRO_SOLVEPLAN=off``) — for every smoother variant and
+  cycle type, at ``REPRO_CHECK=full``;
+* ``Hierarchy.refresh`` rebuilds only the numeric parts of the solve plan:
+  pattern arrays (wavefront orders, gather maps, record-template tables)
+  are shared by identity with the pre-refresh plan, values are regathered;
+* the bulk counter-recording primitives (``count_batch``,
+  ``count_record``, ``make_record``) emit record streams indistinguishable
+  from per-call ``count``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amg import build_hierarchy
+from repro.amg.solver import AMGSolver
+from repro.amg.solveplan import CompiledSweep, SmootherPlan
+from repro.analysis import get_check_level, set_check_level
+from repro.config import AMGConfig, single_node_config
+from repro.perf import collect
+from repro.perf.counters import (
+    PerfLog,
+    count,
+    count_batch,
+    count_record,
+    make_record,
+    phase,
+)
+from repro.problems import laplace_3d_27pt
+from repro.serve.workload import PROBLEM_BUILDERS
+from repro.sparse import CSRMatrix
+
+VARIANTS = ["hybrid_gs", "lex", "multicolor", "jacobi", "l1_jacobi", "chebyshev"]
+
+
+@pytest.fixture(autouse=True)
+def _full_checks():
+    prev = get_check_level()
+    set_check_level("full")
+    yield
+    set_check_level(prev)
+
+
+def _config(smoother="hybrid_gs", cycle="V"):
+    from dataclasses import replace
+
+    return replace(single_node_config(True), smoother=smoother,
+                   cycle_type=cycle, nthreads=4)
+
+
+def _record_stream(log: PerfLog):
+    return [
+        (r.phase, r.kernel, r.flops, r.bytes_read, r.bytes_written,
+         r.branches, r.mispredicts, r.parallel, r.level)
+        for r in log.records
+    ]
+
+
+def _solve_both_modes(config, monkeypatch, n=6, k=3):
+    """Run setup + solve + solve_many with the plan on and off."""
+    out = {}
+    for mode in ("on", "off"):
+        monkeypatch.setenv("REPRO_SOLVEPLAN", mode)
+        A = laplace_3d_27pt(n)
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal(A.nrows)
+        B = rng.standard_normal((A.nrows, k))
+        s = AMGSolver(config)
+        with collect() as log:
+            s.setup(A)
+            res = s.solve(b, tol=1e-8)
+            many = s.solve_many(B, tol=1e-8)
+        out[mode] = {
+            "x": res.x.tobytes(),
+            "iters": res.iterations,
+            "residuals": tuple(res.residuals),
+            "many_x": tuple(r.x.tobytes() for r in many),
+            "many_iters": tuple(r.iterations for r in many),
+            "records": _record_stream(log),
+        }
+    return out
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_plan_bit_identity_variants(variant, monkeypatch):
+    out = _solve_both_modes(_config(smoother=variant), monkeypatch)
+    assert out["on"] == out["off"]
+
+
+@pytest.mark.parametrize("cycle", ["W", "F"])
+def test_plan_bit_identity_cycles(cycle, monkeypatch):
+    out = _solve_both_modes(_config(cycle=cycle), monkeypatch)
+    assert out["on"] == out["off"]
+
+
+def test_planned_hierarchy_has_plans():
+    A = laplace_3d_27pt(6)
+    h = build_hierarchy(A, _config())
+    assert h.solve_plan is not None
+    # Every non-coarsest level with a schedulable smoother is compiled.
+    for lvl in h.levels[:-1]:
+        if lvl.smoother is not None and lvl.smoother.variant in (
+                "hybrid", "lex"):
+            assert isinstance(lvl.smoother._plan, SmootherPlan)
+
+
+def test_refresh_rebuilds_numeric_parts_only():
+    config = _config()
+    A = PROBLEM_BUILDERS["lap3d27g"](8)
+    h = build_hierarchy(A, config, capture_plan=True)
+    A2 = CSRMatrix(A.shape, A.indptr, A.indices, A.data * 1.02)
+    with collect():
+        h2 = h.refresh(A2)
+    assert h2.solve_plan is not None
+
+    cold = build_hierarchy(A2, config)
+    shared = 0
+    for old_lvl, new_lvl, cold_lvl in zip(h.levels[:-1], h2.levels[:-1],
+                                          cold.levels[:-1]):
+        po, pn = old_lvl.smoother._plan, new_lvl.smoother._plan
+        if po is None or pn is None:
+            continue
+        for key, cs_new in pn.sweeps.items():
+            cs_old = po.sweeps[key]
+            if cs_new is None:
+                assert cs_old is None
+                continue
+            # Pattern arrays are the same objects; values were regathered.
+            assert cs_new._e_src is cs_old._e_src
+            assert cs_new._rec is cs_old._rec
+            assert cs_new.rows is cs_old.rows
+            shared += 1
+        # The regathered numerics match a from-scratch build bit-for-bit.
+        cs_cold = cold_lvl.smoother._plan
+        for key, cs_new in pn.sweeps.items():
+            if cs_new is None:
+                continue
+            ref = cs_cold.sweeps[key]
+            for st_new, st_ref in zip(cs_new.steps, ref.steps):
+                assert np.array_equal(st_new[4], st_ref[4])  # e_vals
+                assert np.array_equal(st_new[6], st_ref[6])  # diag
+    assert shared > 0
+
+
+def test_refresh_solve_matches_cold_build(monkeypatch):
+    config = _config()
+    A = PROBLEM_BUILDERS["lap3d27g"](8)
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal(A.nrows)
+    A2 = CSRMatrix(A.shape, A.indptr, A.indices, A.data * 1.02)
+
+    results = {}
+    for mode in ("on", "off"):
+        monkeypatch.setenv("REPRO_SOLVEPLAN", mode)
+        h = build_hierarchy(A, config, capture_plan=True)
+        with collect():
+            h2 = h.refresh(A2)
+        s = AMGSolver(config)
+        s.hierarchy = h2
+        with collect() as log:
+            res = s.solve(b, tol=1e-8)
+        results[mode] = (res.x.tobytes(), res.iterations,
+                         tuple(res.residuals), _record_stream(log))
+    assert results["on"] == results["off"]
+
+
+class TestBulkRecording:
+    def test_count_batch_equals_repeated_count(self):
+        kw = dict(flops=10.0, bytes_read=20.0, bytes_written=5.0,
+                  branches=4.0)
+        a, b = PerfLog(), PerfLog()
+        with collect(a), phase("GS"):
+            for _ in range(7):
+                count("k", **kw)
+        with collect(b), phase("GS"):
+            count_batch("k", 7, **kw)
+        assert _record_stream(a) == _record_stream(b)
+        assert len(b.records) == 7
+        # Bulk append aliases one record instance.
+        assert all(r is b.records[0] for r in b.records)
+
+    def test_count_batch_zero_is_noop(self):
+        log = PerfLog()
+        with collect(log):
+            count_batch("k", 0, flops=1.0)
+        assert log.records == []
+
+    def test_make_record_applies_mispredict_rate(self):
+        rec = make_record("k", branches=10.0)
+        assert rec.mispredicts == pytest.approx(3.0)
+
+    def test_count_record_retags_phase_and_level(self):
+        tmpl = make_record("k", flops=1.0, phase="GS")
+        a, b = PerfLog(), PerfLog()
+        with collect(a), phase("SpMV"):
+            count_record(tmpl)
+        with collect(b), phase("SpMV"):
+            count("k", flops=1.0)
+        assert _record_stream(a) == _record_stream(b)
+        # The template itself is untouched.
+        assert tmpl.phase == "GS"
+
+    def test_count_record_matching_context_appends_template(self):
+        tmpl = make_record("k", flops=1.0, phase="GS")
+        log = PerfLog()
+        with collect(log), phase("GS"):
+            count_record(tmpl)
+        assert log.records[0] is tmpl
+
+
+def test_compiled_sweep_handles_empty_wavefront_levels():
+    # An upper-triangular-free row set can produce wavefront levels with
+    # zero entries; np.bincount then returns int64 and the compiled sweep
+    # must still produce float64 accumulators.
+    A = CSRMatrix.identity(4)
+    h = build_hierarchy(laplace_3d_27pt(4), _config())
+    s = AMGSolver(_config())
+    s.hierarchy = h
+    b = np.ones(h.levels[0].A.nrows)
+    res = s.solve(b, tol=1e-8)
+    assert np.isfinite(res.residuals[-1])
+    assert A.nnz == 4  # keep the identity from being optimized away
